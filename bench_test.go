@@ -1,0 +1,356 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper (plus the DESIGN.md ablations). These are the
+// micro-benchmark versions; cmd/sfabench regenerates the full
+// human-readable tables and series.
+//
+// Input size defaults to 8 MiB per benchmark to keep `go test -bench=.`
+// wall time reasonable; set SFA_BENCH_MB to scale up (the paper used
+// 1024 MiB). Throughput appears as the B/s column via b.SetBytes.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/engine"
+	"repro/internal/monoid"
+	"repro/internal/nfa"
+	"repro/internal/snort"
+	"repro/internal/syntax"
+	"repro/internal/textgen"
+)
+
+// benchMB returns the per-benchmark input size in MiB.
+func benchMB() int {
+	if v := os.Getenv("SFA_BENCH_MB"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 8
+}
+
+// fig8N is the r_n exponent used for the large-table benchmarks.
+func fig8N() int {
+	if v := os.Getenv("SFA_FIG8_N"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 150
+}
+
+// fixture carries the compiled automata and input for one pattern.
+type fixture struct {
+	d    *dfa.DFA
+	s    *core.DSFA
+	text []byte
+}
+
+var (
+	fixMu  sync.Mutex
+	fixMap = map[string]*fixture{}
+)
+
+// getFixture builds (once) the DFA, D-SFA and an accepted text.
+func getFixture(b *testing.B, key string, pattern string, text func() []byte) *fixture {
+	b.Helper()
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if f, ok := fixMap[key]; ok {
+		return f
+	}
+	d := dfa.MustCompilePattern(pattern)
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{d: d, s: s, text: text()}
+	if !d.Accepts(f.text) {
+		b.Fatalf("fixture text for %q not accepted", pattern)
+	}
+	fixMap[key] = f
+	return f
+}
+
+func rnFixture(b *testing.B, n int) *fixture {
+	return getFixture(b, fmt.Sprintf("rn-%d", n),
+		fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", n, n),
+		func() []byte { return textgen.RnText(n, benchMB()<<20, 1) })
+}
+
+// benchMatcher runs m over text with throughput accounting.
+func benchMatcher(b *testing.B, m engine.Matcher, text []byte, want bool) {
+	b.Helper()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Match(text) != want {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+// --- Fig. 3: SNORT ruleset study ------------------------------------------
+
+// BenchmarkFig3_RulesetStudy measures the full per-rule pipeline
+// (parse → Glushkov → determinize ≤1000 → minimize → D-SFA) over a slice
+// of the synthetic corpus; the metric of interest is rules/sec.
+func BenchmarkFig3_RulesetStudy(b *testing.B) {
+	rules := snort.Generate(150, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rule := range rules {
+			node, err := syntax.Parse(rule.Pattern, rule.Flags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := dfa.Compile(node, 4000)
+			if err != nil {
+				continue // over the cap: skipped, like the paper
+			}
+			if m.LiveSize() > 1000 {
+				continue
+			}
+			if _, err := core.BuildDSFA(m, 400_000); err != nil {
+				continue
+			}
+		}
+	}
+	b.ReportMetric(float64(len(rules)*b.N)/b.Elapsed().Seconds(), "rules/s")
+}
+
+// --- Figs. 6–9: throughput vs threads --------------------------------------
+
+func benchScale(b *testing.B, f *fixture, threads int) {
+	if threads == 1 {
+		benchMatcher(b, engine.NewDFASequential(f.d), f.text, true)
+		return
+	}
+	benchMatcher(b, engine.NewSFAParallel(f.s, threads, engine.ReduceSequential), f.text, true)
+}
+
+func BenchmarkFig6_R5_Threads1(b *testing.B) { benchScale(b, rnFixture(b, 5), 1) }
+func BenchmarkFig6_R5_Threads2(b *testing.B) { benchScale(b, rnFixture(b, 5), 2) }
+func BenchmarkFig6_R5_Threads4(b *testing.B) { benchScale(b, rnFixture(b, 5), 4) }
+func BenchmarkFig6_R5_Threads8(b *testing.B) { benchScale(b, rnFixture(b, 5), 8) }
+
+func BenchmarkFig7_R50_Threads1(b *testing.B) { benchScale(b, rnFixture(b, 50), 1) }
+func BenchmarkFig7_R50_Threads2(b *testing.B) { benchScale(b, rnFixture(b, 50), 2) }
+func BenchmarkFig7_R50_Threads4(b *testing.B) { benchScale(b, rnFixture(b, 50), 4) }
+func BenchmarkFig7_R50_Threads8(b *testing.B) { benchScale(b, rnFixture(b, 50), 8) }
+
+func BenchmarkFig8_RBig_Threads1(b *testing.B) { benchScale(b, rnFixture(b, fig8N()), 1) }
+func BenchmarkFig8_RBig_Threads2(b *testing.B) { benchScale(b, rnFixture(b, fig8N()), 2) }
+func BenchmarkFig8_RBig_Threads4(b *testing.B) { benchScale(b, rnFixture(b, fig8N()), 4) }
+
+func unionFixture(b *testing.B) *fixture {
+	n := fig8N()
+	return getFixture(b, "union-a", fmt.Sprintf("([0-4]{%d}[5-9]{%d})*|a*", n, n),
+		func() []byte { return textgen.Repeat('a', benchMB()<<20) })
+}
+
+func BenchmarkFig9_UnionAstar_Threads1(b *testing.B) { benchScale(b, unionFixture(b), 1) }
+func BenchmarkFig9_UnionAstar_Threads2(b *testing.B) { benchScale(b, unionFixture(b), 2) }
+func BenchmarkFig9_UnionAstar_Threads4(b *testing.B) { benchScale(b, unionFixture(b), 4) }
+
+// --- Fig. 10: small-input overhead -----------------------------------------
+
+func fig10Fixture(b *testing.B) *fixture {
+	return getFixture(b, "fig10", "(([02468][13579]){5})*",
+		func() []byte { return textgen.EvenOddText(1_000_000, 1) })
+}
+
+func benchFig10(b *testing.B, kb int, parallel bool) {
+	f := fig10Fixture(b)
+	text := f.text[:kb*1000]
+	if parallel {
+		benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential), text, true)
+		return
+	}
+	benchMatcher(b, engine.NewDFASequential(f.d), text, true)
+}
+
+func BenchmarkFig10_Crossover_DFA_200KB(b *testing.B)  { benchFig10(b, 200, false) }
+func BenchmarkFig10_Crossover_SFA2_200KB(b *testing.B) { benchFig10(b, 200, true) }
+func BenchmarkFig10_Crossover_DFA_600KB(b *testing.B)  { benchFig10(b, 600, false) }
+func BenchmarkFig10_Crossover_SFA2_600KB(b *testing.B) { benchFig10(b, 600, true) }
+func BenchmarkFig10_Crossover_DFA_1MB(b *testing.B)    { benchFig10(b, 1000, false) }
+func BenchmarkFig10_Crossover_SFA2_1MB(b *testing.B)   { benchFig10(b, 1000, true) }
+
+// --- Table II: complexity rows ----------------------------------------------
+
+// Algorithm 3's per-byte cost grows with |D|; Algorithm 5's does not.
+func benchTable2Spec(b *testing.B, n int) {
+	f := rnFixture(b, n)
+	text := f.text
+	if n >= 50 {
+		// Alg. 3 is |D|× slower; keep the run short, cutting at a block
+		// boundary so the truncated text stays in the language.
+		cut := len(text) / 8
+		cut -= cut % (2 * n)
+		text = text[:cut]
+	}
+	benchMatcher(b, engine.NewDFASpeculative(f.d, 2, engine.ReduceSequential), text, true)
+}
+
+func BenchmarkTable2_Alg3Spec_D10(b *testing.B)  { benchTable2Spec(b, 5) }
+func BenchmarkTable2_Alg3Spec_D100(b *testing.B) { benchTable2Spec(b, 50) }
+func BenchmarkTable2_Alg3Spec_D300(b *testing.B) { benchTable2Spec(b, 150) }
+
+func BenchmarkTable2_Alg5SFA_D10(b *testing.B)  { benchScale(b, rnFixture(b, 5), 2) }
+func BenchmarkTable2_Alg5SFA_D100(b *testing.B) { benchScale(b, rnFixture(b, 50), 2) }
+func BenchmarkTable2_Alg5SFA_D300(b *testing.B) { benchScale(b, rnFixture(b, 150), 2) }
+
+// BenchmarkTable2_NFASim is the O(|N|·n) row.
+func BenchmarkTable2_NFASim(b *testing.B) {
+	a, err := nfa.Glushkov(syntax.MustParse("([0-4]{5}[5-9]{5})*", 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := nfa.NewSimulator(a)
+	text := textgen.RnText(5, 1<<20, 1)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sim.Match(text) {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+// BenchmarkTable2_LazySFA_D1000 exercises the on-the-fly engine where the
+// eager SFA would need 10⁶ states.
+func BenchmarkTable2_LazySFA_D1000(b *testing.B) {
+	d := dfa.MustCompilePattern("([0-4]{500}[5-9]{500})*")
+	text := textgen.RnText(500, benchMB()<<20, 1)
+	m, err := engine.NewSFALazy(d, 2, 1<<21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMatcher(b, m, text, true)
+}
+
+// --- Table III: construction cost -------------------------------------------
+
+func benchConstructDFA(b *testing.B, n int) {
+	node := syntax.MustParse(fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", n, n), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dfa.Compile(node, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchConstructDSFA(b *testing.B, n int) {
+	d := dfa.MustCompilePattern(fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", n, n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.BuildDSFA(d, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.NumStates)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	}
+}
+
+func BenchmarkTable3_ConstructDFA_r5(b *testing.B)   { benchConstructDFA(b, 5) }
+func BenchmarkTable3_ConstructDFA_r50(b *testing.B)  { benchConstructDFA(b, 50) }
+func BenchmarkTable3_ConstructDFA_r500(b *testing.B) { benchConstructDFA(b, 500) }
+
+func BenchmarkTable3_ConstructDSFA_r5(b *testing.B)  { benchConstructDSFA(b, 5) }
+func BenchmarkTable3_ConstructDSFA_r50(b *testing.B) { benchConstructDSFA(b, 50) }
+func BenchmarkTable3_ConstructDSFA_rBig(b *testing.B) {
+	benchConstructDSFA(b, fig8N())
+}
+
+// --- Facts (Sect. VII-B) ----------------------------------------------------
+
+func BenchmarkFacts_Fact1DFABlowup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := monoid.BuildFact1(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacts_Fact2FullMonoid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := monoid.Fact2DFA(5) // 3125 SFA states
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.BuildDSFA(d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §7) ----------------------------------------------
+
+func BenchmarkAblation_ReductionSeq_p8(b *testing.B) {
+	f := rnFixture(b, 50)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 8, engine.ReduceSequential), f.text, true)
+}
+
+func BenchmarkAblation_ReductionTree_p8(b *testing.B) {
+	f := rnFixture(b, 50)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 8, engine.ReduceTree), f.text, true)
+}
+
+func BenchmarkAblation_TableLayout256(b *testing.B) {
+	f := rnFixture(b, fig8N())
+	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential), f.text, true)
+}
+
+func BenchmarkAblation_TableLayoutClass(b *testing.B) {
+	f := rnFixture(b, fig8N())
+	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential,
+		engine.WithClassTable()), f.text, true)
+}
+
+func BenchmarkAblation_LazySFA(b *testing.B) {
+	f := rnFixture(b, 50)
+	m, err := engine.NewSFALazy(f.d, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMatcher(b, m, f.text, true)
+}
+
+func BenchmarkAblation_FrontendGlushkov(b *testing.B) {
+	node := syntax.MustParse("([0-4]{50}[5-9]{50})*", 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := nfa.Glushkov(node); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_FrontendThompson(b *testing.B) {
+	node := syntax.MustParse("([0-4]{50}[5-9]{50})*", 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := nfa.Thompson(node); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Chunking compares p chunks on p goroutines against
+// 4p chunks on p goroutines' worth of parallelism (more, smaller chunks
+// raise reduction cost without helping balanced inputs).
+func BenchmarkAblation_Chunking_p2(b *testing.B) {
+	f := rnFixture(b, 5)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential), f.text, true)
+}
+
+func BenchmarkAblation_Chunking_p16(b *testing.B) {
+	f := rnFixture(b, 5)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 16, engine.ReduceSequential), f.text, true)
+}

@@ -1,0 +1,50 @@
+// Command sfacodegen emits a self-contained Go source file with a
+// specialized matcher for one pattern — the ahead-of-time analogue of the
+// paper's Regen JIT compiler.
+//
+// Usage:
+//
+//	sfacodegen -expr '([0-4]{2}[5-9]{2})*' -pkg match -prefix Blocks > blocks_gen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/syntax"
+)
+
+func main() {
+	expr := flag.String("expr", "", "regular expression")
+	pkg := flag.String("pkg", "match", "package name of the generated file")
+	prefix := flag.String("prefix", "SFA", "identifier prefix")
+	capFlag := flag.Int("sfa-cap", 50_000, "abort if the D-SFA exceeds this many states")
+	flag.Parse()
+
+	if *expr == "" {
+		fmt.Fprintln(os.Stderr, "usage: sfacodegen -expr PATTERN [-pkg NAME] [-prefix P]")
+		os.Exit(2)
+	}
+	node, err := syntax.Parse(*expr, 0)
+	fail(err)
+	d, err := dfa.Compile(node, 0)
+	fail(err)
+	s, err := core.BuildDSFA(d, *capFlag)
+	fail(err)
+	fail(codegen.Generate(os.Stdout, s, codegen.Options{
+		Package: *pkg,
+		Prefix:  *prefix,
+		Pattern: *expr,
+	}))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfacodegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command sfadot renders the automata of a pattern in Graphviz DOT form —
+// the tool behind the paper's Figs. 1, 2, 4, 5, 11 and 12.
+//
+// Usage:
+//
+//	sfadot -expr '(ab)*'            # minimal DFA (Fig. 1 for (ab)*)
+//	sfadot -expr '(ab)*' -sfa       # D-SFA (Fig. 2)
+//	sfadot -expr '(ab)*' -nfa       # Glushkov NFA
+//	sfadot -expr '(ab)*' -table     # Table I-style mapping table
+//	sfadot -expr '(ab)*' -show-dead # include sink states
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/dot"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+func main() {
+	expr := flag.String("expr", "", "regular expression")
+	renderNFA := flag.Bool("nfa", false, "render the Glushkov NFA")
+	renderSFA := flag.Bool("sfa", false, "render the D-SFA")
+	renderTable := flag.Bool("table", false, "print the Table I-style state mappings")
+	showDead := flag.Bool("show-dead", false, "include the dead sink")
+	sfaCap := flag.Int("sfa-cap", 10000, "abort if the D-SFA exceeds this many states")
+	flag.Parse()
+
+	if *expr == "" {
+		fmt.Fprintln(os.Stderr, "usage: sfadot -expr PATTERN [-nfa|-sfa|-table] [-show-dead]")
+		os.Exit(2)
+	}
+	node, err := syntax.Parse(*expr, 0)
+	fail(err)
+	a, err := nfa.Glushkov(node)
+	fail(err)
+	if *renderNFA {
+		fmt.Print(dot.NFA(a, *expr))
+		return
+	}
+	d0, err := dfa.Determinize(a, 0)
+	fail(err)
+	d := dfa.Minimize(d0)
+	if *renderSFA || *renderTable {
+		s, err := core.BuildDSFA(d, *sfaCap)
+		fail(err)
+		if *renderTable {
+			fmt.Print(dot.MappingTable(s))
+			return
+		}
+		fmt.Print(dot.DSFA(s, *expr, !*showDead))
+		return
+	}
+	fmt.Print(dot.DFA(d, *expr, !*showDead))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfadot: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command sfagen emits benchmark workloads to stdout: texts accepted by
+// the paper's benchmark patterns, synthetic HTTP-ish traffic, or members
+// of an arbitrary pattern's language.
+//
+// Usage:
+//
+//	sfagen -kind rn -n 5 -size 1048576       # r5-accepted text
+//	sfagen -kind evenodd -size 1000000       # Fig. 10 text
+//	sfagen -kind a -size 1048576             # Fig. 9 text
+//	sfagen -kind traffic -size 1048576       # examples' traffic
+//	sfagen -kind expr -expr '(ab)*' -size 64 # sampled member
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dfa"
+	"repro/internal/syntax"
+	"repro/internal/textgen"
+)
+
+func main() {
+	kind := flag.String("kind", "rn", "rn, evenodd, a, traffic, expr")
+	n := flag.Int("n", 5, "r_n exponent (kind=rn)")
+	size := flag.Int("size", 1<<20, "output size in bytes")
+	seed := flag.Int64("seed", 1, "generator seed")
+	expr := flag.String("expr", "", "pattern (kind=expr)")
+	flag.Parse()
+
+	var out []byte
+	switch *kind {
+	case "rn":
+		out = textgen.RnText(*n, *size, *seed)
+	case "evenodd":
+		out = textgen.EvenOddText(*size, *seed)
+	case "a":
+		out = textgen.Repeat('a', *size)
+	case "traffic":
+		var planted int
+		out, planted = textgen.Traffic{}.Generate(*size, *seed)
+		fmt.Fprintf(os.Stderr, "sfagen: planted %d suspicious lines\n", planted)
+	case "expr":
+		if *expr == "" {
+			fmt.Fprintln(os.Stderr, "sfagen: -kind expr needs -expr")
+			os.Exit(2)
+		}
+		node, err := syntax.Parse(*expr, 0)
+		fail(err)
+		d, err := dfa.Compile(node, 0)
+		fail(err)
+		s, err := textgen.NewSampler(d, *size)
+		fail(err)
+		out = s.Sample(rand.New(rand.NewSource(*seed)), nil)
+	default:
+		fmt.Fprintf(os.Stderr, "sfagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	_, err := os.Stdout.Write(out)
+	fail(err)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfagen: %v\n", err)
+		os.Exit(1)
+	}
+}

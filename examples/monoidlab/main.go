@@ -1,0 +1,62 @@
+// Monoid lab: the algebraic view of Sect. VII. For a few patterns this
+// prints the Table I-style state mappings, the syntactic complexity
+// (= size of the minimal D-SFA), idempotent counts, and whether the
+// monoid is a group — and rebuilds the Fact 2 worst case |Sd| = |D|^|D|.
+//
+//	go run ./examples/monoidlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/dot"
+	"repro/internal/monoid"
+)
+
+func main() {
+	// Example 1 / Table I: the six mappings of the SFA for (ab)*.
+	d := dfa.MustCompilePattern("(ab)*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("state mappings of the SFA for (ab)* (cf. paper Table I):")
+	fmt.Print(dot.MappingTable(s))
+
+	patterns := []string{
+		"(ab)*",
+		"([0-4]{2}[5-9]{2})*",
+		"(([02468][13579]){5})*",
+		"(a|b)*abb",
+		"(?s).*(T.*Y.*P.*E.*S)",
+	}
+	fmt.Printf("\n%-26s %6s %10s %12s %7s\n",
+		"pattern", "|D|", "synt.cplx", "idempotents", "group?")
+	for _, pat := range patterns {
+		d := dfa.MustCompilePattern(pat)
+		m, err := monoid.Transition(d, 100_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %6d %10d %12d %7v\n",
+			pat, d.LiveSize(), m.Size(), len(m.Idempotents()), m.IsGroup())
+	}
+
+	// Fact 2: the 3-letter DFA whose D-SFA hits the |D|^|D| bound.
+	fmt.Println("\nFact 2 worst case (full transformation monoid):")
+	for n := 2; n <= 4; n++ {
+		d, err := monoid.Fact2DFA(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.BuildDSFA(d, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%d: |D|=%d, |Sd|=%d = %d^%d\n",
+			n, d.NumStates, s.NumStates, d.NumStates, d.NumStates)
+	}
+}

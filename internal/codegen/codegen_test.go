@@ -1,0 +1,119 @@
+package codegen
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+func generateFor(t *testing.T, pattern string, opts Options) []byte {
+	t.Helper()
+	d := dfa.MustCompilePattern(pattern)
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts.Pattern = pattern
+	if err := Generate(&buf, s, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	src := generateFor(t, "(ab)*", Options{})
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{"SFAMatch", "SFAMatchParallel", "package match"} {
+		if !bytes.Contains(src, []byte(want)) {
+			t.Errorf("missing %q in generated source", want)
+		}
+	}
+}
+
+func TestGeneratedPrefixAndPackage(t *testing.T) {
+	src := generateFor(t, "a+", Options{Package: "pkg", Prefix: "Digits"})
+	for _, want := range []string{"package pkg", "DigitsMatch", "digitsNext"} {
+		if !bytes.Contains(src, []byte(want)) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// TestGeneratedCodeRuns compiles and executes the generated matcher with
+// the real Go toolchain and compares verdicts against the library engine.
+func TestGeneratedCodeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	src := generateFor(t, "([0-4]{2}[5-9]{2})*", Options{Package: "main"})
+
+	driver := []byte(`package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	cases := map[string]bool{
+		"":         true,
+		"0055":     true,
+		"00551234": false,
+		"00551256": true,
+		"005":      false,
+		"9955":     false,
+	}
+	long := ""
+	for i := 0; i < 5000; i++ {
+		long += "0459"
+	}
+	cases[long] = true
+	for in, want := range cases {
+		if got := SFAMatch([]byte(in)); got != want {
+			fmt.Printf("FAIL seq %q got %v\n", in, got)
+			os.Exit(1)
+		}
+		if got := SFAMatchParallel([]byte(in), 3); got != want {
+			fmt.Printf("FAIL par %q got %v\n", in, got)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("OK")
+}
+`)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "gen.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), driver, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("OK")) {
+		t.Fatalf("generated matcher failed:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/dfa"
+)
+
+// Binary serialization of D-SFAs. The D-SFA is the expensive artifact of
+// the pipeline (Table III: ~seconds for 10⁴–10⁶ states), so deployments
+// serialize it together with its underlying DFA and load both at start.
+
+const dsfaMagic = "SFA\x01SFA\x01"
+
+// WriteTo serializes the D-SFA (including its underlying DFA).
+func (s *DSFA) WriteTo(w io.Writer) (int64, error) {
+	n, err := s.D.WriteTo(w)
+	if err != nil {
+		return n, err
+	}
+	bw := bufio.NewWriter(w)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(dsfaMagic)); err != nil {
+		return n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.NumStates))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.Start))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.EmptyID))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	accept := make([]byte, (s.NumStates+7)/8)
+	for q, a := range s.Accept {
+		if a {
+			accept[q>>3] |= 1 << (q & 7)
+		}
+	}
+	if err := count(bw.Write(accept)); err != nil {
+		return n, err
+	}
+	buf := make([]byte, 4*len(s.NextC))
+	for i, to := range s.NextC {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(to))
+	}
+	if err := count(bw.Write(buf)); err != nil {
+		return n, err
+	}
+	mbuf := make([]byte, 2*len(s.maps))
+	for i, x := range s.maps {
+		binary.LittleEndian.PutUint16(mbuf[i*2:], uint16(x))
+	}
+	if err := count(bw.Write(mbuf)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadDSFA deserializes a D-SFA written by WriteTo, rebuilding the
+// vector-lookup index, and validates the result.
+func ReadDSFA(r io.Reader) (*DSFA, error) {
+	d, err := dfa.ReadDFA(r)
+	if err != nil {
+		return nil, err
+	}
+	br := r
+	magic := make([]byte, len(dsfaMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != dsfaMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	s := &DSFA{
+		D:         d,
+		NumStates: int(binary.LittleEndian.Uint32(hdr[0:])),
+		Start:     int32(binary.LittleEndian.Uint32(hdr[4:])),
+		EmptyID:   int32(binary.LittleEndian.Uint32(hdr[8:])),
+		n:         d.NumStates,
+	}
+	if s.NumStates <= 0 || s.NumStates > 1<<28 {
+		return nil, fmt.Errorf("core: implausible state count %d", s.NumStates)
+	}
+	if s.Start < 0 || int(s.Start) >= s.NumStates {
+		return nil, fmt.Errorf("core: start %d out of range", s.Start)
+	}
+	accept := make([]byte, (s.NumStates+7)/8)
+	if _, err := io.ReadFull(br, accept); err != nil {
+		return nil, fmt.Errorf("core: reading accept: %w", err)
+	}
+	s.Accept = make([]bool, s.NumStates)
+	for q := 0; q < s.NumStates; q++ {
+		s.Accept[q] = accept[q>>3]&(1<<(q&7)) != 0
+	}
+	nc := d.BC.Count
+	s.NextC = make([]int32, s.NumStates*nc)
+	buf := make([]byte, 4*len(s.NextC))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("core: reading transitions: %w", err)
+	}
+	for i := range s.NextC {
+		to := int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		if to < 0 || int(to) >= s.NumStates {
+			return nil, fmt.Errorf("core: transition target %d out of range", to)
+		}
+		s.NextC[i] = to
+	}
+	s.maps = make([]int16, s.NumStates*s.n)
+	mbuf := make([]byte, 2*len(s.maps))
+	if _, err := io.ReadFull(br, mbuf); err != nil {
+		return nil, fmt.Errorf("core: reading mappings: %w", err)
+	}
+	for i := range s.maps {
+		x := int16(binary.LittleEndian.Uint16(mbuf[i*2:]))
+		if x < 0 || int(x) >= d.NumStates {
+			return nil, fmt.Errorf("core: mapping value %d out of range", x)
+		}
+		s.maps[i] = x
+	}
+	// Rebuild the intern index for StateOf.
+	s.ids = make(map[uint64][]int32)
+	for id := int32(0); id < int32(s.NumStates); id++ {
+		h := hashVec16(s.mapOf(id))
+		s.ids[h] = append(s.ids[h], id)
+	}
+	return s, nil
+}

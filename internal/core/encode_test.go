@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfa"
+)
+
+func TestDSFARoundTrip(t *testing.T) {
+	for _, pat := range []string{"(ab)*", "([0-4]{5}[5-9]{5})*", "(a|bc)*d?"} {
+		d := dfa.MustCompilePattern(pat)
+		s, err := BuildDSFA(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDSFA(&buf)
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		if got.NumStates != s.NumStates || got.Start != s.Start || got.EmptyID != s.EmptyID {
+			t.Fatalf("%q: header mismatch", pat)
+		}
+		// Mapping vectors identical.
+		for id := int32(0); id < int32(s.NumStates); id++ {
+			if !eqVec16(s.Map(id), got.Map(id)) {
+				t.Fatalf("%q: mapping %d differs", pat, id)
+			}
+		}
+		// StateOf works after reload.
+		if _, ok := got.StateOf(s.Map(s.Start)); !ok {
+			t.Fatalf("%q: intern index not rebuilt", pat)
+		}
+		// Behaviour identical.
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 60; i++ {
+			w := make([]byte, r.Intn(24))
+			for j := range w {
+				w[j] = "ab0123456789cd"[r.Intn(14)]
+			}
+			if s.Accepts(w) != got.Accepts(w) {
+				t.Fatalf("%q: verdict mismatch on %q", pat, w)
+			}
+		}
+	}
+}
+
+func TestReadDSFARejectsGarbage(t *testing.T) {
+	if _, err := ReadDSFA(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// A valid DFA followed by garbage must fail at the SFA layer.
+	d := dfa.MustCompilePattern("(ab)*")
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("not an sfa")
+	if _, err := ReadDSFA(&buf); err == nil {
+		t.Error("garbage SFA section accepted")
+	}
+}
+
+func TestDSFARoundTripTruncated(t *testing.T) {
+	d := dfa.MustCompilePattern("(ab)*")
+	s, err := BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, buf.Len() / 2, buf.Len() - 3} {
+		if _, err := ReadDSFA(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dfa"
+)
+
+// Lazy is a thread-safe on-the-fly D-SFA: states are transformation
+// vectors like DSFA's, but they are discovered during matching instead of
+// ahead of it — the paper's Sect. V-A observes that "on-the-fly
+// construction generates states one by one after reading symbols, so it
+// generates at most n states for input text of length n even if the
+// number of states in DFA explodes", and that it applies directly to SFA
+// because the correspondence construction extends the subset construction.
+//
+// Concurrency design: transition entries start at -1 (unknown) and are
+// read with atomic loads. A miss takes the construction mutex, interns the
+// target mapping (possibly allocating a new state), and publishes the
+// entry with an atomic store. Because a state id can only be learned
+// through such a published entry (or by being the start state), the
+// release/acquire pairing of the atomic store/load makes the state's row
+// and mapping vector visible to every reader — no lock on the hot path.
+//
+// State storage is paged so that pages, once allocated, never move.
+type Lazy struct {
+	D *dfa.DFA
+
+	nc       int
+	n        int // vector length
+	maxState int32
+
+	mu        sync.Mutex
+	numStates atomic.Int32
+	ids       map[uint64][]int32
+
+	// Pages of transition rows and mapping vectors; index = id >> pageBits.
+	// The page slices are sized up front so readers never see them grow.
+	rows   [][]int32 // page: pageSize × nc entries
+	maps   [][]int16 // page: pageSize × n entries
+	accept [][]bool  // page: pageSize entries
+
+	start int32
+}
+
+const (
+	lazyPageBits = 10
+	lazyPageSize = 1 << lazyPageBits
+)
+
+// NewLazy prepares an on-the-fly D-SFA over d. maxStates bounds the
+// number of materialized SFA states (≤ n states are created for an input
+// of length n, so the bound only matters for adversarial inputs).
+func NewLazy(d *dfa.DFA, maxStates int) (*Lazy, error) {
+	if d.NumStates > MaxDFAStates {
+		return nil, fmt.Errorf("core: DFA has %d states, limit %d", d.NumStates, MaxDFAStates)
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	numPages := (maxStates + lazyPageSize - 1) / lazyPageSize
+	l := &Lazy{
+		D:        d,
+		nc:       d.BC.Count,
+		n:        d.NumStates,
+		maxState: int32(maxStates),
+		ids:      make(map[uint64][]int32),
+		rows:     make([][]int32, numPages),
+		maps:     make([][]int16, numPages),
+		accept:   make([][]bool, numPages),
+	}
+	identity := make([]int16, l.n)
+	for q := range identity {
+		identity[q] = int16(q)
+	}
+	l.mu.Lock()
+	start, _, err := l.intern(identity)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	l.start = start
+	return l, nil
+}
+
+// Start returns the id of the identity mapping.
+func (l *Lazy) Start() int32 { return l.start }
+
+// NumStates returns the number of states materialized so far.
+func (l *Lazy) NumStates() int { return int(l.numStates.Load()) }
+
+// Map returns the transformation vector of state id (read-only).
+func (l *Lazy) Map(id int32) []int16 {
+	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	return l.maps[p][off*l.n : (off+1)*l.n]
+}
+
+// Accepting reports whether state id is accepting.
+func (l *Lazy) Accepting(id int32) bool {
+	p, off := id>>lazyPageBits, id&(lazyPageSize-1)
+	return l.accept[p][off]
+}
+
+// NextByte returns the successor of state id on byte b, constructing it if
+// necessary. It is safe for concurrent use.
+func (l *Lazy) NextByte(id int32, b byte) (int32, error) {
+	return l.NextClass(id, int(l.D.BC.Of[b]))
+}
+
+// NextClass is NextByte for a byte class.
+func (l *Lazy) NextClass(id int32, c int) (int32, error) {
+	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	slot := &l.rows[p][off*l.nc+c]
+	if to := atomic.LoadInt32(slot); to >= 0 {
+		return to, nil
+	}
+	return l.construct(id, c, slot)
+}
+
+// construct computes and publishes the missing transition.
+func (l *Lazy) construct(id int32, c int, slot *int32) (int32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if to := atomic.LoadInt32(slot); to >= 0 {
+		return to, nil // lost the race; another goroutine built it
+	}
+	f := l.Map(id)
+	next := make([]int16, l.n)
+	for q := 0; q < l.n; q++ {
+		next[q] = int16(l.D.NextClass(int32(f[q]), c))
+	}
+	to, _, err := l.intern(next)
+	if err != nil {
+		return 0, err
+	}
+	atomic.StoreInt32(slot, to) // publish: readers of `to` now see its page
+	return to, nil
+}
+
+// intern must be called with l.mu held.
+func (l *Lazy) intern(vec []int16) (int32, bool, error) {
+	h := hashVec16(vec)
+	for _, id := range l.ids[h] {
+		if eqVec16(l.Map(id), vec) {
+			return id, false, nil
+		}
+	}
+	id := l.numStates.Load()
+	if id >= l.maxState {
+		return 0, false, fmt.Errorf("%w (lazy cap %d)", ErrTooManyStates, l.maxState)
+	}
+	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	if l.rows[p] == nil {
+		rows := make([]int32, lazyPageSize*l.nc)
+		for i := range rows {
+			rows[i] = -1
+		}
+		l.rows[p] = rows
+		l.maps[p] = make([]int16, lazyPageSize*l.n)
+		l.accept[p] = make([]bool, lazyPageSize)
+	}
+	copy(l.maps[p][off*l.n:(off+1)*l.n], vec)
+	l.accept[p][off] = l.D.Accept[vec[l.D.Start]]
+	l.ids[h] = append(l.ids[h], id)
+	// numStates.Store is the only mutation of the counter and happens
+	// under l.mu; readers use it only for statistics.
+	l.numStates.Store(id + 1)
+	return id, true, nil
+}
+
+// Run advances from state `from` over text, constructing states on demand.
+func (l *Lazy) Run(from int32, text []byte) (int32, error) {
+	q := from
+	bc := &l.D.BC.Of
+	for _, b := range text {
+		to, err := l.NextClass(q, int(bc[b]))
+		if err != nil {
+			return 0, err
+		}
+		q = to
+	}
+	return q, nil
+}
+
+// Accepts reports whole-input acceptance, building states as needed.
+func (l *Lazy) Accepts(text []byte) (bool, error) {
+	q, err := l.Run(l.start, text)
+	if err != nil {
+		return false, err
+	}
+	return l.Accepting(q), nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+func buildNSFA(t *testing.T, pattern string) *NSFA {
+	t.Helper()
+	a, err := nfa.Glushkov(syntax.MustParse(pattern, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildNSFA(a, 0)
+	if err != nil {
+		t.Fatalf("BuildNSFA(%q): %v", pattern, err)
+	}
+	return s
+}
+
+func TestNSFAEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		pat := randPattern(r, 3)
+		node := syntax.MustParse(pat, 0)
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := BuildNSFA(a, 200_000)
+		if errors.Is(err, ErrTooManyStates) {
+			continue // rare blowup; size is not the property under test
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := nfa.NewSimulator(a)
+		for i := 0; i < 25; i++ {
+			w := randWord(r, 10)
+			if s.Accepts(w) != sim.Match(w) {
+				t.Fatalf("pattern %q: N-SFA disagrees with NFA on %q", pat, w)
+			}
+		}
+	}
+}
+
+func TestNSFARejectsEpsNFA(t *testing.T) {
+	a, err := nfa.Thompson(syntax.MustParse("(ab)*", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildNSFA(a, 0); err == nil {
+		t.Error("expected error for ε-NFA input")
+	}
+}
+
+func TestNSFAIdentitySemantics(t *testing.T) {
+	s := buildNSFA(t, "(ab)*")
+	// The start state must be the identity correspondence f(q) = {q}.
+	mat := s.Mat(s.Start)
+	w := s.Words()
+	for q := 0; q < s.A.NumStates; q++ {
+		row := mat[q*w : (q+1)*w]
+		for i, word := range row {
+			want := uint64(0)
+			if q>>6 == i {
+				want = 1 << (q & 63)
+			}
+			if word != want {
+				t.Fatalf("identity row %d corrupt", q)
+			}
+		}
+	}
+}
+
+func TestNSFAvsDSFAAgree(t *testing.T) {
+	// The N-SFA built on a Glushkov NFA and the D-SFA built on its
+	// determinization recognize the same language.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		pat := randPattern(r, 3)
+		node := syntax.MustParse(pat, 0)
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := BuildNSFA(a, 200_000)
+		if errors.Is(err, ErrTooManyStates) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := dfa.MustCompilePattern(pat)
+		ds, err := BuildDSFA(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			w := randWord(r, 10)
+			if ns.Accepts(w) != ds.Accepts(w) {
+				t.Fatalf("pattern %q: N-SFA and D-SFA disagree on %q", pat, w)
+			}
+		}
+	}
+}
+
+func TestComposeMatMatchesRun(t *testing.T) {
+	// Lemma 1 for N-SFA: the matrix of w1·w2 equals Mat(w1)·Mat(w2).
+	s := buildNSFA(t, "(a|bc)*")
+	n, w := s.A.NumStates, s.Words()
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		word := randWord(r, 12)
+		cut := 0
+		if len(word) > 0 {
+			cut = r.Intn(len(word) + 1)
+		}
+		f1 := s.Run(s.Start, word[:cut])
+		f2 := s.Run(s.Start, word[cut:])
+		h := make([]uint64, n*w)
+		ComposeMat(h, s.Mat(f1), s.Mat(f2), n, w)
+		whole := s.Run(s.Start, word)
+		if !eqWords(h, s.Mat(whole)) {
+			t.Fatalf("N-SFA Lemma 1 violated on %q cut %d", word, cut)
+		}
+	}
+}
+
+func TestComposeMatAssociative(t *testing.T) {
+	s := buildNSFA(t, "(a|bc)*")
+	n, w := s.A.NumStates, s.Words()
+	r := rand.New(rand.NewSource(9))
+	pick := func() []uint64 { return s.Mat(int32(r.Intn(s.NumStates))) }
+	for trial := 0; trial < 100; trial++ {
+		f, g, h := pick(), pick(), pick()
+		fg := make([]uint64, n*w)
+		ComposeMat(fg, f, g, n, w)
+		left := make([]uint64, n*w)
+		ComposeMat(left, fg, h, n, w)
+		gh := make([]uint64, n*w)
+		ComposeMat(gh, g, h, n, w)
+		right := make([]uint64, n*w)
+		ComposeMat(right, f, gh, n, w)
+		if !eqWords(left, right) {
+			t.Fatal("ComposeMat not associative")
+		}
+	}
+}
+
+func TestNSFACap(t *testing.T) {
+	a, err := nfa.Glushkov(syntax.MustParse("([0-4]{4}[5-9]{4})*", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildNSFA(a, 3); !errors.Is(err, ErrTooManyStates) {
+		t.Fatalf("got %v, want ErrTooManyStates", err)
+	}
+}
+
+func TestNSFALiveSize(t *testing.T) {
+	s := buildNSFA(t, "(ab)*")
+	if s.EmptyID < 0 {
+		t.Fatal("the all-empty correspondence should be reachable for (ab)*")
+	}
+	if s.LiveSize() != s.NumStates-1 {
+		t.Error("LiveSize must exclude exactly the empty mapping")
+	}
+}
+
+// TestTheorem2NSFABound sanity-checks |Sn| ≤ 2^(|N|²) on a tiny NFA where
+// the bound is computable.
+func TestTheorem2NSFABound(t *testing.T) {
+	s := buildNSFA(t, "(ab)*") // |N| = 3 ⇒ bound 2^9 = 512
+	if s.NumStates > 512 {
+		t.Errorf("|Sn| = %d exceeds 2^(|N|²) = 512", s.NumStates)
+	}
+}

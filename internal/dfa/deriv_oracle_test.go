@@ -1,0 +1,57 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// TestPipelineAgainstDerivatives cross-validates the whole automaton
+// pipeline (Glushkov → subset construction → Hopcroft) against the
+// Brzozowski-derivative matcher, an implementation that shares nothing
+// with it beyond the parser.
+func TestPipelineAgainstDerivatives(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 150; trial++ {
+		pat := randPattern(r, 3)
+		node := syntax.MustParse(pat, 0)
+		d := MustCompilePattern(pat)
+		for i := 0; i < 20; i++ {
+			w := randWord(r, 10)
+			dfaSays := d.Accepts(w)
+			derivSays := syntax.DeriveMatch(node, w)
+			if dfaSays != derivSays {
+				t.Fatalf("pattern %q word %q: DFA=%v derivatives=%v",
+					pat, w, dfaSays, derivSays)
+			}
+		}
+	}
+}
+
+// TestDerivativeDFAEquivalence: the derivative of a language and the DFA
+// state reached on the same byte recognize the same residual language.
+func TestDerivativeDFAEquivalence(t *testing.T) {
+	for _, pat := range []string{"(ab)*", "(a|bc)*d?", "a{2,4}b*"} {
+		node := syntax.MustParse(pat, 0)
+		for _, b := range []byte("abcd") {
+			dnode := syntax.Derive(node, b)
+			// Compile the derivative and compare with the original DFA
+			// started one step in.
+			dd, err := Compile(dnode, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := MustCompilePattern(pat)
+			// Shift the start state of orig by b.
+			shifted := New(orig.NumStates, orig.BC)
+			shifted.Start = orig.NextByte(orig.Start, b)
+			copy(shifted.Accept, orig.Accept)
+			copy(shifted.NextC, orig.NextC)
+			shifted.DetectDead()
+			if !Equivalent(Minimize(shifted), dd) {
+				t.Errorf("∂_%c(%s) disagrees with the shifted DFA", b, pat)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package dfa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/nfa"
+)
+
+// Binary serialization of compiled DFAs. Table III shows that automaton
+// construction — not matching — dominates start-up for large patterns, so
+// production deployments compile once and load the tables at start;
+// this codec provides that. The format is little-endian, versioned, and
+// validated on load.
+
+const dfaMagic = "SFA\x01DFA\x01"
+
+// WriteTo serializes the DFA.
+func (d *DFA) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(dfaMagic)); err != nil {
+		return n, err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(d.NumStates))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(d.Start))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(d.Dead)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.BC.Count))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write(d.BC.Of[:])); err != nil {
+		return n, err
+	}
+	accept := make([]byte, (d.NumStates+7)/8)
+	for q, a := range d.Accept {
+		if a {
+			accept[q>>3] |= 1 << (q & 7)
+		}
+	}
+	if err := count(bw.Write(accept)); err != nil {
+		return n, err
+	}
+	buf := make([]byte, 4*len(d.NextC))
+	for i, to := range d.NextC {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(to))
+	}
+	if err := count(bw.Write(buf)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadDFA deserializes a DFA written by WriteTo and validates it.
+// It reads exactly the encoded bytes (no readahead), so a D-SFA section
+// may follow in the same stream.
+func ReadDFA(r io.Reader) (*DFA, error) {
+	br := r
+	magic := make([]byte, len(dfaMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dfa: reading magic: %w", err)
+	}
+	if string(magic) != dfaMagic {
+		return nil, fmt.Errorf("dfa: bad magic %q", magic)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dfa: reading header: %w", err)
+	}
+	numStates := int(binary.LittleEndian.Uint32(hdr[0:]))
+	start := int32(binary.LittleEndian.Uint32(hdr[4:]))
+	dead := int32(binary.LittleEndian.Uint32(hdr[8:]))
+	classes := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if numStates <= 0 || numStates > 1<<28 || classes <= 0 || classes > 256 {
+		return nil, fmt.Errorf("dfa: implausible header (states %d, classes %d)", numStates, classes)
+	}
+
+	bc := &nfa.ByteClasses{Count: classes}
+	if _, err := io.ReadFull(br, bc.Of[:]); err != nil {
+		return nil, fmt.Errorf("dfa: reading classes: %w", err)
+	}
+	bc.Rep = make([]byte, classes)
+	seen := make([]bool, classes)
+	for b := 0; b < 256; b++ {
+		c := int(bc.Of[b])
+		if c >= classes {
+			return nil, fmt.Errorf("dfa: class id %d out of range", c)
+		}
+		if !seen[c] {
+			seen[c] = true
+			bc.Rep[c] = byte(b)
+		}
+	}
+
+	d := New(numStates, bc)
+	d.Start = start
+	d.Dead = dead
+	accept := make([]byte, (numStates+7)/8)
+	if _, err := io.ReadFull(br, accept); err != nil {
+		return nil, fmt.Errorf("dfa: reading accept: %w", err)
+	}
+	for q := 0; q < numStates; q++ {
+		d.Accept[q] = accept[q>>3]&(1<<(q&7)) != 0
+	}
+	buf := make([]byte, 4*len(d.NextC))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dfa: reading transitions: %w", err)
+	}
+	for i := range d.NextC {
+		d.NextC[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,81 @@
+package dfa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDFARoundTrip(t *testing.T) {
+	patterns := []string{
+		"(ab)*",
+		"([0-4]{5}[5-9]{5})*",
+		"(a|b)*abb",
+		"(?s).*",
+	}
+	for _, pat := range patterns {
+		d := MustCompilePattern(pat)
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		got, err := ReadDFA(&buf)
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		if got.NumStates != d.NumStates || got.Start != d.Start || got.Dead != d.Dead {
+			t.Fatalf("%q: header mismatch", pat)
+		}
+		if !Isomorphic(d, got) {
+			t.Fatalf("%q: round trip changed the automaton", pat)
+		}
+		// Behavioural spot check.
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 50; i++ {
+			w := make([]byte, r.Intn(20))
+			for j := range w {
+				w[j] = byte(r.Intn(256))
+			}
+			if d.Accepts(w) != got.Accepts(w) {
+				t.Fatalf("%q: verdict mismatch on %q", pat, w)
+			}
+		}
+	}
+}
+
+func TestReadDFARejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXXXXXX garbage that is long enough to pass magic length"),
+	}
+	for _, data := range cases {
+		if _, err := ReadDFA(bytes.NewReader(data)); err == nil {
+			t.Errorf("garbage %q accepted", data)
+		}
+	}
+	// Truncated valid stream.
+	d := MustCompilePattern("(ab)*")
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadDFA(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestReadDFARejectsCorruptTransitions(t *testing.T) {
+	d := MustCompilePattern("(ab)*")
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Last 4 bytes are a transition entry; point it out of range.
+	data[len(data)-1] = 0x7f
+	if _, err := ReadDFA(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt transition accepted")
+	}
+}

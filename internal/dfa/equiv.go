@@ -1,0 +1,71 @@
+package dfa
+
+// Equivalent reports whether two complete DFAs accept the same language.
+// It walks the product automaton breadth-first over the raw byte alphabet
+// (so the two automata may use different byte-class partitions) and fails
+// on the first acceptance mismatch. Cost is O(|Q₁|·|Q₂|·256) worst case.
+func Equivalent(a, b *DFA) bool {
+	type pair struct{ qa, qb int32 }
+	seen := map[pair]bool{}
+	start := pair{a.Start, b.Start}
+	queue := []pair{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if a.Accept[p.qa] != b.Accept[p.qb] {
+			return false
+		}
+		for c := 0; c < 256; c++ {
+			np := pair{a.NextByte(p.qa, byte(c)), b.NextByte(p.qb, byte(c))}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether two DFAs are structurally identical up to
+// state renumbering. For minimal complete DFAs of the same language this
+// is always true; the test suite uses it to compare Hopcroft against
+// Brzozowski output.
+func Isomorphic(a, b *DFA) bool {
+	if a.NumStates != b.NumStates {
+		return false
+	}
+	mapping := make([]int32, a.NumStates)
+	mapped := make([]bool, a.NumStates)
+	inverse := make([]bool, b.NumStates)
+	mapping[a.Start] = b.Start
+	mapped[a.Start] = true
+	inverse[b.Start] = true
+	queue := []int32{a.Start}
+	for len(queue) > 0 {
+		qa := queue[0]
+		queue = queue[1:]
+		qb := mapping[qa]
+		if a.Accept[qa] != b.Accept[qb] {
+			return false
+		}
+		for c := 0; c < 256; c++ {
+			ta, tb := a.NextByte(qa, byte(c)), b.NextByte(qb, byte(c))
+			if mapped[ta] {
+				if mapping[ta] != tb {
+					return false
+				}
+				continue
+			}
+			if inverse[tb] {
+				return false // tb already used by another state
+			}
+			mapping[ta] = tb
+			mapped[ta] = true
+			inverse[tb] = true
+			queue = append(queue, ta)
+		}
+	}
+	// Unreached states (none, if a is trim) are ignored.
+	return true
+}

@@ -1,0 +1,239 @@
+package dfa
+
+// Minimize returns the minimal complete DFA recognizing the same language,
+// computed with Hopcroft's partition-refinement algorithm over the DFA's
+// byte classes. States of the result are renumbered in canonical BFS order
+// from the start state, so two equivalent minimal DFAs over the same byte
+// classes are structurally identical.
+//
+// The paper minimizes every DFA before building the D-SFA ("we constructed
+// a minimized DFA and then a D-SFA", Sect. VI-A); minimality is also what
+// ties |D-SFA| to the syntactic complexity of the language (Sect. VII-A).
+func Minimize(d *DFA) *DFA {
+	d = trim(d)
+	nc := d.BC.Count
+	n := d.NumStates
+
+	// Inverse transition CSR per class: predecessors of s under c are
+	// inv[invStart[c*n+s] : invStart[c*n+s+1]].
+	counts := make([]int32, nc*n+1)
+	for q := 0; q < n; q++ {
+		for c := 0; c < nc; c++ {
+			s := d.NextC[q*nc+c]
+			counts[c*n+int(s)+1]++
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	invStart := counts
+	inv := make([]int32, nc*n)
+	fill := make([]int32, nc*n)
+	copy(fill, invStart[:nc*n])
+	for q := 0; q < n; q++ {
+		for c := 0; c < nc; c++ {
+			s := d.NextC[q*nc+c]
+			idx := c*n + int(s)
+			inv[fill[idx]] = int32(q)
+			fill[idx]++
+		}
+	}
+
+	// Partition structure: elems holds the states grouped by block;
+	// loc[q] is q's index in elems; blocks are [first, first+size) spans.
+	elems := make([]int32, n)
+	loc := make([]int32, n)
+	blockOf := make([]int32, n)
+	var first, size []int32
+
+	newBlock := func() int32 {
+		first = append(first, 0)
+		size = append(size, 0)
+		return int32(len(first) - 1)
+	}
+
+	// Initial partition {F, Q∖F}.
+	acc, rej := newBlock(), newBlock()
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			size[acc]++
+		} else {
+			size[rej]++
+		}
+	}
+	first[acc], first[rej] = 0, size[acc]
+	posA, posR := first[acc], first[rej]
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			elems[posA], loc[q], blockOf[q] = int32(q), posA, acc
+			posA++
+		} else {
+			elems[posR], loc[q], blockOf[q] = int32(q), posR, rej
+			posR++
+		}
+	}
+
+	// Worklist of (block, class) splitters. Seed with the smaller half.
+	type splitter struct {
+		block int32
+		class int32
+	}
+	var work []splitter
+	seed := acc
+	if size[rej] < size[acc] {
+		seed = rej
+	}
+	if size[acc] == 0 || size[rej] == 0 {
+		// Single-block partition; nothing to refine.
+		seed = -1
+	}
+	if seed >= 0 {
+		for c := 0; c < nc; c++ {
+			work = append(work, splitter{seed, int32(c)})
+		}
+	}
+
+	// moved[b] counts elements of block b swapped into its X-prefix while
+	// processing the current splitter.
+	moved := make([]int32, 2, max(2, n))
+	var touched []int32
+	var xbuf []int32
+
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		// X = δ⁻¹(A, c): collect before any splitting mutates A.
+		xbuf = xbuf[:0]
+		a := sp.block
+		for i := first[a]; i < first[a]+size[a]; i++ {
+			s := elems[i]
+			base := int(sp.class)*n + int(s)
+			xbuf = append(xbuf, inv[invStart[base]:invStart[base+1]]...)
+		}
+
+		touched = touched[:0]
+		for _, q := range xbuf {
+			b := blockOf[q]
+			if moved[b] == 0 {
+				touched = append(touched, b)
+			}
+			// Swap q into the X-prefix of its block, unless already there.
+			dst := first[b] + moved[b]
+			if loc[q] >= dst {
+				other := elems[dst]
+				elems[dst], elems[loc[q]] = q, other
+				loc[other], loc[q] = loc[q], dst
+				moved[b]++
+			}
+		}
+
+		for _, b := range touched {
+			cnt := moved[b]
+			moved[b] = 0
+			if cnt == size[b] {
+				continue // every element hit; no split
+			}
+			// Split off the smaller part as a fresh block, enqueue it for
+			// every class. Pending splitters that name b keep covering the
+			// (larger) remainder, which preserves Hopcroft's invariant.
+			nb := newBlock()
+			for int(nb) >= len(moved) {
+				moved = append(moved, 0)
+			}
+			if cnt <= size[b]-cnt {
+				first[nb], size[nb] = first[b], cnt
+				first[b] += cnt
+				size[b] -= cnt
+			} else {
+				first[nb], size[nb] = first[b]+cnt, size[b]-cnt
+				size[b] = cnt
+			}
+			for i := first[nb]; i < first[nb]+size[nb]; i++ {
+				blockOf[elems[i]] = nb
+			}
+			for c := 0; c < nc; c++ {
+				work = append(work, splitter{nb, int32(c)})
+			}
+		}
+	}
+
+	// Drop empty blocks (possible when F or Q∖F was empty) and renumber
+	// the remainder canonically by BFS from the start block.
+	numBlocks := int32(len(first))
+	rep := make([]int32, numBlocks)
+	for b := int32(0); b < numBlocks; b++ {
+		if size[b] > 0 {
+			rep[b] = elems[first[b]]
+		} else {
+			rep[b] = -1
+		}
+	}
+	order := make([]int32, 0, numBlocks)
+	index := make([]int32, numBlocks)
+	for i := range index {
+		index[i] = -1
+	}
+	startB := blockOf[d.Start]
+	index[startB] = 0
+	order = append(order, startB)
+	for i := 0; i < len(order); i++ {
+		b := order[i]
+		r := rep[b]
+		for c := 0; c < nc; c++ {
+			tb := blockOf[d.NextC[int(r)*nc+c]]
+			if index[tb] < 0 {
+				index[tb] = int32(len(order))
+				order = append(order, tb)
+			}
+		}
+	}
+
+	m := New(len(order), d.BC)
+	m.Start = 0
+	for i, b := range order {
+		r := rep[b]
+		m.Accept[i] = d.Accept[r]
+		for c := 0; c < nc; c++ {
+			m.setNext(int32(i), c, index[blockOf[d.NextC[int(r)*nc+c]]])
+		}
+	}
+	m.Dead = m.findDead()
+	return m
+}
+
+// trim returns an equivalent DFA containing only the states reachable from
+// the start state (subset construction already guarantees this; hand-built
+// automata may not).
+func trim(d *DFA) *DFA {
+	nc := d.BC.Count
+	index := make([]int32, d.NumStates)
+	for i := range index {
+		index[i] = -1
+	}
+	order := []int32{d.Start}
+	index[d.Start] = 0
+	for i := 0; i < len(order); i++ {
+		q := order[i]
+		for c := 0; c < nc; c++ {
+			to := d.NextC[int(q)*nc+c]
+			if index[to] < 0 {
+				index[to] = int32(len(order))
+				order = append(order, to)
+			}
+		}
+	}
+	if len(order) == d.NumStates {
+		return d
+	}
+	t := New(len(order), d.BC)
+	t.Start = 0
+	for i, q := range order {
+		t.Accept[i] = d.Accept[q]
+		for c := 0; c < nc; c++ {
+			t.setNext(int32(i), c, index[d.NextC[int(q)*nc+c]])
+		}
+	}
+	t.Dead = t.findDead()
+	return t
+}

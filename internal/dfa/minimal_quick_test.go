@@ -1,0 +1,60 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMinimizeProducesMinimal property-checks Hopcroft's output on random
+// patterns: never larger than its input, language-preserving, and with no
+// pair of equivalent states (true minimality, via pairwise product walk).
+func TestMinimizeProducesMinimal(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randPattern(r, 3)
+		a := MustCompilePattern(pat) // already minimized by Compile
+		d, err := CompilePattern(pat, 0, 0)
+		if err != nil {
+			return false
+		}
+		if d.NumStates > a.NumStates {
+			return false
+		}
+		if !Equivalent(a, d) {
+			return false
+		}
+		for p := int32(0); p < int32(d.NumStates); p++ {
+			for q := p + 1; q < int32(d.NumStates); q++ {
+				if statesEquivalent(d, p, q) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimalDFAIsUnique: two independently built automata for the same
+// random language (via different but equivalent pattern spellings) must
+// minimize to isomorphic DFAs.
+func TestMinimalDFAIsUnique(t *testing.T) {
+	pairs := [][2]string{
+		{"(ab)*", "(ab)*(ab)*"},
+		{"a+", "aa*"},
+		{"(a|b)*", "(b|a)*"},
+		{"a{2,4}", "aa(a?)(a?)"},
+		{"(a|bc)*", "((a|bc)(a|bc))*(a|bc)?"},
+		{"[0-4]{2}", "[0-4][0-4]"},
+	}
+	for _, p := range pairs {
+		d1 := MustCompilePattern(p[0])
+		d2 := MustCompilePattern(p[1])
+		if !Isomorphic(d1, d2) {
+			t.Errorf("%q and %q should minimize to the same DFA", p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package dfa
+
+import (
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// Boolean language operations via product constructions. They give the
+// library the closure properties of regular languages (useful on their
+// own for rule combination) and give the test suite an algebraic oracle:
+// L ∩ ¬L = ∅, L ∪ ¬L = Σ*, de Morgan, etc.
+
+// Complement returns a DFA for Σ* ∖ L(d). Because automata here are
+// complete, complementation is exactly flipping acceptance.
+func Complement(d *DFA) *DFA {
+	c := New(d.NumStates, d.BC)
+	c.Start = d.Start
+	copy(c.NextC, d.NextC)
+	for q, a := range d.Accept {
+		c.Accept[q] = !a
+	}
+	c.DetectDead()
+	return Minimize(c)
+}
+
+// Intersect returns a minimal DFA for L(a) ∩ L(b).
+func Intersect(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a minimal DFA for L(a) ∪ L(b).
+func Union(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a minimal DFA for L(a) ∖ L(b).
+func Difference(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// SymmetricDifference returns a minimal DFA for L(a) △ L(b); the result
+// is empty exactly when the languages are equal, which Equivalent uses as
+// a cross-check in tests.
+func SymmetricDifference(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x != y })
+}
+
+// IsEmpty reports whether L(d) = ∅ (no accepting state reachable).
+func IsEmpty(d *DFA) bool {
+	seen := make([]bool, d.NumStates)
+	stack := []int32{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[q] {
+			return false
+		}
+		for c := 0; c < d.BC.Count; c++ {
+			to := d.NextClass(q, c)
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return true
+}
+
+// IsTotal reports whether L(d) = Σ* (every reachable state accepts).
+func IsTotal(d *DFA) bool {
+	return IsEmpty(Complement(d))
+}
+
+// product runs the pairwise construction with the given acceptance
+// combiner, over the merged byte classes of the two automata, exploring
+// only reachable pairs, and minimizes the result.
+func product(a, b *DFA, combine func(bool, bool) bool) *DFA {
+	bc := mergeClasses(a.BC, b.BC)
+	type pair struct{ qa, qb int32 }
+	index := map[pair]int32{}
+	var order []pair
+
+	add := func(p pair) int32 {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := int32(len(order))
+		index[p] = id
+		order = append(order, p)
+		return id
+	}
+	add(pair{a.Start, b.Start})
+
+	type row struct {
+		next   []int32
+		accept bool
+	}
+	var rows []row
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		r := row{next: make([]int32, bc.Count), accept: combine(a.Accept[p.qa], b.Accept[p.qb])}
+		for c := 0; c < bc.Count; c++ {
+			rep := bc.Rep[c]
+			r.next[c] = add(pair{a.NextByte(p.qa, rep), b.NextByte(p.qb, rep)})
+		}
+		rows = append(rows, r)
+	}
+
+	d := New(len(rows), bc)
+	d.Start = 0
+	for i, r := range rows {
+		d.Accept[i] = r.accept
+		copy(d.NextC[i*bc.Count:(i+1)*bc.Count], r.next)
+	}
+	d.DetectDead()
+	return Minimize(d)
+}
+
+// mergeClasses returns the coarsest partition refining both inputs.
+func mergeClasses(a, b *nfa.ByteClasses) *nfa.ByteClasses {
+	// Reuse the refinement machinery in package nfa by probing with the
+	// class sets of both partitions.
+	probe := nfa.New(2)
+	emit := func(bc *nfa.ByteClasses) {
+		for c := 0; c < bc.Count; c++ {
+			var set syntax.CharSet
+			for x := 0; x < 256; x++ {
+				if int(bc.Of[x]) == c {
+					set.AddByte(byte(x))
+				}
+			}
+			probe.AddEdge(0, 1, set)
+		}
+	}
+	emit(a)
+	emit(b)
+	return nfa.Classes(probe)
+}

@@ -1,0 +1,118 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComplementBasics(t *testing.T) {
+	d := MustCompilePattern("(ab)*")
+	c := Complement(d)
+	cases := map[string]bool{"": true, "ab": true, "a": false, "ba": false}
+	for w, inL := range cases {
+		if c.Accepts([]byte(w)) != !inL {
+			t.Errorf("complement wrong on %q", w)
+		}
+	}
+	// ¬¬L = L.
+	if !Equivalent(d, Complement(c)) {
+		t.Error("double complement changed the language")
+	}
+}
+
+func TestBooleanAlgebraLaws(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := MustCompilePattern(randPattern(r, 3))
+		b := MustCompilePattern(randPattern(r, 3))
+
+		// L(a) ∩ ¬L(a) = ∅ and L(a) ∪ ¬L(a) = Σ*.
+		if !IsEmpty(Intersect(a, Complement(a))) {
+			return false
+		}
+		if !IsTotal(Union(a, Complement(a))) {
+			return false
+		}
+		// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B.
+		left := Complement(Union(a, b))
+		right := Intersect(Complement(a), Complement(b))
+		if !Equivalent(left, right) {
+			return false
+		}
+		// A ∖ B = A ∩ ¬B.
+		if !Equivalent(Difference(a, b), Intersect(a, Complement(b))) {
+			return false
+		}
+		// A △ A = ∅.
+		return IsEmpty(SymmetricDifference(a, a))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectAgainstMembership(t *testing.T) {
+	a := MustCompilePattern("(ab)*")
+	b := MustCompilePattern("a(ba)*b|") // even-length words starting with a... plus ε
+	i := Intersect(a, b)
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		w := make([]byte, r.Intn(12))
+		for j := range w {
+			w[j] = byte('a' + r.Intn(2))
+		}
+		want := a.Accepts(w) && b.Accepts(w)
+		if got := i.Accepts(w); got != want {
+			t.Fatalf("intersection wrong on %q: got %v want %v", w, got, want)
+		}
+	}
+}
+
+func TestUnionMergedClasses(t *testing.T) {
+	// The two patterns use different byte classes; the product must merge
+	// them correctly.
+	a := MustCompilePattern("[0-4]+")
+	b := MustCompilePattern("[3-9]+")
+	u := Union(a, b)
+	for w, want := range map[string]bool{
+		"012": true, "789": true, "34": true, "0129": false, "": false, "az": false,
+	} {
+		if got := u.Accepts([]byte(w)); got != want {
+			t.Errorf("union wrong on %q: got %v want %v", w, got, want)
+		}
+	}
+}
+
+func TestSymmetricDifferenceDetectsInequality(t *testing.T) {
+	a := MustCompilePattern("(ab)*")
+	b := MustCompilePattern("(ab)+")
+	sd := SymmetricDifference(a, b)
+	if IsEmpty(sd) {
+		t.Fatal("(ab)* vs (ab)+ should differ")
+	}
+	// The difference is exactly {ε}.
+	if !sd.Accepts(nil) {
+		t.Error("ε should witness the difference")
+	}
+	if sd.Accepts([]byte("ab")) {
+		t.Error("ab is in both languages")
+	}
+}
+
+func TestIsEmptyAndTotal(t *testing.T) {
+	if !IsEmpty(MustCompilePattern("a")) == false {
+		t.Error("L(a) is nonempty")
+	}
+	// ∅ via intersection of disjoint languages.
+	empty := Intersect(MustCompilePattern("a+"), MustCompilePattern("b+"))
+	if !IsEmpty(empty) {
+		t.Error("a+ ∩ b+ should be empty")
+	}
+	if !IsTotal(MustCompilePattern("(?s).*")) {
+		t.Error("(?s).* is total")
+	}
+	if IsTotal(MustCompilePattern("a*")) {
+		t.Error("a* is not total")
+	}
+}

@@ -1,0 +1,138 @@
+package dfa
+
+import (
+	"fmt"
+
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// Determinize applies the subset construction (the paper's Algorithm 1) to
+// an NFA, producing a complete DFA over the NFA's byte classes. Starting
+// from the ε-closed initial set it explores only accessible subsets,
+// "considering only those states obtained by applying the transition
+// function to the states already calculated".
+//
+// cap > 0 bounds the number of DFA states; ErrTooManyStates is returned
+// when exceeded (the paper's SNORT study skips DFAs above 1000 states).
+func Determinize(a *nfa.NFA, cap int) (*DFA, error) {
+	t := nfa.Compile(a)
+	return determinize(t, cap)
+}
+
+// DeterminizeTable is Determinize for an already-compiled NFA table.
+func DeterminizeTable(t *nfa.Table, cap int) (*DFA, error) {
+	return determinize(t, cap)
+}
+
+func determinize(t *nfa.Table, cap int) (*DFA, error) {
+	nc := t.BC.Count
+	words := t.Words
+
+	// Subset interning: bitset bytes → state id.
+	ids := make(map[string]int32)
+	var subsets [][]uint64 // id → bitset (owned copies)
+	var trans []int32      // id*nc + c → id, grown in lockstep
+
+	intern := func(set []uint64) (int32, bool, error) {
+		key := bitsetKey(set)
+		if id, ok := ids[key]; ok {
+			return id, false, nil
+		}
+		id := int32(len(subsets))
+		if cap > 0 && len(subsets) >= cap {
+			return 0, false, fmt.Errorf("%w (cap %d)", ErrTooManyStates, cap)
+		}
+		own := make([]uint64, words)
+		copy(own, set)
+		ids[key] = id
+		subsets = append(subsets, own)
+		trans = append(trans, make([]int32, nc)...)
+		return id, true, nil
+	}
+
+	start := t.A.StartSet()
+	startID, _, err := intern(start)
+	if err != nil {
+		return nil, err
+	}
+	queue := []int32{startID}
+	scratch := make([]uint64, words)
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		src := subsets[id]
+		for c := 0; c < nc; c++ {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			t.Step(scratch, src, c)
+			to, fresh, err := intern(scratch)
+			if err != nil {
+				return nil, err
+			}
+			trans[int(id)*nc+c] = to
+			if fresh {
+				queue = append(queue, to)
+			}
+		}
+	}
+
+	d := New(len(subsets), t.BC)
+	d.Start = startID
+	d.NextC = trans
+	for id, set := range subsets {
+		d.Accept[id] = t.A.AcceptsSet(set)
+	}
+	d.Dead = d.findDead()
+	return d, nil
+}
+
+func bitsetKey(set []uint64) string {
+	b := make([]byte, len(set)*8)
+	for i, w := range set {
+		b[i*8] = byte(w)
+		b[i*8+1] = byte(w >> 8)
+		b[i*8+2] = byte(w >> 16)
+		b[i*8+3] = byte(w >> 24)
+		b[i*8+4] = byte(w >> 32)
+		b[i*8+5] = byte(w >> 40)
+		b[i*8+6] = byte(w >> 48)
+		b[i*8+7] = byte(w >> 56)
+	}
+	return string(b)
+}
+
+// Compile runs the paper's full front-end pipeline on a parsed pattern:
+// Glushkov NFA (McNaughton–Yamada), subset construction, Hopcroft
+// minimization. cap bounds the un-minimized DFA size (0 = unbounded).
+func Compile(root *syntax.Node, cap int) (*DFA, error) {
+	a, err := nfa.Glushkov(root)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Determinize(a, cap)
+	if err != nil {
+		return nil, err
+	}
+	return Minimize(d), nil
+}
+
+// CompilePattern parses and compiles in one step.
+func CompilePattern(pattern string, flags syntax.Flags, cap int) (*DFA, error) {
+	root, err := syntax.Parse(pattern, flags)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(root, cap)
+}
+
+// MustCompilePattern is CompilePattern for tests and known-good tables.
+func MustCompilePattern(pattern string) *DFA {
+	d, err := CompilePattern(pattern, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

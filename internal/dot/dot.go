@@ -1,0 +1,171 @@
+// Package dot renders automata in Graphviz DOT form, reproducing the
+// paper's automaton figures: Fig. 1 (DFA of (ab)*), Fig. 2 (its SFA),
+// Fig. 4/5 (DFA and D-SFA of r2), Fig. 11/12 (explosion witnesses).
+// Accepting states are doubled circles, as in the paper.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// DFA renders d. With hideDead, the dead sink and its edges are omitted —
+// the way the paper draws Figs. 1 and 4.
+func DFA(d *dfa.DFA, name string, hideDead bool) string {
+	var sb strings.Builder
+	header(&sb, name)
+	for q := 0; q < d.NumStates; q++ {
+		if hideDead && int32(q) == d.Dead {
+			continue
+		}
+		node(&sb, fmt.Sprintf("%d", q), d.Accept[q])
+	}
+	fmt.Fprintf(&sb, "  __start [shape=point];\n  __start -> %d;\n", d.Start)
+	for q := 0; q < d.NumStates; q++ {
+		if hideDead && int32(q) == d.Dead {
+			continue
+		}
+		// Merge classes with the same target into one labelled edge.
+		byTarget := map[int32]syntax.CharSet{}
+		for c := 0; c < d.BC.Count; c++ {
+			to := d.NextClass(int32(q), c)
+			set := byTarget[to]
+			set.AddSet(classSet(d.BC, c))
+			byTarget[to] = set
+		}
+		for _, to := range sortedKeys(byTarget) {
+			if hideDead && to == d.Dead {
+				continue
+			}
+			edge(&sb, fmt.Sprintf("%d", q), fmt.Sprintf("%d", to), byTarget[to].String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// NFA renders a; ε-edges are dashed.
+func NFA(a *nfa.NFA, name string) string {
+	var sb strings.Builder
+	header(&sb, name)
+	for q := 0; q < a.NumStates; q++ {
+		node(&sb, fmt.Sprintf("%d", q), a.Accept[q])
+	}
+	for i, s := range a.Start {
+		fmt.Fprintf(&sb, "  __start%d [shape=point];\n  __start%d -> %d;\n", i, i, s)
+	}
+	for q := 0; q < a.NumStates; q++ {
+		byTarget := map[int32]syntax.CharSet{}
+		for _, e := range a.Edges[q] {
+			set := byTarget[e.To]
+			set.AddSet(e.Set)
+			byTarget[e.To] = set
+		}
+		for _, to := range sortedKeys(byTarget) {
+			edge(&sb, fmt.Sprintf("%d", q), fmt.Sprintf("%d", to), byTarget[to].String())
+		}
+		if a.Eps != nil {
+			for _, to := range a.Eps[q] {
+				fmt.Fprintf(&sb, "  %d -> %d [style=dashed, label=\"ε\"];\n", q, to)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DSFA renders s with states labelled f0, f1, … in construction order
+// (f0 is the identity, matching the paper's naming in Fig. 2/Table I).
+// With hideDead, the everywhere-dead mapping is omitted.
+func DSFA(s *core.DSFA, name string, hideDead bool) string {
+	var sb strings.Builder
+	header(&sb, name)
+	skip := func(id int32) bool { return hideDead && id == s.EmptyID }
+	for q := int32(0); q < int32(s.NumStates); q++ {
+		if skip(q) {
+			continue
+		}
+		node(&sb, fmt.Sprintf("f%d", q), s.Accept[q])
+	}
+	fmt.Fprintf(&sb, "  __start [shape=point];\n  __start -> f%d;\n", s.Start)
+	bc := s.BC()
+	for q := int32(0); q < int32(s.NumStates); q++ {
+		if skip(q) {
+			continue
+		}
+		byTarget := map[int32]syntax.CharSet{}
+		for c := 0; c < bc.Count; c++ {
+			to := s.NextClass(q, c)
+			set := byTarget[to]
+			set.AddSet(classSet(bc, c))
+			byTarget[to] = set
+		}
+		for _, to := range sortedKeys(byTarget) {
+			if skip(to) {
+				continue
+			}
+			edge(&sb, fmt.Sprintf("f%d", q), fmt.Sprintf("f%d", to), byTarget[to].String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// MappingTable renders the state mappings of a D-SFA in the style of the
+// paper's Table I: one column per SFA state, one row per DFA state.
+func MappingTable(s *core.DSFA) string {
+	var sb strings.Builder
+	sb.WriteString("state")
+	for id := 0; id < s.NumStates; id++ {
+		fmt.Fprintf(&sb, "\tf%d", id)
+	}
+	sb.WriteByte('\n')
+	for q := 0; q < s.D.NumStates; q++ {
+		fmt.Fprintf(&sb, "%d", q)
+		for id := int32(0); id < int32(s.NumStates); id++ {
+			fmt.Fprintf(&sb, "\t%d↦{%d}", q, s.Map(id)[q])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func header(sb *strings.Builder, name string) {
+	fmt.Fprintf(sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+}
+
+func node(sb *strings.Builder, id string, accept bool) {
+	shape := "circle"
+	if accept {
+		shape = "doublecircle"
+	}
+	fmt.Fprintf(sb, "  %s [shape=%s];\n", id, shape)
+}
+
+func edge(sb *strings.Builder, from, to, label string) {
+	fmt.Fprintf(sb, "  %s -> %s [label=%q];\n", from, to, label)
+}
+
+func classSet(bc *nfa.ByteClasses, c int) (set syntax.CharSet) {
+	for b := 0; b < 256; b++ {
+		if int(bc.Of[b]) == c {
+			set.AddByte(byte(b))
+		}
+	}
+	return set
+}
+
+func sortedKeys(m map[int32]syntax.CharSet) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,89 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+func TestDFADotFig1(t *testing.T) {
+	d := dfa.MustCompilePattern("(ab)*")
+	out := DFA(d, "D1", true)
+	if !strings.HasPrefix(out, "digraph \"D1\"") {
+		t.Error("missing digraph header")
+	}
+	// Fig. 1 shows two live states; the dead one is hidden.
+	if strings.Count(out, "doublecircle") != 1 {
+		t.Errorf("want exactly 1 accepting state, got:\n%s", out)
+	}
+	if strings.Contains(out, "-> 2") && d.Dead == 2 {
+		t.Error("dead state leaked into the hidden-dead rendering")
+	}
+	full := DFA(d, "D1", false)
+	if len(full) <= len(out) {
+		t.Error("full rendering should include the dead state")
+	}
+}
+
+func TestDSFADotFig2(t *testing.T) {
+	d := dfa.MustCompilePattern("(ab)*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DSFA(s, "S1", false)
+	// Fig. 2: six states f0..f5, two accepting (f0 and f4).
+	for _, f := range []string{"f0", "f1", "f2", "f3", "f4", "f5"} {
+		if !strings.Contains(out, f+" [shape=") {
+			t.Errorf("missing state %s", f)
+		}
+	}
+	if got := strings.Count(out, "doublecircle"); got != 2 {
+		t.Errorf("accepting SFA states = %d, want 2", got)
+	}
+	hidden := DSFA(s, "S1", true)
+	if strings.Count(hidden, "[shape=circle]")+strings.Count(hidden, "doublecircle") >=
+		strings.Count(out, "[shape=circle]")+strings.Count(out, "doublecircle") {
+		t.Error("hideDead did not drop a state")
+	}
+}
+
+func TestNFADot(t *testing.T) {
+	a, err := nfa.Glushkov(syntax.MustParse("(ab)*", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NFA(a, "N1")
+	if !strings.Contains(out, "__start0") {
+		t.Error("missing start marker")
+	}
+	th, err := nfa.Thompson(syntax.MustParse("a|b", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = NFA(th, "T1")
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("ε-edges should render dashed")
+	}
+}
+
+func TestMappingTableShape(t *testing.T) {
+	d := dfa.MustCompilePattern("(ab)*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MappingTable(s)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header plus one row per DFA state (3 states incl. dead).
+	if len(lines) != 1+d.NumStates {
+		t.Errorf("table has %d lines, want %d", len(lines), 1+d.NumStates)
+	}
+	if !strings.HasPrefix(lines[0], "state\tf0") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch runs one matcher over many independent inputs — the "multiple
+// data" axis of parallelism the paper contrasts with its own
+// intra-input parallelism in the introduction ("computations of automata
+// are naively executed in parallel when both/either of queries and/or
+// data are multiple"). Combined with a parallel Matcher, both axes
+// compose: workers × chunks.
+type Batch struct {
+	m       Matcher
+	workers int
+}
+
+// NewBatch wraps a matcher for batched use. workers ≤ 0 uses GOMAXPROCS.
+func NewBatch(m Matcher, workers int) *Batch {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Batch{m: m, workers: workers}
+}
+
+// MatchAll returns one verdict per input, in order.
+func (b *Batch) MatchAll(inputs [][]byte) []bool {
+	out := make([]bool, len(inputs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				out[i] = b.m.Match(inputs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Count returns how many inputs match.
+func (b *Batch) Count(inputs [][]byte) int {
+	n := 0
+	for _, ok := range b.MatchAll(inputs) {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyIndex returns the index of some matching input, or -1. It stops
+// dispatching new work after the first hit (already-running probes
+// finish).
+func (b *Batch) AnyIndex(inputs [][]byte) int {
+	var next atomic.Int64
+	found := atomic.Int64{}
+	found.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for found.Load() < 0 {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				if b.m.Match(inputs[i]) {
+					found.CompareAndSwap(-1, int64(i))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(found.Load())
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+func batchFixture(t *testing.T) (*Batch, [][]byte, []bool) {
+	t.Helper()
+	d := dfa.MustCompilePattern("(ab)*")
+	b := NewBatch(NewDFASequential(d), 4)
+	var inputs [][]byte
+	var want []bool
+	for i := 0; i < 257; i++ {
+		if i%3 == 0 {
+			inputs = append(inputs, []byte("abababab"[:2*(i%4)]))
+			want = append(want, true)
+		} else {
+			inputs = append(inputs, []byte(fmt.Sprintf("x%d", i)))
+			want = append(want, false)
+		}
+	}
+	return b, inputs, want
+}
+
+func TestBatchMatchAll(t *testing.T) {
+	b, inputs, want := batchFixture(t)
+	got := b.MatchAll(inputs)
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("input %d (%q): got %v want %v", i, inputs[i], got[i], want[i])
+		}
+	}
+}
+
+func TestBatchCount(t *testing.T) {
+	b, inputs, want := batchFixture(t)
+	wantCount := 0
+	for _, w := range want {
+		if w {
+			wantCount++
+		}
+	}
+	if got := b.Count(inputs); got != wantCount {
+		t.Errorf("Count = %d, want %d", got, wantCount)
+	}
+}
+
+func TestBatchAnyIndex(t *testing.T) {
+	d := dfa.MustCompilePattern("hit")
+	b := NewBatch(NewDFASequential(d), 3)
+	inputs := make([][]byte, 100)
+	for i := range inputs {
+		inputs[i] = []byte("miss")
+	}
+	if got := b.AnyIndex(inputs); got != -1 {
+		t.Errorf("AnyIndex on all-miss = %d", got)
+	}
+	inputs[77] = []byte("hit")
+	got := b.AnyIndex(inputs)
+	if got != 77 {
+		t.Errorf("AnyIndex = %d, want 77", got)
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	d := dfa.MustCompilePattern("a")
+	b := NewBatch(NewDFASequential(d), 0)
+	if got := b.MatchAll(nil); len(got) != 0 {
+		t.Error("MatchAll(nil) should be empty")
+	}
+	if got := b.AnyIndex(nil); got != -1 {
+		t.Error("AnyIndex(nil) should be -1")
+	}
+}
+
+func TestBatchComposesWithParallelMatcher(t *testing.T) {
+	// Batch over the SFA engine: both parallelism axes at once.
+	d := dfa.MustCompilePattern("(([02468][13579]){5})*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(NewSFAParallel(s, 2, ReduceSequential), 2)
+	inputs := [][]byte{
+		[]byte("0123456789"),
+		[]byte("0123456788"),
+		nil,
+		[]byte("01234567890123456789"),
+	}
+	got := b.MatchAll(inputs)
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("input %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

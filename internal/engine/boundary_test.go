@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/textgen"
+)
+
+// TestCorruptionAtChunkBoundaries plants a single bad byte at and around
+// every chunk boundary of every engine configuration: the verdict must
+// flip regardless of where the damage sits relative to the splits. This
+// is the failure mode split-based matchers historically get wrong.
+func TestCorruptionAtChunkBoundaries(t *testing.T) {
+	d := dfa.MustCompilePattern("(([02468][13579]){5})*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := textgen.EvenOddText(10_000, 3)
+
+	for _, p := range []int{2, 3, 4, 7} {
+		engines := []Matcher{
+			NewSFAParallel(s, p, ReduceSequential),
+			NewSFAParallel(s, p, ReduceTree),
+			NewDFASpeculative(d, p, ReduceSequential),
+			NewDFASpeculative(d, p, ReduceTree),
+		}
+		spans := chunks(len(text), p)
+		for _, e := range engines {
+			if !e.Match(text) {
+				t.Fatalf("%s rejected clean text", e.Name())
+			}
+			for _, span := range spans {
+				for _, pos := range []int{span[0], span[0] + 1, span[1] - 1} {
+					if pos < 0 || pos >= len(text) {
+						continue
+					}
+					bad := textgen.CorruptAt(text, pos)
+					if e.Match(bad) {
+						t.Fatalf("%s accepted text corrupted at %d (chunk %v)",
+							e.Name(), pos, span)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCorruptHelpers(t *testing.T) {
+	text := textgen.EvenOddText(1000, 1)
+	bad := textgen.Corrupt(text, 5, 9)
+	if len(bad) != len(text) {
+		t.Fatal("length changed")
+	}
+	diff := 0
+	for i := range text {
+		if text[i] != bad[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 5 {
+		t.Errorf("corrupted %d positions, want 1–5", diff)
+	}
+	// Original untouched.
+	if !dfa.MustCompilePattern("(([02468][13579]){5})*").Accepts(text) {
+		t.Error("Corrupt mutated its input")
+	}
+	at := textgen.CorruptAt(text, 10)
+	if at[10] == text[10] {
+		t.Error("CorruptAt did not change the byte")
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dfa"
+)
+
+// DFASpeculative is the prior-work baseline, Algorithm 3: the input is
+// split across p threads and every thread simulates the transitions of
+// *all* DFA states over its chunk, producing a mapping T_i: Q → Q. The
+// per-byte cost is therefore Θ(|D|), which is exactly the overhead SFA
+// construction moves to compile time; Figs. 6–8 are the comparison.
+type DFASpeculative struct {
+	d       *dfa.DFA
+	tab     []int32
+	threads int
+	red     Reduction
+}
+
+// NewDFASpeculative compiles the matcher for a fixed thread count and
+// reduction strategy.
+func NewDFASpeculative(d *dfa.DFA, threads int, red Reduction) *DFASpeculative {
+	if threads < 1 {
+		threads = 1
+	}
+	return &DFASpeculative{d: d, tab: d.Table256(), threads: threads, red: red}
+}
+
+// Match implements Algorithm 3, including per-call goroutine creation so
+// that small-input overheads (Fig. 10's subject) are not hidden by a
+// worker pool the paper's pthread implementation did not have.
+func (m *DFASpeculative) Match(text []byte) bool {
+	n := m.d.NumStates
+	p := m.threads
+	spans := chunks(len(text), p)
+	maps := make([][]int32, p)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			maps[i] = m.simulateChunk(text[spans[i][0]:spans[i][1]])
+		}(i)
+	}
+	wg.Wait()
+
+	var final int32
+	switch m.red {
+	case ReduceSequential:
+		// Lines 9–11 (right column): thread the single start state
+		// through the p mappings.
+		q := m.d.Start
+		for i := 0; i < p; i++ {
+			q = maps[i][q]
+		}
+		final = q
+	case ReduceTree:
+		// Line 9 (left column): associative fold T1 ⊙ T2 ⊙ … ⊙ Tp.
+		t := treeReduce32(maps, n)
+		final = t[m.d.Start]
+	}
+	return m.d.Accept[final]
+}
+
+// simulateChunk computes T[q] = destination of q over the chunk, for all q
+// (lines 2–7 of Algorithm 3).
+func (m *DFASpeculative) simulateChunk(chunk []byte) []int32 {
+	n := m.d.NumStates
+	tab := m.tab
+	t := make([]int32, n)
+	for q := range t {
+		t[q] = int32(q)
+	}
+	for _, b := range chunk {
+		base := int(b)
+		for q := 0; q < n; q++ {
+			t[q] = tab[int(t[q])<<8|base]
+		}
+	}
+	return t
+}
+
+// treeReduce32 folds the mappings pairwise with ⊙ (h = f then g,
+// h[q] = g[f[q]]), recursing in parallel while halves are large.
+func treeReduce32(maps [][]int32, n int) []int32 {
+	switch len(maps) {
+	case 1:
+		return maps[0]
+	case 2:
+		return compose32(maps[0], maps[1], n)
+	}
+	mid := len(maps) / 2
+	var left, right []int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		left = treeReduce32(maps[:mid], n)
+	}()
+	right = treeReduce32(maps[mid:], n)
+	wg.Wait()
+	return compose32(left, right, n)
+}
+
+func compose32(f, g []int32, n int) []int32 {
+	h := make([]int32, n)
+	for q := 0; q < n; q++ {
+		h[q] = g[f[q]]
+	}
+	return h
+}
+
+// Name implements Matcher.
+func (m *DFASpeculative) Name() string {
+	return fmt.Sprintf("dfa-spec-p%d-%s", m.threads, m.red)
+}

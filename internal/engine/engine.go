@@ -1,0 +1,76 @@
+// Package engine implements the matching algorithms evaluated by the
+// paper:
+//
+//   - Algorithm 2 — sequential DFA computation (the 1-thread baseline of
+//     Figs. 6–10);
+//   - Algorithm 3 — the prior-work parallel DFA computation by speculative
+//     simulation, whose per-byte overhead is linear in |D|;
+//   - Algorithm 5 — the paper's parallel SFA computation, one table
+//     lookup per byte per thread, with both reduction strategies
+//     (sequential O(p) and parallel tree with the associative ⊙);
+//   - the on-the-fly variant of Algorithm 5 over a lazily constructed
+//     SFA (Sect. V-A);
+//   - an N-SFA engine whose tree reduction is boolean matrix
+//     multiplication (Table II);
+//   - the bitset NFA simulation used as the semantics oracle.
+//
+// All engines implement whole-input acceptance over []byte, the semantics
+// of the paper's experiments ("1GB string accepted by those automata, and
+// every character was read exactly once").
+package engine
+
+import "fmt"
+
+// Matcher is the common interface of every engine.
+type Matcher interface {
+	// Match reports whether the automaton accepts the whole input.
+	Match(text []byte) bool
+	// Name identifies the engine in benchmark output.
+	Name() string
+}
+
+// Reduction selects how per-chunk results are combined (Algorithm 3
+// line 8 / Algorithm 5 line 6).
+type Reduction int
+
+const (
+	// ReduceSequential folds the p chunk results left to right by
+	// applying each mapping to a single running state: O(p) work for the
+	// SFA engine, O(p) for speculative DFA.
+	ReduceSequential Reduction = iota
+	// ReduceTree folds chunk results pairwise in parallel with the
+	// associative composition operator ⊙: O(|D| log p) for the SFA and
+	// speculative DFA engines, O(|N|³ log p) for the N-SFA engine.
+	ReduceTree
+)
+
+func (r Reduction) String() string {
+	switch r {
+	case ReduceSequential:
+		return "seq-reduce"
+	case ReduceTree:
+		return "tree-reduce"
+	}
+	return fmt.Sprintf("Reduction(%d)", int(r))
+}
+
+// chunks splits n bytes into p nearly equal contiguous spans. Spans may be
+// empty when n < p. The split points are arbitrary — Theorem 3 guarantees
+// any division yields the same result.
+func chunks(n, p int) [][2]int {
+	if p < 1 {
+		p = 1
+	}
+	out := make([][2]int, p)
+	base, rem := n/p, n%p
+	off := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{off, off + size}
+		off += size
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// NSFAParallel is Algorithm 5 over an N-SFA. Each thread performs one
+// table lookup per byte, exactly as the D-SFA engine; the difference is
+// the reduction: composing two N-SFA mappings is a boolean matrix product
+// (O(|N|³), Table II), and the sequential reduction steps a state *set*
+// through the p correspondences (O(|N|·p) worst case).
+type NSFAParallel struct {
+	s       *core.NSFA
+	tab     []int32
+	threads int
+	red     Reduction
+}
+
+// NewNSFAParallel compiles the matcher.
+func NewNSFAParallel(s *core.NSFA, threads int, red Reduction) *NSFAParallel {
+	if threads < 1 {
+		threads = 1
+	}
+	// 256-wide table, same layout as the D-SFA engine.
+	tab := make([]int32, s.NumStates*256)
+	for q := 0; q < s.NumStates; q++ {
+		for b := 0; b < 256; b++ {
+			tab[q*256+b] = s.NextByte(int32(q), byte(b))
+		}
+	}
+	return &NSFAParallel{s: s, tab: tab, threads: threads, red: red}
+}
+
+// Match implements Algorithm 5 for the general (NFA-derived) case.
+func (m *NSFAParallel) Match(text []byte) bool {
+	p := m.threads
+	spans := chunks(len(text), p)
+	locals := make([]int32, p)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := m.s.Start
+			tab := m.tab
+			for _, b := range text[spans[i][0]:spans[i][1]] {
+				q = tab[int(q)<<8|int(b)]
+			}
+			locals[i] = q
+		}(i)
+	}
+	wg.Wait()
+
+	a := m.s.A
+	n, words := a.NumStates, m.s.Words()
+	switch m.red {
+	case ReduceSequential:
+		// Sfin ← I; Sfin ← ⋃_{q∈Sfin} fi(q): step a frontier bitset
+		// through each correspondence.
+		frontier := make([]uint64, words)
+		for _, q0 := range a.Start {
+			frontier[q0>>6] |= 1 << (q0 & 63)
+		}
+		scratch := make([]uint64, words)
+		for _, f := range locals {
+			mat := m.s.Mat(f)
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			for q := 0; q < n; q++ {
+				if frontier[q>>6]&(1<<(q&63)) != 0 {
+					row := mat[q*words : (q+1)*words]
+					for i := range scratch {
+						scratch[i] |= row[i]
+					}
+				}
+			}
+			frontier, scratch = scratch, frontier
+		}
+		return a.AcceptsSet(frontier)
+	default:
+		// Tree reduction: boolean matrix products.
+		mats := make([][]uint64, len(locals))
+		for i, f := range locals {
+			mats[i] = m.s.Mat(f)
+		}
+		fin := treeReduceMat(mats, n, words)
+		for _, q0 := range a.Start {
+			if a.AcceptsSet(fin[int(q0)*words : (int(q0)+1)*words]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func treeReduceMat(mats [][]uint64, n, words int) []uint64 {
+	switch len(mats) {
+	case 1:
+		return mats[0]
+	case 2:
+		h := make([]uint64, n*words)
+		core.ComposeMat(h, mats[0], mats[1], n, words)
+		return h
+	}
+	mid := len(mats) / 2
+	var left, right []uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		left = treeReduceMat(mats[:mid], n, words)
+	}()
+	right = treeReduceMat(mats[mid:], n, words)
+	wg.Wait()
+	h := make([]uint64, n*words)
+	core.ComposeMat(h, left, right, n, words)
+	return h
+}
+
+// Name implements Matcher.
+func (m *NSFAParallel) Name() string {
+	return fmt.Sprintf("nsfa-p%d-%s", m.threads, m.red)
+}

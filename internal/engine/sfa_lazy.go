@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+// SFALazy is Algorithm 5 over an on-the-fly SFA (Sect. V-A): states are
+// constructed the first time any thread needs them and shared through the
+// lock-free read path of core.Lazy. It trades Table III's up-front
+// construction time for slightly slower per-byte steps (class lookup plus
+// an atomic load) — ablation A3 quantifies the trade.
+type SFALazy struct {
+	l       *core.Lazy
+	threads int
+
+	mu  sync.Mutex
+	err error // first construction error (state cap), sticky
+}
+
+// NewSFALazy prepares a lazy matcher. maxStates caps on-the-fly state
+// materialization (0 = the core.Lazy default).
+func NewSFALazy(d *dfa.DFA, threads, maxStates int) (*SFALazy, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	l, err := core.NewLazy(d, maxStates)
+	if err != nil {
+		return nil, err
+	}
+	return &SFALazy{l: l, threads: threads}, nil
+}
+
+// Match implements Algorithm 5 with on-demand state construction.
+// A state-cap error is remembered and reported by Err; Match returns
+// false in that case (no acceptance can be proven).
+func (m *SFALazy) Match(text []byte) bool {
+	p := m.threads
+	spans := chunks(len(text), p)
+	locals := make([]int32, p)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q, err := m.l.Run(m.l.Start(), text[spans[i][0]:spans[i][1]])
+			if err != nil {
+				m.setErr(err)
+				return
+			}
+			locals[i] = q
+		}(i)
+	}
+	wg.Wait()
+	if m.Err() != nil {
+		return false
+	}
+	// Sequential reduction (the O(p) strategy).
+	d := m.l.D
+	q := d.Start
+	for _, f := range locals {
+		q = core.ApplyVec(m.l.Map(f), q)
+	}
+	return d.Accept[q]
+}
+
+func (m *SFALazy) setErr(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+}
+
+// Err returns the first construction error encountered, if any.
+func (m *SFALazy) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// States returns the number of SFA states materialized so far.
+func (m *SFALazy) States() int { return m.l.NumStates() }
+
+// Name implements Matcher.
+func (m *SFALazy) Name() string { return fmt.Sprintf("sfa-lazy-p%d", m.threads) }

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SFAParallel is the paper's contribution in executable form —
+// Algorithm 5. The input is split across p threads; each thread starts
+// from the *identity* SFA state and performs exactly one table lookup per
+// byte (no per-state loop: the speculation was paid at construction
+// time). The per-chunk results are SFA states, i.e. transformations of
+// the DFA's state set, and are combined by either reduction strategy.
+type SFAParallel struct {
+	s       *core.DSFA
+	tab     []int32 // 256-wide flat table (1 KB/state), default layout
+	threads int
+	red     Reduction
+
+	// classTable enables ablation A2: match through the class-indexed
+	// table (smaller, one extra indirection per byte).
+	classTable bool
+}
+
+// Option configures SFAParallel.
+type Option func(*SFAParallel)
+
+// WithClassTable matches through the byte-class-compressed table instead
+// of the 256-wide layout (ablation A2; changes Fig. 8's cache story).
+func WithClassTable() Option {
+	return func(m *SFAParallel) { m.classTable = true }
+}
+
+// NewSFAParallel compiles the matcher for a fixed thread count and
+// reduction strategy.
+func NewSFAParallel(s *core.DSFA, threads int, red Reduction, opts ...Option) *SFAParallel {
+	if threads < 1 {
+		threads = 1
+	}
+	m := &SFAParallel{s: s, threads: threads, red: red}
+	for _, o := range opts {
+		o(m)
+	}
+	if !m.classTable {
+		m.tab = s.Table256()
+	}
+	return m
+}
+
+// Match implements Algorithm 5. Thread creation is part of the call, as
+// in the paper's Fig. 10 measurement ("the execution times of the
+// parallel computation includes the creation of threads and the
+// reduction").
+func (m *SFAParallel) Match(text []byte) bool {
+	p := m.threads
+	if p == 1 {
+		// Degenerate case: no fork, no reduction — just the SFA walk.
+		f := m.runChunk(text)
+		return m.s.Accept[f]
+	}
+	spans := chunks(len(text), p)
+	locals := make([]int32, p)
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			locals[i] = m.runChunk(text[spans[i][0]:spans[i][1]])
+		}(i)
+	}
+	wg.Wait()
+	return m.reduce(locals)
+}
+
+// runChunk is lines 1–5: fi ← fI, then one lookup per byte.
+func (m *SFAParallel) runChunk(chunk []byte) int32 {
+	q := m.s.Start
+	if m.classTable {
+		d := m.s
+		for _, b := range chunk {
+			q = d.NextByte(q, b)
+		}
+		return q
+	}
+	tab := m.tab
+	for _, b := range chunk {
+		q = tab[int(q)<<8|int(b)]
+	}
+	return q
+}
+
+// reduce is lines 6–9 of Algorithm 5.
+func (m *SFAParallel) reduce(locals []int32) bool {
+	d := m.s.D
+	switch m.red {
+	case ReduceSequential:
+		// Sfin ← I; then Sfin ← fi(Sfin) for each i — O(p) total,
+		// "independent from the number of states in SFA" (Sect. V-B).
+		q := d.Start
+		for _, f := range locals {
+			q = core.ApplyVec(m.s.Map(f), q)
+		}
+		return d.Accept[q]
+	default:
+		// ffin ← f1 ⊙ … ⊙ fp by parallel pairwise composition, then
+		// Sfin ← ffin(I).
+		vecs := make([][]int16, len(locals))
+		for i, f := range locals {
+			vecs[i] = m.s.Map(f)
+		}
+		fin := treeReduce16(vecs, d.NumStates)
+		return d.Accept[fin[d.Start]]
+	}
+}
+
+// treeReduce16 folds transformation vectors pairwise with ⊙ in parallel.
+func treeReduce16(vecs [][]int16, n int) []int16 {
+	switch len(vecs) {
+	case 1:
+		return vecs[0]
+	case 2:
+		h := make([]int16, n)
+		core.ComposeVec(h, vecs[0], vecs[1])
+		return h
+	}
+	mid := len(vecs) / 2
+	var left, right []int16
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		left = treeReduce16(vecs[:mid], n)
+	}()
+	right = treeReduce16(vecs[mid:], n)
+	wg.Wait()
+	h := make([]int16, n)
+	core.ComposeVec(h, left, right)
+	return h
+}
+
+// SFA exposes the underlying automaton (harness reporting).
+func (m *SFAParallel) SFA() *core.DSFA { return m.s }
+
+// Name implements Matcher.
+func (m *SFAParallel) Name() string {
+	layout := "tab256"
+	if m.classTable {
+		layout = "tabclass"
+	}
+	return fmt.Sprintf("sfa-p%d-%s-%s", m.threads, m.red, layout)
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/snort"
+	"repro/internal/syntax"
+)
+
+// fig3Point is one rule's coordinates in the paper's scatter plot.
+type fig3Point struct {
+	id  int
+	dfa int // live minimal DFA size
+	sfa int // live D-SFA size
+	cat string
+}
+
+// Fig3 reproduces the SNORT size study (Sect. VI-A): for every rule in
+// the corpus, build the minimal DFA (cap 1000 live states, like the
+// paper, which "did not use too large expressions for which DFA has more
+// than 1000 states") and the D-SFA, then report the distribution of
+// |Sd| against |D| — the series behind Fig. 3 — and the over-square /
+// over-cube / over-quartic tail counts the paper quotes (1.4%, 6 rules,
+// none).
+func (c Config) Fig3() error {
+	c = c.Defaults()
+	c.header(fmt.Sprintf("Fig. 3 — D-SFA vs minimal DFA size on %d SNORT-like rules (seed %d)", c.SnortN, c.Seed))
+
+	rules := snort.Generate(c.SnortN, c.Seed)
+	var points []fig3Point
+	skippedParse, skippedDFA, skippedSFA := 0, 0, 0
+	const dfaCap = 1000    // live states, paper's threshold
+	const sfaCap = 400_000 // generous cap to keep the study bounded
+
+	for _, rule := range rules {
+		node, err := syntax.Parse(rule.Pattern, rule.Flags)
+		if err != nil {
+			skippedParse++
+			continue
+		}
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			skippedParse++
+			continue
+		}
+		d, err := dfa.Determinize(a, 4*dfaCap)
+		if err != nil {
+			skippedDFA++
+			continue
+		}
+		m := dfa.Minimize(d)
+		if m.LiveSize() > dfaCap {
+			skippedDFA++
+			continue
+		}
+		s, err := core.BuildDSFA(m, sfaCap)
+		if errors.Is(err, core.ErrTooManyStates) {
+			skippedSFA++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		points = append(points, fig3Point{rule.ID, m.LiveSize(), s.LiveSize(), rule.Category})
+	}
+
+	over := func(k float64) int {
+		n := 0
+		for _, p := range points {
+			if float64(p.sfa) > math.Pow(float64(p.dfa), k) {
+				n++
+			}
+		}
+		return n
+	}
+	big := 0
+	for _, p := range points {
+		if p.sfa > 10_000 {
+			big++
+		}
+	}
+
+	w := c.table()
+	fmt.Fprintf(w, "rules\tused\tskip(parse)\tskip(DFA>1000)\tskip(SFA cap)\t\n")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t\n", len(rules), len(points), skippedParse, skippedDFA, skippedSFA)
+	w.Flush()
+
+	w = c.table()
+	fmt.Fprintf(w, "tail\tcount\tfraction\tpaper\t\n")
+	fmt.Fprintf(w, "|Sd| > 10000\t%d\t%.2f%%\t0.5%%\t\n", big, pct(big, len(points)))
+	fmt.Fprintf(w, "|Sd| > |D|^2\t%d\t%.2f%%\t1.4%% (279/20312)\t\n", over(2), pct(over(2), len(points)))
+	fmt.Fprintf(w, "|Sd| > |D|^3\t%d\t%.2f%%\t6/20312\t\n", over(3), pct(over(3), len(points)))
+	fmt.Fprintf(w, "|Sd| > |D|^4\t%d\t%.2f%%\t0\t\n", over(4), pct(over(4), len(points)))
+	w.Flush()
+
+	c.scatter(points)
+	c.printf("csv: dfa,sfa,category\n")
+	for _, p := range points {
+		c.printf("csv: %d,%d,%s\n", p.dfa, p.sfa, p.cat)
+	}
+	return nil
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// scatter draws a log-log ASCII rendition of Fig. 3 with the paper's
+// guide lines x¹, x², x³, x⁴.
+func (c Config) scatter(points []fig3Point) {
+	if len(points) == 0 {
+		return
+	}
+	const width, height = 64, 20
+	maxD, maxS := 1.0, 1.0
+	for _, p := range points {
+		maxD = math.Max(maxD, float64(p.dfa))
+		maxS = math.Max(maxS, float64(p.sfa))
+	}
+	lx := func(v float64) int {
+		return int(math.Round(math.Log(v) / math.Log(maxD+1) * (width - 1)))
+	}
+	ly := func(v float64) int {
+		return int(math.Round(math.Log(v) / math.Log(maxS+1) * (height - 1)))
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// Guide lines y = x^k.
+	for x := 1.0; x <= maxD; x *= 1.1 {
+		for k, ch := range map[float64]byte{1: '.', 2: ':', 3: '-', 4: '='} {
+			y := math.Pow(x, k)
+			if y > maxS {
+				continue
+			}
+			grid[height-1-ly(y)][lx(x)] = ch
+		}
+	}
+	for _, p := range points {
+		grid[height-1-ly(float64(p.sfa))][lx(float64(p.dfa))] = '*'
+	}
+	c.printf("log |Sd| (y) vs log |D| (x); guides: . x  : x^2  - x^3  = x^4\n")
+	for _, row := range grid {
+		c.printf("|%s|\n", row)
+	}
+	// Sorted quantiles of the ratio log|Sd|/log|D| for the record.
+	var ratios []float64
+	for _, p := range points {
+		if p.dfa > 1 && p.sfa > 1 {
+			ratios = append(ratios, math.Log(float64(p.sfa))/math.Log(float64(p.dfa)))
+		}
+	}
+	sort.Float64s(ratios)
+	if len(ratios) > 0 {
+		c.printf("growth exponent log|Sd|/log|D|: median %.2f, p90 %.2f, max %.2f\n",
+			quantile(ratios, 0.5), quantile(ratios, 0.9), ratios[len(ratios)-1])
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

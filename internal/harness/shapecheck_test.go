@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShapeCheckSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed measurements")
+	}
+	var buf bytes.Buffer
+	cfg := tiny(&buf)
+	err := cfg.ShapeCheck()
+	out := buf.String()
+	// The exact-size claims must always pass; the timed inequalities are
+	// checked but a FAIL on shared CI hardware is reported, not fatal to
+	// this smoke test (ShapeCheck's error return carries it).
+	for _, want := range []string{
+		"PASS Fig.6 sizes",
+		"PASS Fig.7 sizes",
+		"PASS Fig.10 sizes",
+		"PASS r_n size law",
+		"PASS Fact 2",
+		"PASS Fact 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err != nil {
+		t.Logf("timed shape checks reported: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// Table3 reproduces the construction-cost table: time to build the
+// minimal DFA and then the D-SFA for r_n, n ∈ {5, 50, 500}. The paper
+// reports 0.0003/0.0019/0.0187 s for DFAs and 0.002/0.202/23.9 s for
+// D-SFAs — about 50 000 SFA states per second on 2013 hardware. The full
+// r500 build materializes ~10⁶ mapping vectors of 1001 entries; it is
+// gated behind Table3Full (≈3 GiB of interning state).
+func (c Config) Table3() error {
+	c = c.Defaults()
+	c.header("Table III — construction time of DFA and D-SFA for r_n")
+	c.printf("paper: DFA 0.0003/0.0019/0.0187 s; D-SFA 0.0020/0.2020/23.937 s (n=5/50/500)\n")
+
+	ns := []int{5, 50}
+	if c.Table3Full {
+		ns = append(ns, 500)
+	} else {
+		ns = append(ns, c.Fig8N)
+		c.printf("note: n=500 gated behind -table3full; using n=%d for the large point\n", c.Fig8N)
+	}
+
+	w := c.table()
+	fmt.Fprintf(w, "n\tDFA s\t|D|\tD-SFA s\t|Sd|\tSFA states/s\t\n")
+	for _, n := range ns {
+		pattern := fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", n, n)
+		node := syntax.MustParse(pattern, 0)
+
+		dfaStart := time.Now()
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			return err
+		}
+		d0, err := dfa.Determinize(a, 0)
+		if err != nil {
+			return err
+		}
+		d := dfa.Minimize(d0)
+		dfaDur := time.Since(dfaStart)
+
+		sfaStart := time.Now()
+		s, err := core.BuildDSFA(d, 0)
+		if err != nil {
+			return err
+		}
+		sfaDur := time.Since(sfaStart)
+
+		fmt.Fprintf(w, "%d\t%.4f\t%d\t%.4f\t%d\t%.0f\t\n",
+			n, dfaDur.Seconds(), d.LiveSize(), sfaDur.Seconds(), s.LiveSize(),
+			float64(s.NumStates)/sfaDur.Seconds())
+	}
+	w.Flush()
+	return nil
+}

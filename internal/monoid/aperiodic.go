@@ -1,0 +1,52 @@
+package monoid
+
+// Aperiodicity — the other classical application of the syntactic monoid
+// (Schützenberger): a regular language is star-free (expressible with
+// concatenation, union and complement but no Kleene star) exactly when
+// its syntactic monoid contains no nontrivial subgroup, i.e. every
+// element satisfies x^(k+1) = x^k for some k. Exposing it here rounds out
+// the Sect. VII-A toolbox: syntactic complexity measures SFA size,
+// aperiodicity classifies the language.
+
+// IsAperiodic reports whether the monoid has no nontrivial subgroups:
+// for every element x the sequence x, x², x³, … reaches an idempotent
+// fixed point x^k = x^(k+1).
+func (m *Monoid) IsAperiodic() bool {
+	for i := range m.Elems {
+		if !m.elementAperiodic(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// elementAperiodic follows powers of x until they cycle; aperiodic means
+// the cycle has length 1.
+func (m *Monoid) elementAperiodic(x int) bool {
+	seen := map[int]int{x: 1} // element → first power reaching it
+	cur, power := x, 1
+	for {
+		cur = m.Compose(cur, x)
+		power++
+		if first, ok := seen[cur]; ok {
+			// Cycle of length power-first; aperiodic iff x^k = x^(k+1),
+			// i.e. the cycle is a fixed point.
+			return power-first == 1
+		}
+		seen[cur] = power
+	}
+}
+
+// GroupKernelSize returns the number of elements lying in nontrivial
+// subgroups — 0 exactly when the monoid is aperiodic. It is a cheap
+// "how far from star-free" measure: for the full transformation monoid
+// it counts every element of every H-class that is a group.
+func (m *Monoid) GroupKernelSize() int {
+	n := 0
+	for i := range m.Elems {
+		if !m.elementAperiodic(i) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package monoid
+
+import (
+	"testing"
+
+	"repro/internal/dfa"
+)
+
+func TestAperiodicStarFreeLanguages(t *testing.T) {
+	// Star-free languages (their minimal automata count nothing modulo
+	// k > 1): syntactic monoid must be aperiodic.
+	starFree := []string{
+		"(?s).*abb",       // ends with abb: star-free
+		"a+b*",            // threshold counting only
+		"(?s).*(T.*Y.*P)", // subsequence pattern (the .*-chain family)
+		"abc",             // finite language
+		// (ab)* is star-free despite its spelling: it is "starts with a,
+		// ends with b, contains neither aa nor bb" — no modular counting.
+		"(ab)*",
+	}
+	for _, pat := range starFree {
+		m, err := Transition(dfa.MustCompilePattern(pat), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.IsAperiodic() {
+			t.Errorf("%q should have an aperiodic monoid", pat)
+		}
+		if m.GroupKernelSize() != 0 {
+			t.Errorf("%q: group kernel should be empty", pat)
+		}
+	}
+}
+
+func TestPeriodicLanguagesNotAperiodic(t *testing.T) {
+	// Modular counting needs nontrivial groups.
+	// Note: the r_n family is NOT here — although it looks like a mod-2n
+	// counter, the low/high letter classes pin every word to a unique
+	// cycle offset, so no transformation permutes a set nontrivially and
+	// the monoid is aperiodic. Fig. 10's even/odd pattern genuinely
+	// counts (period-2 classes in a 10-cycle ⇒ a 5-cycle on the evens).
+	periodic := []string{
+		"(aa)*",                  // length parity: the canonical non-star-free language
+		"(([02468][13579]){5})*", // mod-10 counter (Fig. 10's pattern)
+	}
+	for _, pat := range periodic {
+		m, err := Transition(dfa.MustCompilePattern(pat), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.IsAperiodic() {
+			t.Errorf("%q should NOT be aperiodic", pat)
+		}
+		if m.GroupKernelSize() == 0 {
+			t.Errorf("%q: expected a nonempty group kernel", pat)
+		}
+	}
+}
+
+func TestFullTransformationMonoidNotAperiodic(t *testing.T) {
+	d, err := Fact2DFA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAperiodic() {
+		t.Error("T_3 contains S_3, hence is not aperiodic")
+	}
+	// The group kernel contains at least the 6 permutations.
+	if k := m.GroupKernelSize(); k < 5 {
+		t.Errorf("group kernel = %d, want ≥ 5", k)
+	}
+}

@@ -1,0 +1,166 @@
+package monoid
+
+// Green's relations — the standard structure theory of finite monoids,
+// and the natural next step past the paper's Sect. VII-A observation that
+// SFA states are syntactic-monoid elements. Two elements are R-related
+// when they generate the same right ideal (fM = gM), L-related for left
+// ideals, J-related for two-sided ideals, and H = R ∩ L. For finite
+// monoids D = J.
+//
+// Computation: in the right Cayley graph (edges f → f⊙g for generators g)
+// the R-classes are exactly the strongly connected components; likewise
+// L with the left Cayley graph and J with the union of both edge sets.
+
+// Green holds the relation classes of a monoid, as class ids per element.
+type Green struct {
+	M *Monoid
+	R []int // element → R-class id
+	L []int // element → L-class id
+	J []int // element → J-class id (= D-class)
+	H []int // element → H-class id
+
+	NumR, NumL, NumJ, NumH int
+}
+
+// GreenRelations computes all four relations.
+func GreenRelations(m *Monoid) *Green {
+	right := cayley(m, false)
+	left := cayley(m, true)
+	both := make([][]int32, m.Size())
+	for i := range both {
+		both[i] = append(append([]int32{}, right[i]...), left[i]...)
+	}
+	g := &Green{M: m}
+	g.R, g.NumR = scc(right)
+	g.L, g.NumL = scc(left)
+	g.J, g.NumJ = scc(both)
+
+	// H-classes: pairs (R-class, L-class) that occur.
+	type rl struct{ r, l int }
+	ids := map[rl]int{}
+	g.H = make([]int, m.Size())
+	for i := range g.H {
+		k := rl{g.R[i], g.L[i]}
+		id, ok := ids[k]
+		if !ok {
+			id = len(ids)
+			ids[k] = id
+		}
+		g.H[i] = id
+	}
+	g.NumH = len(ids)
+	return g
+}
+
+// cayley builds the (right or left) Cayley graph over the generators.
+func cayley(m *Monoid, leftSide bool) [][]int32 {
+	adj := make([][]int32, m.Size())
+	for i := 0; i < m.Size(); i++ {
+		for _, gen := range m.Gens {
+			var to int
+			if leftSide {
+				to = m.Compose(gen, i)
+			} else {
+				to = m.Compose(i, gen)
+			}
+			adj[i] = append(adj[i], int32(to))
+		}
+	}
+	return adj
+}
+
+// ClassSizes returns a histogram: class id → member count.
+func ClassSizes(class []int, num int) []int {
+	sizes := make([]int, num)
+	for _, c := range class {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// scc computes strongly connected components with Tarjan's algorithm
+// (iterative, to stay safe on monoids with 10⁵ elements).
+func scc(adj [][]int32) (comp []int, numComp int) {
+	n := len(adj)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32 = 0
+
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var call []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{int32(root), 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.edge < len(adj[v]) {
+				w := adj[v][f.edge]
+				f.edge++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop component if v is a root.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, numComp
+}
+
+// Rank returns the rank (image size) of element i — the invariant that
+// stratifies the J-order of transformation monoids.
+func (g *Green) Rank(i int) int {
+	seen := make(map[int16]bool)
+	for _, x := range g.M.Elems[i] {
+		seen[x] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,148 @@
+package monoid
+
+import (
+	"testing"
+
+	"repro/internal/dfa"
+)
+
+// TestGreenFullTransformationMonoid checks the classical egg-box of T_3:
+// 27 elements in three J-classes stratified by rank —
+// rank 3: the group S_3 (6 elements, 1 R-class, 1 L-class);
+// rank 2: 18 elements, 3 R-classes (kernels) × 3 L-classes (images);
+// rank 1: the 3 constant maps.
+func TestGreenFullTransformationMonoid(t *testing.T) {
+	d, err := Fact2DFA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 27 {
+		t.Fatalf("|T_3| = %d", m.Size())
+	}
+	g := GreenRelations(m)
+	if g.NumJ != 3 {
+		t.Errorf("J-classes = %d, want 3", g.NumJ)
+	}
+	// Count J-class sizes and verify the rank stratification.
+	sizes := ClassSizes(g.J, g.NumJ)
+	byRank := map[int]int{}
+	for i := 0; i < m.Size(); i++ {
+		byRank[g.Rank(i)]++
+	}
+	if byRank[3] != 6 || byRank[2] != 18 || byRank[1] != 3 {
+		t.Errorf("rank strata = %v, want 3:6 2:18 1:3", byRank)
+	}
+	// Each J-class must be rank-homogeneous.
+	rankOfJ := map[int]int{}
+	for i := 0; i < m.Size(); i++ {
+		r := g.Rank(i)
+		if prev, ok := rankOfJ[g.J[i]]; ok && prev != r {
+			t.Fatal("J-class mixes ranks")
+		}
+		rankOfJ[g.J[i]] = r
+	}
+	_ = sizes
+	// Rank-2 J-class: 3 R-classes × 3 L-classes, H-classes of size 2.
+	numR2, numL2 := map[int]bool{}, map[int]bool{}
+	hSizes := map[int]int{}
+	for i := 0; i < m.Size(); i++ {
+		if g.Rank(i) == 2 {
+			numR2[g.R[i]] = true
+			numL2[g.L[i]] = true
+			hSizes[g.H[i]]++
+		}
+	}
+	if len(numR2) != 3 || len(numL2) != 3 {
+		t.Errorf("rank-2: %d R-classes, %d L-classes, want 3 and 3", len(numR2), len(numL2))
+	}
+	for h, size := range hSizes {
+		if size != 2 {
+			t.Errorf("rank-2 H-class %d has %d elements, want 2", h, size)
+		}
+	}
+}
+
+// TestGreenGroupIsSingleClass: in a group every Green relation is trivial
+// (one class).
+func TestGreenGroupIsSingleClass(t *testing.T) {
+	n := 5
+	cyc := make([]int32, n)
+	for q := 0; q < n; q++ {
+		cyc[q] = int32((q + 1) % n)
+	}
+	accept := make([]bool, n)
+	accept[0] = true
+	d, err := FromTransformations(map[byte][]int32{'c': cyc}, 0, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GreenRelations(m)
+	if g.NumR != 1 || g.NumL != 1 || g.NumJ != 1 || g.NumH != 1 {
+		t.Errorf("group should have single classes, got R=%d L=%d J=%d H=%d",
+			g.NumR, g.NumL, g.NumJ, g.NumH)
+	}
+}
+
+// TestGreenAbStar inspects the 6-element monoid of (ab)*: the zero is its
+// own J-class, the identity its own, and H refines R and L everywhere.
+func TestGreenAbStar(t *testing.T) {
+	m, err := Transition(dfa.MustCompilePattern("(ab)*"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GreenRelations(m)
+	zero, ok := m.Zero()
+	if !ok {
+		t.Fatal("no zero")
+	}
+	// Zero and identity are alone in their J-classes.
+	zs := ClassSizes(g.J, g.NumJ)
+	if zs[g.J[zero]] != 1 {
+		t.Error("zero should be a singleton J-class")
+	}
+	if zs[g.J[m.Identity]] != 1 {
+		t.Error("identity should be a singleton J-class")
+	}
+	// H ⊆ R and H ⊆ L: same H-class implies same R and L classes.
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if g.H[i] == g.H[j] && (g.R[i] != g.R[j] || g.L[i] != g.L[j]) {
+				t.Fatal("H does not refine R ∩ L")
+			}
+		}
+	}
+	// J is coarser than R and L.
+	for i := 0; i < m.Size(); i++ {
+		for j := 0; j < m.Size(); j++ {
+			if g.R[i] == g.R[j] && g.J[i] != g.J[j] {
+				t.Fatal("R-related elements must be J-related")
+			}
+			if g.L[i] == g.L[j] && g.J[i] != g.J[j] {
+				t.Fatal("L-related elements must be J-related")
+			}
+		}
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// 0 ↔ 1, 2 alone, 3 → 0 (not back).
+	adj := [][]int32{{1}, {0}, {}, {0}}
+	comp, n := scc(adj)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] {
+		t.Error("0 and 1 must share a component")
+	}
+	if comp[2] == comp[0] || comp[3] == comp[0] || comp[2] == comp[3] {
+		t.Error("2 and 3 must be singletons")
+	}
+}

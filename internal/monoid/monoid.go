@@ -1,0 +1,181 @@
+// Package monoid implements the algebraic view of SFA developed in the
+// paper's Sect. VII: the transition monoid of a DFA (whose elements are
+// exactly the states of the D-SFA built from it), syntactic complexity,
+// idempotents, and the explosion witnesses of Sect. VII-B (Facts 1 and 2).
+//
+// For a minimal complete DFA the transition monoid is (isomorphic to) the
+// syntactic monoid of the language, so
+//
+//	syntactic complexity = |minimal D-SFA|
+//
+// — "syntactic complexity is also parallel complexity of regular
+// expressions" (Sect. VII-A).
+package monoid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+// ErrTooLarge is returned when monoid enumeration exceeds the cap.
+var ErrTooLarge = errors.New("monoid: element cap exceeded")
+
+// Monoid is a finite transformation monoid over {0, …, Degree−1}.
+// Element 0 is always the identity.
+type Monoid struct {
+	Degree   int       // number of points acted upon (= DFA states)
+	Elems    [][]int16 // element id → transformation vector
+	Identity int       // always 0
+	Gens     []int     // ids of the generators (one per DFA byte class)
+
+	index map[string]int
+}
+
+// Transition enumerates the transition monoid of a complete DFA: the
+// closure of the per-byte-class transformations under composition,
+// together with the identity. cap > 0 bounds the element count.
+//
+// This is the same set the correspondence construction reaches
+// (Algorithm 4), computed here by Cayley-graph closure as an independent
+// oracle for the |D-SFA| = |monoid| tests.
+func Transition(d *dfa.DFA, cap int) (*Monoid, error) {
+	n := d.NumStates
+	m := &Monoid{Degree: n, index: make(map[string]int)}
+
+	id := make([]int16, n)
+	for q := range id {
+		id[q] = int16(q)
+	}
+	m.add(id)
+
+	// One generator per byte class.
+	gens := make([][]int16, d.BC.Count)
+	for c := 0; c < d.BC.Count; c++ {
+		g := make([]int16, n)
+		for q := 0; q < n; q++ {
+			g[q] = int16(d.NextClass(int32(q), c))
+		}
+		gens[c] = g
+		m.Gens = append(m.Gens, m.add(g))
+	}
+
+	// BFS closure: every element times every generator.
+	h := make([]int16, n)
+	for i := 0; i < len(m.Elems); i++ {
+		for _, g := range gens {
+			core.ComposeVec(h, m.Elems[i], g)
+			if _, ok := m.index[key16(h)]; !ok {
+				if cap > 0 && len(m.Elems) >= cap {
+					return nil, fmt.Errorf("%w (cap %d)", ErrTooLarge, cap)
+				}
+				m.add(append([]int16(nil), h...))
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Monoid) add(v []int16) int {
+	k := key16(v)
+	if i, ok := m.index[k]; ok {
+		return i
+	}
+	i := len(m.Elems)
+	m.Elems = append(m.Elems, v)
+	m.index[k] = i
+	return i
+}
+
+func key16(v []int16) string {
+	b := make([]byte, len(v)*2)
+	for i, x := range v {
+		b[i*2] = byte(x)
+		b[i*2+1] = byte(uint16(x) >> 8)
+	}
+	return string(b)
+}
+
+// Size returns the number of elements (the syntactic complexity when the
+// monoid came from a minimal DFA).
+func (m *Monoid) Size() int { return len(m.Elems) }
+
+// Lookup returns the id of the element equal to vector v, if present.
+func (m *Monoid) Lookup(v []int16) (int, bool) {
+	i, ok := m.index[key16(v)]
+	return i, ok
+}
+
+// Compose returns the id of Elems[i] ⊙ Elems[j] ("i then j").
+// The monoid is closed, so the lookup always succeeds.
+func (m *Monoid) Compose(i, j int) int {
+	h := make([]int16, m.Degree)
+	core.ComposeVec(h, m.Elems[i], m.Elems[j])
+	k, ok := m.Lookup(h)
+	if !ok {
+		panic("monoid: closure violated")
+	}
+	return k
+}
+
+// Idempotents returns the ids of all elements with e ⊙ e = e. Idempotents
+// are the anchors of Green's-relation structure and a standard measure of
+// monoid complexity.
+func (m *Monoid) Idempotents() []int {
+	var out []int
+	for i := range m.Elems {
+		if m.Compose(i, i) == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Zero returns the absorbing element (z ⊙ x = x ⊙ z = z for all x), if
+// one exists. For languages whose minimal DFA has a dead sink it is the
+// everywhere-dead transformation.
+func (m *Monoid) Zero() (int, bool) {
+	for i := range m.Elems {
+		isZero := true
+		for j := range m.Elems {
+			if m.Compose(i, j) != i || m.Compose(j, i) != i {
+				isZero = false
+				break
+			}
+		}
+		if isZero {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// IsGroup reports whether every element is invertible (the monoid is a
+// permutation group). Star-free languages have aperiodic — maximally
+// non-group — monoids; counter languages like (ab)* contain nontrivial
+// group structure.
+func (m *Monoid) IsGroup() bool {
+	for _, v := range m.Elems {
+		seen := make([]bool, m.Degree)
+		for _, x := range v {
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+	}
+	return true
+}
+
+// SyntacticComplexity returns the size of the syntactic monoid of L(d):
+// the transition monoid of the minimized DFA. Per Sect. VII-A this equals
+// the total state count of the minimal D-SFA.
+func SyntacticComplexity(d *dfa.DFA, cap int) (int, error) {
+	m, err := Transition(dfa.Minimize(d), cap)
+	if err != nil {
+		return 0, err
+	}
+	return m.Size(), nil
+}

@@ -1,0 +1,241 @@
+package monoid
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+func TestTransitionMonoidOfAbStar(t *testing.T) {
+	// Table I: the SFA of (ab)* has six states, which are exactly the six
+	// elements of the transition monoid of its 3-state minimal DFA.
+	d := dfa.MustCompilePattern("(ab)*")
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 6 {
+		t.Fatalf("monoid size = %d, want 6", m.Size())
+	}
+	// Identity element is element 0 and is idempotent.
+	if m.Compose(m.Identity, m.Identity) != m.Identity {
+		t.Error("identity not idempotent")
+	}
+	// Idempotents of this monoid: id, dead, f4 (after ab), f5 (after ba).
+	if got := len(m.Idempotents()); got != 4 {
+		t.Errorf("idempotents = %d, want 4", got)
+	}
+	// The all-dead transformation is the zero.
+	if _, ok := m.Zero(); !ok {
+		t.Error("expected a zero element")
+	}
+	if m.IsGroup() {
+		t.Error("(ab)*'s monoid is not a group (it has a zero)")
+	}
+}
+
+// TestSyntacticComplexityEqualsSFASize is the paper's Sect. VII-A claim:
+// the size of the minimal D-SFA equals the syntactic complexity.
+func TestSyntacticComplexityEqualsSFASize(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		pat := randPattern(r, 3)
+		d := dfa.MustCompilePattern(pat)
+		s, err := core.BuildDSFA(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := SyntacticComplexity(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc != s.NumStates {
+			t.Fatalf("pattern %q: syntactic complexity %d ≠ |D-SFA| %d",
+				pat, sc, s.NumStates)
+		}
+	}
+}
+
+func TestMonoidClosureAndAssociativity(t *testing.T) {
+	d := dfa.MustCompilePattern("([0-4]{2}[5-9]{2})*")
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		i, j, k := r.Intn(m.Size()), r.Intn(m.Size()), r.Intn(m.Size())
+		if m.Compose(m.Compose(i, j), k) != m.Compose(i, m.Compose(j, k)) {
+			t.Fatal("associativity violated")
+		}
+	}
+	// Identity behaves as a two-sided unit.
+	for i := 0; i < m.Size(); i++ {
+		if m.Compose(m.Identity, i) != i || m.Compose(i, m.Identity) != i {
+			t.Fatal("identity not a unit")
+		}
+	}
+}
+
+func TestCyclicGroupMonoid(t *testing.T) {
+	// A pure n-cycle generates the cyclic group Z_n: a monoid that IS a
+	// group, with exactly one idempotent (the identity) and no zero.
+	n := 6
+	cyc := make([]int32, n)
+	for q := 0; q < n; q++ {
+		cyc[q] = int32((q + 1) % n)
+	}
+	accept := make([]bool, n)
+	accept[0] = true
+	d, err := FromTransformations(map[byte][]int32{'c': cyc}, 0, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Transition(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != n {
+		t.Errorf("cyclic monoid size = %d, want %d", m.Size(), n)
+	}
+	if !m.IsGroup() {
+		t.Error("Z_n should be a group")
+	}
+	if got := len(m.Idempotents()); got != 1 {
+		t.Errorf("idempotents = %d, want 1", got)
+	}
+	if _, ok := m.Zero(); ok {
+		t.Error("a nontrivial group has no zero")
+	}
+}
+
+func TestFact1ExponentialBlowup(t *testing.T) {
+	// Example 3 / Fact 1: linear NFA, exponential minimal DFA. The paper's
+	// NFA for [ap]*[al][alp]{k−1} has k+1 states and its determinization
+	// reaches all 2^(k+1) bit-vectors (including the empty one — our dead
+	// state). The Glushkov NFA carries one extra initial state.
+	for k := 1; k <= 9; k++ {
+		a, d, err := BuildFact1(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumStates != k+2 {
+			t.Errorf("k=%d: Glushkov |N| = %d, want %d", k, a.NumStates, k+2)
+		}
+		if want := 1 << (k + 1); d.NumStates != want {
+			t.Errorf("k=%d: |D| = %d, want 2^%d = %d", k, d.NumStates, k+1, want)
+		}
+		if d.LiveSize() != d.NumStates-1 {
+			t.Errorf("k=%d: exactly the empty subset should be dead", k)
+		}
+	}
+}
+
+func TestFact2FullTransformationMonoid(t *testing.T) {
+	// Fact 2: |Sd| = |D|^|D|. The witness DFA's transition monoid is the
+	// full transformation monoid T_n.
+	pow := func(a, b int) int {
+		r := 1
+		for i := 0; i < b; i++ {
+			r *= a
+		}
+		return r
+	}
+	for n := 2; n <= 4; n++ {
+		d, err := Fact2DFA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The DFA must be minimal already.
+		if m := dfa.Minimize(d); m.NumStates != d.NumStates {
+			t.Fatalf("n=%d: witness DFA not minimal (%d → %d)", n, d.NumStates, m.NumStates)
+		}
+		s, err := core.BuildDSFA(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pow(n, n); s.NumStates != want {
+			t.Errorf("n=%d: |Sd| = %d, want n^n = %d", n, s.NumStates, want)
+		}
+		mo, err := Transition(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.Size() != s.NumStates {
+			t.Errorf("n=%d: monoid %d ≠ SFA %d", n, mo.Size(), s.NumStates)
+		}
+	}
+}
+
+func TestFact2DFAValidations(t *testing.T) {
+	if _, err := Fact2DFA(1); err == nil {
+		t.Error("n=1 should be rejected")
+	}
+	// FromTransformations input validation.
+	if _, err := FromTransformations(map[byte][]int32{'x': {0, 1}}, 0, []bool{true}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FromTransformations(map[byte][]int32{'x': {5}}, 0, []bool{true}); err == nil {
+		t.Error("out-of-range target should error")
+	}
+	if _, err := FromTransformations(nil, 0, nil); err == nil {
+		t.Error("empty state set should error")
+	}
+	if _, err := FromTransformations(map[byte][]int32{'x': {0}}, 3, []bool{true}); err == nil {
+		t.Error("start out of range should error")
+	}
+}
+
+func TestTransitionCap(t *testing.T) {
+	d, err := Fact2DFA(4) // 256 elements
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transition(d, 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDevadzeCorollaryShape(t *testing.T) {
+	// Corollary 3.1's contrapositive, checked in the small: N-SFA of a
+	// k-state NFA never exceeds 2^(k²), and for the tiny Glushkov NFAs
+	// here it stays far below — finding near-bound N-SFAs needs
+	// exponentially many generators (Devadze), so random/structured small
+	// regexes cannot reach it.
+	d := dfa.MustCompilePattern("(ab|ba)*")
+	s, err := core.BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d.NumStates
+	bound := 1
+	for i := 0; i < k*k && bound < 1<<30; i++ {
+		bound *= 2
+	}
+	if s.NumStates >= bound {
+		t.Errorf("|Sd| = %d reached the 2^(k²) = %d bound", s.NumStates, bound)
+	}
+}
+
+func randPattern(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return string(byte('a' + r.Intn(3)))
+	}
+	switch r.Intn(6) {
+	case 0:
+		return randPattern(r, depth-1) + randPattern(r, depth-1)
+	case 1:
+		return "(?:" + randPattern(r, depth-1) + "|" + randPattern(r, depth-1) + ")"
+	case 2:
+		return "(?:" + randPattern(r, depth-1) + ")*"
+	case 3:
+		return "(?:" + randPattern(r, depth-1) + ")?"
+	case 4:
+		return "(?:" + randPattern(r, depth-1) + ")+"
+	default:
+		return randPattern(r, depth-1)
+	}
+}

@@ -1,0 +1,137 @@
+package monoid
+
+import (
+	"fmt"
+
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// This file builds the state-explosion witnesses of the paper's
+// Sect. VII-B.
+//
+// Fact 1 (Example 3): over a 3-letter alphabet there are regular
+// expressions whose NFA is linear but whose minimal DFA is exponential.
+// The family [ap]*[al][alp]{k-1} expresses "the k-th symbol from the end
+// is a or l": its Glushkov NFA has k+2 states while the minimal DFA needs
+// 2^k live states (it must remember the [al]-membership of a k-symbol
+// window; Example 3's shift argument).
+//
+// Fact 2 (Example 4): over a 3-letter alphabet there are minimal DFAs
+// whose D-SFA reaches the theoretical bound |Sd| = |D|^|D|. The witness
+// is algebraic: a DFA whose three letters act as (i) an n-cycle, (ii) a
+// transposition and (iii) a rank-(n−1) idempotent. Those three
+// transformations are the classical generating set of the full
+// transformation monoid T_n, |T_n| = n^n, and the D-SFA enumerates
+// exactly the transition monoid.
+
+// Fact1Pattern returns the Example 3 pattern for window size k ≥ 1.
+func Fact1Pattern(k int) string {
+	if k == 1 {
+		return "[ap]*[al]"
+	}
+	return fmt.Sprintf("[ap]*[al][alp]{%d}", k-1)
+}
+
+// BuildFact1 compiles Fact1Pattern(k) and returns the Glushkov NFA and
+// the minimal DFA. The caller asserts |N| = k+2 and live |D| = 2^k.
+func BuildFact1(k int) (*nfa.NFA, *dfa.DFA, error) {
+	node, err := syntax.Parse(Fact1Pattern(k), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := nfa.Glushkov(node)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := dfa.Determinize(a, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, dfa.Minimize(d), nil
+}
+
+// Fact2DFA builds the n-state minimal DFA over Σ = {c, t, m} whose
+// transition monoid is the full transformation monoid T_n:
+//
+//	'c' acts as the cycle      (0 1 2 … n−1)
+//	't' acts as the transposition (0 1)
+//	'm' acts as the merge      0 ↦ 1, q ↦ q otherwise
+//
+// Every other byte acts as the identity (self-loops), so the automaton is
+// complete without a dead sink. Start state 0; accepting {0}.
+// The D-SFA of this DFA has exactly n^n states (Fact 2: |Sd| = |D|^|D|).
+func Fact2DFA(n int) (*dfa.DFA, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("monoid: Fact2DFA needs n ≥ 2, got %d", n)
+	}
+	gens := map[byte][]int32{
+		'c': make([]int32, n),
+		't': make([]int32, n),
+		'm': make([]int32, n),
+	}
+	for q := 0; q < n; q++ {
+		gens['c'][q] = int32((q + 1) % n)
+		gens['t'][q] = int32(q)
+		gens['m'][q] = int32(q)
+	}
+	gens['t'][0], gens['t'][1] = 1, 0
+	gens['m'][0] = 1
+	accept := make([]bool, n)
+	accept[0] = true
+	return FromTransformations(gens, 0, accept)
+}
+
+// FromTransformations builds a complete DFA whose named bytes act as the
+// given transformations of {0, …, n−1} and whose remaining bytes act as
+// the identity. It validates ranges and that all vectors agree on n.
+func FromTransformations(gens map[byte][]int32, start int32, accept []bool) (*dfa.DFA, error) {
+	n := len(accept)
+	if n == 0 {
+		return nil, fmt.Errorf("monoid: empty state set")
+	}
+	for b, v := range gens {
+		if len(v) != n {
+			return nil, fmt.Errorf("monoid: generator %q has length %d, want %d", b, len(v), n)
+		}
+		for _, to := range v {
+			if to < 0 || int(to) >= n {
+				return nil, fmt.Errorf("monoid: generator %q maps out of range", b)
+			}
+		}
+	}
+	if int(start) >= n {
+		return nil, fmt.Errorf("monoid: start %d out of range", start)
+	}
+
+	// Byte classes: one class per distinct generator byte, one for the rest.
+	// Build them through a throwaway NFA, the canonical constructor.
+	probe := nfa.New(n + 1)
+	for b := range gens {
+		var s syntax.CharSet
+		s.AddByte(b)
+		probe.AddEdge(0, 1, s)
+	}
+	bc := nfa.Classes(probe)
+
+	d := dfa.New(n, bc)
+	d.Start = start
+	copy(d.Accept, accept)
+	for c := 0; c < bc.Count; c++ {
+		rep := bc.Rep[c]
+		v, ok := gens[rep]
+		for q := 0; q < n; q++ {
+			to := int32(q) // identity for unnamed bytes
+			if ok {
+				to = v[q]
+			}
+			d.NextC[q*bc.Count+c] = to
+		}
+	}
+	d.DetectDead()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

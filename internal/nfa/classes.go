@@ -1,0 +1,71 @@
+package nfa
+
+import "repro/internal/syntax"
+
+// ByteClasses partitions the 256-byte alphabet into equivalence classes:
+// two bytes are equivalent when no edge label of the automaton
+// distinguishes them, so the automaton (and everything derived from it)
+// behaves identically on them. This is the standard alphabet-compression
+// technique the paper alludes to in Sect. V-A ("we can apply known
+// implementation techniques"); it is what makes building the 10⁶-state
+// D-SFA of r500 tractable.
+type ByteClasses struct {
+	Of    [256]uint8 // byte → class id
+	Count int        // number of classes (≤ 256)
+	Rep   []byte     // one representative byte per class
+}
+
+// Classes computes the byte equivalence classes induced by the edge
+// labels of a.
+func Classes(a *NFA) *ByteClasses {
+	// Deduplicate the distinct CharSets appearing on edges.
+	seen := make(map[syntax.CharSet]bool)
+	var sets []syntax.CharSet
+	for _, es := range a.Edges {
+		for _, e := range es {
+			if !seen[e.Set] {
+				seen[e.Set] = true
+				sets = append(sets, e.Set)
+			}
+		}
+	}
+	return classesFromSets(sets)
+}
+
+// classesFromSets refines {0..255} by membership in each set.
+func classesFromSets(sets []syntax.CharSet) *ByteClasses {
+	bc := &ByteClasses{Count: 1}
+	for _, set := range sets {
+		type key struct {
+			old uint8
+			in  bool
+		}
+		remap := make(map[key]uint8)
+		var next uint8
+		var newOf [256]uint8
+		for b := 0; b < 256; b++ {
+			k := key{bc.Of[b], set.Contains(byte(b))}
+			id, ok := remap[k]
+			if !ok {
+				id = next
+				next++
+				remap[k] = id
+			}
+			newOf[b] = id
+		}
+		bc.Of = newOf
+		bc.Count = int(next)
+		if bc.Count == 256 {
+			break
+		}
+	}
+	bc.Rep = make([]byte, bc.Count)
+	found := make([]bool, bc.Count)
+	for b := 0; b < 256; b++ {
+		if c := bc.Of[b]; !found[c] {
+			found[c] = true
+			bc.Rep[c] = byte(b)
+		}
+	}
+	return bc
+}

@@ -1,0 +1,172 @@
+package nfa
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/syntax"
+)
+
+// MaxPositions bounds the Glushkov position set (and hence the NFA size).
+// It protects the determinizer from adversarial counted repeats; the
+// largest automaton used in the paper (r500) needs 1000 positions.
+const MaxPositions = 100_000
+
+// Glushkov builds the ε-free position automaton of the pattern tree using
+// the McNaughton–Yamada construction the paper cites ([17]): state 0 is
+// the unique initial state and states 1…m correspond to the m symbol
+// positions of the expression. The resulting NFA has exactly m+1 states,
+// matching the |N| = O(m) row of Table II.
+//
+// Counted repeats are expanded and anchors stripped (whole-input
+// acceptance semantics) before position numbering.
+func Glushkov(root *syntax.Node) (*NFA, error) {
+	tree, _, _ := syntax.StripAnchors(root)
+	tree = syntax.ExpandRepeats(tree)
+	m := tree.NumPositions()
+	if m > MaxPositions {
+		return nil, fmt.Errorf("nfa: pattern needs %d positions, limit %d", m, MaxPositions)
+	}
+
+	g := &glushkov{
+		classes: make([]syntax.CharSet, m+1), // classes[0] unused
+		words:   (m + 1 + 63) / 64,
+	}
+	info := g.analyze(tree)
+
+	a := New(m + 1)
+	a.Start = []int32{0}
+	if info.nullable {
+		a.Accept[0] = true
+	}
+	forEachBit(info.last, func(p int32) {
+		a.Accept[p] = true
+	})
+	// Initial transitions: 0 --class(p)--> p for p ∈ first.
+	forEachBit(info.first, func(p int32) {
+		a.AddEdge(0, p, g.classes[p])
+	})
+	// Interior transitions: q --class(p)--> p for p ∈ follow(q).
+	for q := int32(1); g.follow != nil && q <= int32(m); q++ {
+		if g.follow[q] == nil {
+			continue
+		}
+		forEachBit(g.follow[q], func(p int32) {
+			a.AddEdge(q, p, g.classes[p])
+		})
+	}
+	return a, nil
+}
+
+// glushkov carries the state of one construction run.
+type glushkov struct {
+	classes []syntax.CharSet // position → byte class at that position
+	follow  [][]uint64       // position → follow set (bitset), 1-based
+	nextPos int32
+	words   int // bitset length in words
+}
+
+// ginfo aggregates the classic attributes of a subexpression.
+type ginfo struct {
+	nullable    bool
+	first, last []uint64 // position bitsets
+}
+
+func (g *glushkov) newSet() []uint64 { return make([]uint64, g.words) }
+
+func (g *glushkov) analyze(n *syntax.Node) ginfo {
+	switch n.Op {
+	case syntax.OpNone:
+		return ginfo{nullable: false, first: g.newSet(), last: g.newSet()}
+
+	case syntax.OpEmpty, syntax.OpAnchor:
+		return ginfo{nullable: true, first: g.newSet(), last: g.newSet()}
+
+	case syntax.OpClass:
+		g.nextPos++
+		p := g.nextPos
+		g.classes[p] = n.Set
+		in := ginfo{first: g.newSet(), last: g.newSet()}
+		setBit(in.first, p)
+		setBit(in.last, p)
+		return in
+
+	case syntax.OpConcat:
+		acc := g.analyze(n.Sub[0])
+		for _, s := range n.Sub[1:] {
+			ri := g.analyze(s)
+			// follow(q) ∪= first(r) for q ∈ last(acc)
+			forEachBit(acc.last, func(q int32) {
+				g.addFollow(q, ri.first)
+			})
+			if acc.nullable {
+				orInto(acc.first, ri.first)
+			}
+			if ri.nullable {
+				orInto(ri.last, acc.last)
+			}
+			acc = ginfo{
+				nullable: acc.nullable && ri.nullable,
+				first:    acc.first,
+				last:     ri.last,
+			}
+		}
+		return acc
+
+	case syntax.OpAlt:
+		acc := g.analyze(n.Sub[0])
+		for _, s := range n.Sub[1:] {
+			ri := g.analyze(s)
+			acc.nullable = acc.nullable || ri.nullable
+			orInto(acc.first, ri.first)
+			orInto(acc.last, ri.last)
+		}
+		return acc
+
+	case syntax.OpStar, syntax.OpPlus:
+		in := g.analyze(n.Sub[0])
+		// follow(q) ∪= first for q ∈ last: the loop-back edges.
+		forEachBit(in.last, func(q int32) {
+			g.addFollow(q, in.first)
+		})
+		return ginfo{
+			nullable: n.Op == syntax.OpStar || in.nullable,
+			first:    in.first,
+			last:     in.last,
+		}
+
+	case syntax.OpQuest:
+		in := g.analyze(n.Sub[0])
+		in.nullable = true
+		return in
+	}
+	panic(fmt.Sprintf("nfa: unexpected op %v after expansion", n.Op))
+}
+
+func (g *glushkov) addFollow(q int32, set []uint64) {
+	if g.follow == nil {
+		g.follow = make([][]uint64, len(g.classes))
+	}
+	if g.follow[q] == nil {
+		g.follow[q] = g.newSet()
+	}
+	orInto(g.follow[q], set)
+}
+
+func setBit(s []uint64, i int32) { s[i>>6] |= 1 << (i & 63) }
+
+func orInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func forEachBit(s []uint64, f func(int32)) {
+	for w, word := range s {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			f(int32(w*64 + t))
+			word &^= 1 << t
+		}
+	}
+}

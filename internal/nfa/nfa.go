@@ -1,0 +1,160 @@
+// Package nfa implements nondeterministic finite automata over the byte
+// alphabet, together with the two classic regex→NFA constructions used by
+// the paper and its validation oracle:
+//
+//   - the McNaughton–Yamada/Glushkov position construction (ε-free), which
+//     is what the paper's matcher uses as its first stage (Sect. VI), and
+//   - the Thompson construction (with ε-transitions), used here as an
+//     independently derived cross-check.
+//
+// The package also provides a bitset-frontier simulator — the O(|N|·n)
+// "NFA" row of the paper's Table II — and byte equivalence classes, the
+// standard alphabet-compression technique referenced in Sect. V-A.
+package nfa
+
+import (
+	"fmt"
+
+	"repro/internal/syntax"
+)
+
+// Edge is a labelled transition: on any byte in Set, move to state To.
+type Edge struct {
+	Set syntax.CharSet
+	To  int32
+}
+
+// NFA is a nondeterministic finite automaton (Q, Σ, δ, I, F) in the sense
+// of the paper's Definition 1: a set of initial states, byte-labelled
+// edges, and optionally ε-edges (Thompson construction only).
+type NFA struct {
+	NumStates int
+	Start     []int32   // I ⊆ Q
+	Accept    []bool    // F as a characteristic vector, len == NumStates
+	Edges     [][]Edge  // Edges[q] = outgoing labelled transitions of q
+	Eps       [][]int32 // Eps[q] = outgoing ε-transitions of q (may be nil)
+}
+
+// New returns an NFA with n states and no transitions.
+func New(n int) *NFA {
+	return &NFA{
+		NumStates: n,
+		Accept:    make([]bool, n),
+		Edges:     make([][]Edge, n),
+	}
+}
+
+// AddEdge adds a transition from → to labelled with every byte in set.
+func (a *NFA) AddEdge(from, to int32, set syntax.CharSet) {
+	a.Edges[from] = append(a.Edges[from], Edge{Set: set, To: to})
+}
+
+// AddEps adds an ε-transition from → to.
+func (a *NFA) AddEps(from, to int32) {
+	if a.Eps == nil {
+		a.Eps = make([][]int32, a.NumStates)
+	}
+	a.Eps[from] = append(a.Eps[from], to)
+}
+
+// HasEps reports whether the automaton has any ε-transitions.
+func (a *NFA) HasEps() bool {
+	for _, e := range a.Eps {
+		if len(e) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the total number of labelled transitions.
+func (a *NFA) NumEdges() int {
+	n := 0
+	for _, es := range a.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+// String summarizes the automaton for debugging.
+func (a *NFA) String() string {
+	return fmt.Sprintf("NFA{states: %d, edges: %d, start: %v, eps: %v}",
+		a.NumStates, a.NumEdges(), a.Start, a.HasEps())
+}
+
+// Reverse returns the reversal of a: every edge is flipped, initial and
+// final states swap roles. L(Reverse(a)) = { reverse(w) | w ∈ L(a) }.
+// Reversal is the first half of Brzozowski's minimization, used by package
+// dfa as a cross-check against Hopcroft's algorithm.
+func (a *NFA) Reverse() *NFA {
+	r := New(a.NumStates)
+	for q, es := range a.Edges {
+		for _, e := range es {
+			r.AddEdge(e.To, int32(q), e.Set)
+		}
+	}
+	for q, es := range a.Eps {
+		for _, to := range es {
+			r.AddEps(to, int32(q))
+		}
+	}
+	for _, s := range a.Start {
+		r.Accept[s] = true
+	}
+	for q, acc := range a.Accept {
+		if acc {
+			r.Start = append(r.Start, int32(q))
+		}
+	}
+	return r
+}
+
+// EpsClosure expands the state set held in the bitset frontier (one bit
+// per state) with everything reachable through ε-transitions, in place.
+func (a *NFA) EpsClosure(frontier []uint64) {
+	if a.Eps == nil {
+		return
+	}
+	var stack []int32
+	for q := 0; q < a.NumStates; q++ {
+		if frontier[q>>6]&(1<<(q&63)) != 0 {
+			stack = append(stack, int32(q))
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range a.Eps[q] {
+			w, b := to>>6, uint64(1)<<(to&63)
+			if frontier[w]&b == 0 {
+				frontier[w] |= b
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+// BitsetWords returns the number of 64-bit words needed for a state bitset.
+func (a *NFA) BitsetWords() int {
+	return (a.NumStates + 63) / 64
+}
+
+// StartSet returns the ε-closed initial state set as a bitset.
+func (a *NFA) StartSet() []uint64 {
+	s := make([]uint64, a.BitsetWords())
+	for _, q := range a.Start {
+		s[q>>6] |= 1 << (q & 63)
+	}
+	a.EpsClosure(s)
+	return s
+}
+
+// AcceptsSet reports whether the bitset contains an accepting state.
+func (a *NFA) AcceptsSet(set []uint64) bool {
+	for q, acc := range a.Accept {
+		if acc && set[q>>6]&(1<<(q&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,312 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/syntax"
+)
+
+func mustGlushkov(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	a, err := Glushkov(syntax.MustParse(pattern, 0))
+	if err != nil {
+		t.Fatalf("Glushkov(%q): %v", pattern, err)
+	}
+	return a
+}
+
+func mustThompson(t *testing.T, pattern string) *NFA {
+	t.Helper()
+	a, err := Thompson(syntax.MustParse(pattern, 0))
+	if err != nil {
+		t.Fatalf("Thompson(%q): %v", pattern, err)
+	}
+	return a
+}
+
+func TestGlushkovSizes(t *testing.T) {
+	// Glushkov automata have exactly m+1 states for m symbol positions.
+	cases := []struct {
+		pattern string
+		states  int
+	}{
+		{"a", 2},
+		{"(ab)*", 3},
+		{"abc", 4},
+		{"[0-4]{5}[5-9]{5}", 11},
+		{"([0-4]{5}[5-9]{5})*", 11},
+		{"a|b|c", 4},
+		{"", 1},
+	}
+	for _, c := range cases {
+		a := mustGlushkov(t, c.pattern)
+		if a.NumStates != c.states {
+			t.Errorf("Glushkov(%q) has %d states, want %d", c.pattern, a.NumStates, c.states)
+		}
+		if a.HasEps() {
+			t.Errorf("Glushkov(%q) has ε-transitions", c.pattern)
+		}
+		if len(a.Start) != 1 || a.Start[0] != 0 {
+			t.Errorf("Glushkov(%q) start = %v", c.pattern, a.Start)
+		}
+	}
+}
+
+func TestGlushkovMatchBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		yes     []string
+		no      []string
+	}{
+		{"(ab)*", []string{"", "ab", "abab", "ababab"}, []string{"a", "b", "ba", "aab", "abba"}},
+		{"a|b", []string{"a", "b"}, []string{"", "ab", "c"}},
+		{"a+", []string{"a", "aa", "aaa"}, []string{"", "b", "ab"}},
+		{"a?b", []string{"b", "ab"}, []string{"", "a", "aab"}},
+		{"[0-4]{2}[5-9]{2}", []string{"0055", "4499", "1256"}, []string{"", "00", "0505", "5500", "1234"}},
+		{"(a|bc)*d?", []string{"", "a", "bc", "abca", "d", "abcd"}, []string{"b", "c", "bd", "da"}},
+		{`\d+\.\d+`, []string{"3.14", "10.0"}, []string{"3.", ".14", "3,14"}},
+		{"x{2,4}", []string{"xx", "xxx", "xxxx"}, []string{"", "x", "xxxxx"}},
+		{"(([02468][13579]){5})*", []string{"", "0123456789", "01234567890123456789"}, []string{"01", "0123456788"}},
+	}
+	for _, c := range cases {
+		g := NewSimulator(mustGlushkov(t, c.pattern))
+		th := NewSimulator(mustThompson(t, c.pattern))
+		for _, w := range c.yes {
+			if !g.Match([]byte(w)) {
+				t.Errorf("Glushkov %q should accept %q", c.pattern, w)
+			}
+			if !th.Match([]byte(w)) {
+				t.Errorf("Thompson %q should accept %q", c.pattern, w)
+			}
+		}
+		for _, w := range c.no {
+			if g.Match([]byte(w)) {
+				t.Errorf("Glushkov %q should reject %q", c.pattern, w)
+			}
+			if th.Match([]byte(w)) {
+				t.Errorf("Thompson %q should reject %q", c.pattern, w)
+			}
+		}
+	}
+}
+
+func TestNoneLanguage(t *testing.T) {
+	// OpNone can arise from simplification; both constructions must yield
+	// the empty language.
+	n := syntax.Simplify(&syntax.Node{Op: syntax.OpConcat, Sub: []*syntax.Node{
+		{Op: syntax.OpNone},
+		syntax.Literal("a"),
+	}})
+	g, err := Glushkov(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := Thompson(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"", "a", "aa"} {
+		if NewSimulator(g).Match([]byte(w)) {
+			t.Errorf("Glushkov ∅ accepted %q", w)
+		}
+		if NewSimulator(th).Match([]byte(w)) {
+			t.Errorf("Thompson ∅ accepted %q", w)
+		}
+	}
+}
+
+// randPattern generates a random pattern over a small alphabet, used by the
+// cross-construction equivalence property test.
+func randPattern(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return "c"
+		default:
+			return "[ab]"
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return randPattern(r, depth-1) + randPattern(r, depth-1)
+	case 1:
+		return "(?:" + randPattern(r, depth-1) + "|" + randPattern(r, depth-1) + ")"
+	case 2:
+		return "(?:" + randPattern(r, depth-1) + ")*"
+	case 3:
+		return "(?:" + randPattern(r, depth-1) + ")?"
+	case 4:
+		return "(?:" + randPattern(r, depth-1) + ")+"
+	case 5:
+		return "(?:" + randPattern(r, depth-1) + "){1,3}"
+	default:
+		return randPattern(r, depth-1)
+	}
+}
+
+func randWord(r *rand.Rand, maxLen int) []byte {
+	n := r.Intn(maxLen + 1)
+	w := make([]byte, n)
+	for i := range w {
+		w[i] = byte('a' + r.Intn(3))
+	}
+	return w
+}
+
+func TestGlushkovThompsonAgreeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		pat := randPattern(r, 3)
+		node, err := syntax.Parse(pat, 0)
+		if err != nil {
+			t.Fatalf("generated bad pattern %q: %v", pat, err)
+		}
+		ga, err := Glushkov(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err := Thompson(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, ts := NewSimulator(ga), NewSimulator(ta)
+		for i := 0; i < 30; i++ {
+			w := randWord(r, 10)
+			if gs.Match(w) != ts.Match(w) {
+				t.Fatalf("disagreement on %q for pattern %q: glushkov=%v thompson=%v",
+					w, pat, gs.Match(w), ts.Match(w))
+			}
+		}
+	}
+}
+
+func TestReverseLanguage(t *testing.T) {
+	// w ∈ L(A) ⇔ reverse(w) ∈ L(Reverse(A)).
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		pat := randPattern(r, 3)
+		a := mustGlushkov(t, pat)
+		fwd := NewSimulator(a)
+		bwd := NewSimulator(a.Reverse())
+		for i := 0; i < 20; i++ {
+			w := randWord(r, 8)
+			rev := make([]byte, len(w))
+			for j := range w {
+				rev[j] = w[len(w)-1-j]
+			}
+			if fwd.Match(w) != bwd.Match(rev) {
+				t.Fatalf("reverse mismatch for %q on %q", pat, w)
+			}
+		}
+	}
+}
+
+func TestByteClasses(t *testing.T) {
+	a := mustGlushkov(t, "([0-4]{2}[5-9]{2})*")
+	bc := Classes(a)
+	// Three classes: [0-4], [5-9], everything else.
+	if bc.Count != 3 {
+		t.Fatalf("classes = %d, want 3", bc.Count)
+	}
+	if bc.Of['0'] != bc.Of['4'] || bc.Of['5'] != bc.Of['9'] {
+		t.Error("digits split incorrectly")
+	}
+	if bc.Of['0'] == bc.Of['5'] || bc.Of['0'] == bc.Of['z'] {
+		t.Error("distinct behaviours merged")
+	}
+	if len(bc.Rep) != 3 {
+		t.Fatalf("reps = %v", bc.Rep)
+	}
+	seen := map[uint8]bool{}
+	for _, rep := range bc.Rep {
+		seen[bc.Of[rep]] = true
+	}
+	if len(seen) != 3 {
+		t.Error("representatives do not cover all classes")
+	}
+}
+
+func TestByteClassesProperty(t *testing.T) {
+	// Property: two bytes in the same class are interchangeable in any word.
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randPattern(r, 3)
+		a, err := Glushkov(syntax.MustParse(pat, 0))
+		if err != nil {
+			return true
+		}
+		bc := Classes(a)
+		sim := NewSimulator(a)
+		for i := 0; i < 10; i++ {
+			w := randWord(r, 8)
+			if len(w) == 0 {
+				continue
+			}
+			w2 := append([]byte(nil), w...)
+			pos := r.Intn(len(w2))
+			orig := w2[pos]
+			// substitute with another byte of the same class
+			for b := 0; b < 256; b++ {
+				if bc.Of[b] == bc.Of[orig] {
+					w2[pos] = byte(b)
+					break
+				}
+			}
+			if sim.Match(w) != sim.Match(w2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpsClosure(t *testing.T) {
+	a := New(4)
+	a.AddEps(0, 1)
+	a.AddEps(1, 2)
+	a.AddEps(2, 0) // cycle
+	set := make([]uint64, 1)
+	set[0] = 1 // {0}
+	a.EpsClosure(set)
+	if set[0] != 0b0111 {
+		t.Errorf("closure = %b, want 0111", set[0])
+	}
+}
+
+func TestFinalSet(t *testing.T) {
+	a := mustGlushkov(t, "(ab)*")
+	sim := NewSimulator(a)
+	// After "ab" the frontier must contain an accepting state.
+	set := sim.FinalSet([]byte("ab"))
+	if !a.AcceptsSet(set) {
+		t.Error("(ab)* after 'ab' should accept")
+	}
+	set = sim.FinalSet([]byte("a"))
+	if a.AcceptsSet(set) {
+		t.Error("(ab)* after 'a' should not accept")
+	}
+}
+
+func TestGlushkovPositionLimit(t *testing.T) {
+	// a{2000}{...} beyond MaxPositions must error, not hang.
+	pat := "(a{2000}){2000}"
+	n, err := syntax.Parse(pat, 0)
+	if err != nil {
+		t.Skip("parser rejected, fine")
+	}
+	if _, err := Glushkov(n); err == nil {
+		t.Error("expected position-limit error")
+	}
+	if _, err := Thompson(n); err == nil {
+		t.Error("expected position-limit error (thompson)")
+	}
+}

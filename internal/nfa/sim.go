@@ -1,0 +1,126 @@
+package nfa
+
+import "math/bits"
+
+// Table is the compiled transition relation of an NFA: for every state and
+// byte-equivalence class, the bitset of successor states (ε-closed when
+// the automaton has ε-transitions). It is shared by the simulator and by
+// the subset construction in package dfa.
+type Table struct {
+	A     *NFA
+	BC    *ByteClasses
+	Words int // bitset length in 64-bit words
+	rows  [][]uint64
+}
+
+// Compile builds the transition table of a. Cost is
+// O(|Q| · classes · |Q|/64) time and memory.
+func Compile(a *NFA) *Table {
+	t := &Table{A: a, BC: Classes(a), Words: a.BitsetWords()}
+	nc := t.BC.Count
+	rows := make([][]uint64, a.NumStates*nc)
+	backing := make([]uint64, a.NumStates*nc*t.Words)
+	for i := range rows {
+		rows[i] = backing[i*t.Words : (i+1)*t.Words]
+	}
+	var seen [256]bool
+	for q := 0; q < a.NumStates; q++ {
+		for _, e := range a.Edges[q] {
+			for i := range seen {
+				seen[i] = false
+			}
+			for _, b := range e.Set.Bytes() {
+				c := int(t.BC.Of[b])
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				row := rows[q*nc+c]
+				row[e.To>>6] |= 1 << (e.To & 63)
+			}
+		}
+	}
+	// ε-close every row once so that stepping from an ε-closed frontier
+	// keeps it ε-closed without per-byte closure passes.
+	if a.HasEps() {
+		for i := range rows {
+			a.EpsClosure(rows[i])
+		}
+	}
+	t.rows = rows
+	return t
+}
+
+// Row returns the successor bitset of state q under byte class c.
+// The returned slice is shared; callers must not modify it.
+func (t *Table) Row(q int32, c int) []uint64 {
+	return t.rows[int(q)*t.BC.Count+c]
+}
+
+// Step ORs into dst the successors of every state in src under class c.
+// dst must be zeroed by the caller.
+func (t *Table) Step(dst, src []uint64, c int) {
+	nc := t.BC.Count
+	for w, word := range src {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			word &^= 1 << tz
+			q := w*64 + tz
+			row := t.rows[q*nc+c]
+			for i := range dst {
+				dst[i] |= row[i]
+			}
+		}
+	}
+}
+
+// Simulator runs an NFA over input text by maintaining the frontier of
+// reachable states as a bitset — the textbook O(|N|·n) algorithm of the
+// paper's Table II "NFA" row. It is the semantics oracle for every other
+// engine in this repository.
+type Simulator struct {
+	t *Table
+}
+
+// NewSimulator prepares a simulator for a.
+func NewSimulator(a *NFA) *Simulator {
+	return &Simulator{t: Compile(a)}
+}
+
+// NewSimulatorFromTable wraps an already-compiled table.
+func NewSimulatorFromTable(t *Table) *Simulator { return &Simulator{t: t} }
+
+// Match reports whether the NFA accepts the whole input.
+func (s *Simulator) Match(text []byte) bool {
+	frontier := s.FinalSet(text)
+	return s.t.A.AcceptsSet(frontier)
+}
+
+// FinalSet returns the bitset of states reachable from the initial set on
+// the whole input (the image of the extended transition function
+// applied to (I, w), Sect. II-B of the paper).
+func (s *Simulator) FinalSet(text []byte) []uint64 {
+	frontier := s.t.A.StartSet()
+	scratch := make([]uint64, s.t.Words)
+	for _, b := range text {
+		c := int(s.t.BC.Of[b])
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		s.t.Step(scratch, frontier, c)
+		frontier, scratch = scratch, frontier
+		if isZero(frontier) {
+			return frontier
+		}
+	}
+	return frontier
+}
+
+func isZero(s []uint64) bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package nfa
+
+import "testing"
+
+func TestTableRowsMatchEdges(t *testing.T) {
+	a := mustGlushkov(t, "(a|bc)*")
+	tab := Compile(a)
+	// Every row must contain exactly the targets of matching edges.
+	for q := int32(0); q < int32(a.NumStates); q++ {
+		for b := 0; b < 256; b++ {
+			c := int(tab.BC.Of[b])
+			row := tab.Row(q, c)
+			want := make([]uint64, tab.Words)
+			for _, e := range a.Edges[q] {
+				if e.Set.Contains(byte(b)) {
+					want[e.To>>6] |= 1 << (e.To & 63)
+				}
+			}
+			for i := range want {
+				if row[i] != want[i] {
+					t.Fatalf("row(%d, byte %d) mismatch", q, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTableStepUnions(t *testing.T) {
+	a := mustGlushkov(t, "(ab)*")
+	tab := Compile(a)
+	src := make([]uint64, tab.Words)
+	// All states at once.
+	for q := 0; q < a.NumStates; q++ {
+		src[q>>6] |= 1 << (q & 63)
+	}
+	dst := make([]uint64, tab.Words)
+	c := int(tab.BC.Of['a'])
+	tab.Step(dst, src, c)
+	// dst must equal the union of each individual state's row.
+	want := make([]uint64, tab.Words)
+	for q := int32(0); q < int32(a.NumStates); q++ {
+		row := tab.Row(q, c)
+		for i := range want {
+			want[i] |= row[i]
+		}
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatal("Step is not the union of rows")
+		}
+	}
+}
+
+func TestThompsonTableRowsAreClosed(t *testing.T) {
+	// For ε-NFAs every compiled row must already be ε-closed.
+	a := mustThompson(t, "(a|b)*c")
+	tab := Compile(a)
+	for q := int32(0); q < int32(a.NumStates); q++ {
+		for c := 0; c < tab.BC.Count; c++ {
+			row := tab.Row(q, c)
+			closed := make([]uint64, len(row))
+			copy(closed, row)
+			a.EpsClosure(closed)
+			for i := range row {
+				if row[i] != closed[i] {
+					t.Fatalf("row (%d,%d) not ε-closed", q, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulatorFromTable(t *testing.T) {
+	a := mustGlushkov(t, "(ab)*")
+	tab := Compile(a)
+	sim := NewSimulatorFromTable(tab)
+	if !sim.Match([]byte("abab")) || sim.Match([]byte("aba")) {
+		t.Error("table-backed simulator wrong")
+	}
+}
+
+func TestNFAStringer(t *testing.T) {
+	a := mustGlushkov(t, "(ab)*")
+	if s := a.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,132 @@
+package nfa
+
+import (
+	"fmt"
+
+	"repro/internal/syntax"
+)
+
+// Thompson builds the classic Thompson ε-NFA of the pattern tree. Each
+// subexpression becomes a fragment with one entry and one exit state; the
+// automaton has O(m) states and ε-transitions. It recognizes exactly the
+// same language as Glushkov on the same tree and serves as an
+// independently derived oracle in the test suite (ablation A4).
+func Thompson(root *syntax.Node) (*NFA, error) {
+	tree, _, _ := syntax.StripAnchors(root)
+	tree = syntax.ExpandRepeats(tree)
+	if m := tree.NumPositions(); m > MaxPositions {
+		return nil, fmt.Errorf("nfa: pattern needs %d positions, limit %d", m, MaxPositions)
+	}
+
+	b := &thompsonBuilder{}
+	frag := b.build(tree)
+	a := New(b.n)
+	a.Eps = make([][]int32, b.n)
+	for _, e := range b.edges {
+		a.AddEdge(e.from, e.to, e.set)
+	}
+	for _, e := range b.eps {
+		a.AddEps(e[0], e[1])
+	}
+	a.Start = []int32{frag.in}
+	a.Accept[frag.out] = true
+	return a, nil
+}
+
+type tEdge struct {
+	from, to int32
+	set      syntax.CharSet
+}
+
+type tFrag struct {
+	in, out int32
+}
+
+type thompsonBuilder struct {
+	n     int
+	edges []tEdge
+	eps   [][2]int32
+}
+
+func (b *thompsonBuilder) state() int32 {
+	s := int32(b.n)
+	b.n++
+	return s
+}
+
+func (b *thompsonBuilder) edge(from, to int32, set syntax.CharSet) {
+	b.edges = append(b.edges, tEdge{from, to, set})
+}
+
+func (b *thompsonBuilder) epsEdge(from, to int32) {
+	b.eps = append(b.eps, [2]int32{from, to})
+}
+
+func (b *thompsonBuilder) build(n *syntax.Node) tFrag {
+	switch n.Op {
+	case syntax.OpNone:
+		// Two disconnected states: nothing is accepted.
+		return tFrag{b.state(), b.state()}
+
+	case syntax.OpEmpty, syntax.OpAnchor:
+		in := b.state()
+		out := b.state()
+		b.epsEdge(in, out)
+		return tFrag{in, out}
+
+	case syntax.OpClass:
+		in := b.state()
+		out := b.state()
+		b.edge(in, out, n.Set)
+		return tFrag{in, out}
+
+	case syntax.OpConcat:
+		first := b.build(n.Sub[0])
+		prev := first
+		for _, s := range n.Sub[1:] {
+			next := b.build(s)
+			b.epsEdge(prev.out, next.in)
+			prev = next
+		}
+		return tFrag{first.in, prev.out}
+
+	case syntax.OpAlt:
+		in := b.state()
+		out := b.state()
+		for _, s := range n.Sub {
+			f := b.build(s)
+			b.epsEdge(in, f.in)
+			b.epsEdge(f.out, out)
+		}
+		return tFrag{in, out}
+
+	case syntax.OpStar:
+		in := b.state()
+		out := b.state()
+		f := b.build(n.Sub[0])
+		b.epsEdge(in, f.in)
+		b.epsEdge(in, out)
+		b.epsEdge(f.out, f.in)
+		b.epsEdge(f.out, out)
+		return tFrag{in, out}
+
+	case syntax.OpPlus:
+		in := b.state()
+		out := b.state()
+		f := b.build(n.Sub[0])
+		b.epsEdge(in, f.in)
+		b.epsEdge(f.out, f.in)
+		b.epsEdge(f.out, out)
+		return tFrag{in, out}
+
+	case syntax.OpQuest:
+		in := b.state()
+		out := b.state()
+		f := b.build(n.Sub[0])
+		b.epsEdge(in, f.in)
+		b.epsEdge(in, out)
+		b.epsEdge(f.out, out)
+		return tFrag{in, out}
+	}
+	panic(fmt.Sprintf("nfa: unexpected op %v after expansion", n.Op))
+}

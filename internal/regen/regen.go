@@ -1,0 +1,225 @@
+// Package regen generates random regular expressions and random members
+// of their languages. It is named after the paper's companion tool
+// ("Regen: regular expression generator, engine, JIT-compiler", ref. [9])
+// and backs the repository's property-based tests: every generated
+// pattern is valid for this module's parser *and* for Go's stdlib regexp,
+// so the two engines can be compared on arbitrary inputs.
+package regen
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// Config tunes the shape of generated patterns.
+type Config struct {
+	// Alphabet holds the literal bytes leaves draw from (default "abc").
+	Alphabet string
+	// MaxDepth bounds the operator tree depth (default 4).
+	MaxDepth int
+	// MaxRepeat bounds counted repetition bounds (default 3).
+	MaxRepeat int
+	// AllowClasses enables character-class leaves like [ab].
+	AllowClasses bool
+	// AllowCounts enables {n,m} counters.
+	AllowCounts bool
+}
+
+func (c Config) defaults() Config {
+	if c.Alphabet == "" {
+		c.Alphabet = "abc"
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MaxRepeat <= 0 {
+		c.MaxRepeat = 3
+	}
+	return c
+}
+
+// Generator produces random patterns.
+type Generator struct {
+	cfg Config
+	r   *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg.defaults(), r: rand.New(rand.NewSource(seed))}
+}
+
+// Pattern returns one random pattern. The result always parses with
+// syntax.Parse and with regexp.Compile (stdlib), using only shared
+// constructs: literals, classes, (?:…), |, *, +, ?, {n,m}.
+func (g *Generator) Pattern() string {
+	return g.gen(g.cfg.MaxDepth)
+}
+
+func (g *Generator) gen(depth int) string {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(8) {
+	case 0, 1:
+		return g.gen(depth-1) + g.gen(depth-1)
+	case 2:
+		return "(?:" + g.gen(depth-1) + "|" + g.gen(depth-1) + ")"
+	case 3:
+		return "(?:" + g.gen(depth-1) + ")*"
+	case 4:
+		return "(?:" + g.gen(depth-1) + ")?"
+	case 5:
+		return "(?:" + g.gen(depth-1) + ")+"
+	case 6:
+		if g.cfg.AllowCounts {
+			lo := g.r.Intn(g.cfg.MaxRepeat)
+			hi := lo + g.r.Intn(g.cfg.MaxRepeat-lo+1)
+			if hi == 0 {
+				hi = 1
+			}
+			return "(?:" + g.gen(depth-1) + "){" + itoa(lo) + "," + itoa(hi) + "}"
+		}
+		return g.gen(depth - 1)
+	default:
+		return g.gen(depth - 1)
+	}
+}
+
+func (g *Generator) leaf() string {
+	a := g.cfg.Alphabet
+	if g.cfg.AllowClasses && g.r.Intn(3) == 0 && len(a) >= 2 {
+		// A class of 2..len distinct alphabet bytes.
+		k := 2 + g.r.Intn(len(a)-1)
+		perm := g.r.Perm(len(a))[:k]
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for _, i := range perm {
+			sb.WriteByte(a[i])
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
+	return string(a[g.r.Intn(len(a))])
+}
+
+// Word returns a random word over the generator's alphabet with length
+// in [0, maxLen].
+func (g *Generator) Word(maxLen int) []byte {
+	n := g.r.Intn(maxLen + 1)
+	w := make([]byte, n)
+	for i := range w {
+		w[i] = g.cfg.Alphabet[g.r.Intn(len(g.cfg.Alphabet))]
+	}
+	return w
+}
+
+// Member attempts to produce a word in L(pattern) by walking the parsed
+// AST; ok is false when the language is empty or the walk exceeds the
+// size budget. Members exercise the "accepting" paths of engines, which
+// uniform random words rarely hit.
+func (g *Generator) Member(node *syntax.Node, budget int) (w []byte, ok bool) {
+	var out []byte
+	if !g.member(node, &out, &budget) {
+		return nil, false
+	}
+	return out, true
+}
+
+func (g *Generator) member(n *syntax.Node, out *[]byte, budget *int) bool {
+	if *budget <= 0 {
+		return false
+	}
+	switch n.Op {
+	case syntax.OpEmpty, syntax.OpAnchor:
+		return true
+	case syntax.OpNone:
+		return false
+	case syntax.OpClass:
+		bytes := n.Set.Bytes()
+		if len(bytes) == 0 {
+			return false
+		}
+		*out = append(*out, bytes[g.r.Intn(len(bytes))])
+		*budget--
+		return true
+	case syntax.OpConcat:
+		for _, s := range n.Sub {
+			if !g.member(s, out, budget) {
+				return false
+			}
+		}
+		return true
+	case syntax.OpAlt:
+		// Try branches in random order until one yields a member.
+		for _, i := range g.r.Perm(len(n.Sub)) {
+			save := len(*out)
+			saveBudget := *budget
+			if g.member(n.Sub[i], out, budget) {
+				return true
+			}
+			*out = (*out)[:save]
+			*budget = saveBudget
+		}
+		return false
+	case syntax.OpStar, syntax.OpQuest:
+		k := g.r.Intn(3)
+		if n.Op == syntax.OpQuest && k > 1 {
+			k = 1
+		}
+		for i := 0; i < k; i++ {
+			save, saveBudget := len(*out), *budget
+			if !g.member(n.Sub[0], out, budget) {
+				// The loop may legally stop early; discard the partial
+				// iteration.
+				*out = (*out)[:save]
+				*budget = saveBudget
+				return true
+			}
+		}
+		return true
+	case syntax.OpPlus:
+		k := 1 + g.r.Intn(2)
+		for i := 0; i < k; i++ {
+			save, saveBudget := len(*out), *budget
+			if !g.member(n.Sub[0], out, budget) {
+				*out = (*out)[:save]
+				*budget = saveBudget
+				return i > 0
+			}
+		}
+		return true
+	case syntax.OpRepeat:
+		max := n.Max
+		if max < 0 || max > n.Min+2 {
+			max = n.Min + 2
+		}
+		k := n.Min
+		if max > n.Min {
+			k += g.r.Intn(max - n.Min + 1)
+		}
+		for i := 0; i < k; i++ {
+			if !g.member(n.Sub[0], out, budget) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

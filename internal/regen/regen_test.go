@@ -1,0 +1,111 @@
+package regen
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/dfa"
+	"repro/internal/syntax"
+)
+
+func TestPatternsParseEverywhere(t *testing.T) {
+	g := New(Config{AllowClasses: true, AllowCounts: true}, 1)
+	for i := 0; i < 500; i++ {
+		pat := g.Pattern()
+		if _, err := syntax.Parse(pat, 0); err != nil {
+			t.Fatalf("own parser rejected %q: %v", pat, err)
+		}
+		if _, err := regexp.Compile(`\A(?:` + pat + `)\z`); err != nil {
+			t.Fatalf("stdlib rejected %q: %v", pat, err)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, b := New(Config{}, 9), New(Config{}, 9)
+	for i := 0; i < 50; i++ {
+		if a.Pattern() != b.Pattern() {
+			t.Fatal("same seed, different patterns")
+		}
+	}
+	c := New(Config{}, 10)
+	diff := false
+	a = New(Config{}, 9)
+	for i := 0; i < 50; i++ {
+		if a.Pattern() != c.Pattern() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestMembersAreMembers(t *testing.T) {
+	g := New(Config{AllowClasses: true, AllowCounts: true}, 23)
+	produced := 0
+	for i := 0; i < 300; i++ {
+		pat := g.Pattern()
+		node := syntax.MustParse(pat, 0)
+		d, err := dfa.Compile(node, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := g.Member(node, 200)
+		if !ok {
+			continue
+		}
+		produced++
+		if !d.Accepts(w) {
+			t.Fatalf("Member(%q) produced non-member %q", pat, w)
+		}
+	}
+	if produced < 200 {
+		t.Errorf("only %d/300 member attempts succeeded", produced)
+	}
+}
+
+func TestWordLengthBound(t *testing.T) {
+	g := New(Config{Alphabet: "xy"}, 4)
+	for i := 0; i < 200; i++ {
+		w := g.Word(7)
+		if len(w) > 7 {
+			t.Fatalf("word too long: %q", w)
+		}
+		for _, b := range w {
+			if b != 'x' && b != 'y' {
+				t.Fatalf("byte %q outside alphabet", b)
+			}
+		}
+	}
+}
+
+// TestMembersExerciseAcceptingPaths: accepted inputs from Member hit the
+// accepting path of every engine far more often than uniform words do —
+// verify agreement on them specifically.
+func TestMembersExerciseAcceptingPaths(t *testing.T) {
+	g := New(Config{AllowClasses: true}, 31)
+	accepted := 0
+	for i := 0; i < 150; i++ {
+		pat := g.Pattern()
+		node := syntax.MustParse(pat, 0)
+		d, err := dfa.Compile(node, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := g.Member(node, 100)
+		if !ok {
+			continue
+		}
+		if d.Accepts(w) {
+			accepted++
+		}
+		// Cross-check with derivatives on short members.
+		if len(w) <= 12 && syntax.DeriveMatch(node, w) != d.Accepts(w) {
+			t.Fatalf("oracle split on %q / %q", pat, w)
+		}
+	}
+	if accepted < 100 {
+		t.Errorf("only %d accepting members", accepted)
+	}
+}

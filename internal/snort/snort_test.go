@@ -1,0 +1,101 @@
+package snort
+
+import (
+	"testing"
+
+	"repro/internal/dfa"
+	"repro/internal/syntax"
+)
+
+func TestCuratedAllParse(t *testing.T) {
+	for _, rule := range Curated() {
+		if _, err := syntax.Parse(rule.Pattern, rule.Flags); err != nil {
+			t.Errorf("curated rule %d %q does not parse: %v", rule.ID, rule.Pattern, err)
+		}
+		if rule.Category == "" {
+			t.Errorf("rule %d has no category", rule.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(500, 42)
+	b := Generate(500, 42)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("wrong corpus size %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rule %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(500, 43)
+	same := 0
+	for i := range a {
+		if a[i].Pattern == c[i].Pattern {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateAllParse(t *testing.T) {
+	for _, rule := range Generate(1500, 7) {
+		if _, err := syntax.Parse(rule.Pattern, rule.Flags); err != nil {
+			t.Errorf("generated rule %d (%s) %q does not parse: %v",
+				rule.ID, rule.Category, rule.Pattern, err)
+		}
+	}
+}
+
+func TestGenerateSmallerThanCurated(t *testing.T) {
+	rules := Generate(5, 1)
+	if len(rules) != 5 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+}
+
+func TestCategoryMix(t *testing.T) {
+	rules := Generate(3000, 11)
+	counts := map[string]int{}
+	for _, r := range rules[len(Curated()):] {
+		counts[r.Category]++
+	}
+	total := 3000 - len(Curated())
+	// dotchain must exist but stay a small minority (the paper's Fig. 3
+	// tail: 1.4% over-square, 6/20312 over-cube).
+	dc := counts["dotchain"]
+	if dc == 0 {
+		t.Error("no dotchain rules generated")
+	}
+	if dc > total/10 {
+		t.Errorf("dotchain fraction too high: %d/%d", dc, total)
+	}
+	for _, cat := range []string{"uri", "header", "keyword", "payload", "counter", "alt"} {
+		if counts[cat] == 0 {
+			t.Errorf("category %s missing from mix", cat)
+		}
+	}
+}
+
+// TestCorpusCompilable compiles a sample through the full pipeline with
+// the paper's 1000-state DFA cap, checking that an overwhelming majority
+// fits (the paper kept 20 312 of ~24 000).
+func TestCorpusCompilable(t *testing.T) {
+	rules := Generate(300, 123)
+	ok := 0
+	for _, rule := range rules {
+		node, err := syntax.Parse(rule.Pattern, rule.Flags)
+		if err != nil {
+			t.Fatalf("rule %d: %v", rule.ID, err)
+		}
+		if _, err := dfa.Compile(node, 1000); err == nil {
+			ok++
+		}
+	}
+	if ok < 270 {
+		t.Errorf("only %d/300 rules fit the 1000-state cap", ok)
+	}
+}

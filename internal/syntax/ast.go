@@ -1,0 +1,246 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies the kind of a regular-expression AST node.
+type Op uint8
+
+// The operators of the regular-expression algebra. OpEmpty is the empty
+// word ε; OpNone is the empty language ∅ (only produced by simplification
+// of impossible constructs such as an empty character class).
+const (
+	OpNone   Op = iota // ∅, matches nothing
+	OpEmpty            // ε, matches the empty word
+	OpClass            // a single byte drawn from Set
+	OpConcat           // Sub[0] Sub[1] ... in sequence
+	OpAlt              // Sub[0] | Sub[1] | ...
+	OpStar             // Sub[0]*
+	OpPlus             // Sub[0]+
+	OpQuest            // Sub[0]?
+	OpRepeat           // Sub[0]{Min,Max}; Max = -1 means unbounded
+	OpAnchor           // ^ or $, width-zero assertion (AnchorBegin/AnchorEnd)
+)
+
+// Anchor kinds for OpAnchor nodes.
+const (
+	AnchorBegin = 0 // ^
+	AnchorEnd   = 1 // $
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpNone:
+		return "None"
+	case OpEmpty:
+		return "Empty"
+	case OpClass:
+		return "Class"
+	case OpConcat:
+		return "Concat"
+	case OpAlt:
+		return "Alt"
+	case OpStar:
+		return "Star"
+	case OpPlus:
+		return "Plus"
+	case OpQuest:
+		return "Quest"
+	case OpRepeat:
+		return "Repeat"
+	case OpAnchor:
+		return "Anchor"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Node is a node of the regular-expression syntax tree.
+type Node struct {
+	Op     Op
+	Set    CharSet // OpClass only
+	Sub    []*Node // operands
+	Min    int     // OpRepeat lower bound
+	Max    int     // OpRepeat upper bound, -1 for unbounded
+	Anchor int     // OpAnchor kind
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Op: n.Op, Set: n.Set, Min: n.Min, Max: n.Max, Anchor: n.Anchor}
+	if n.Sub != nil {
+		c.Sub = make([]*Node, len(n.Sub))
+		for i, s := range n.Sub {
+			c.Sub[i] = s.Clone()
+		}
+	}
+	return c
+}
+
+// Literal builds a concatenation of single-byte classes spelling s.
+func Literal(s string) *Node {
+	if s == "" {
+		return &Node{Op: OpEmpty}
+	}
+	subs := make([]*Node, len(s))
+	for i := 0; i < len(s); i++ {
+		var set CharSet
+		set.AddByte(s[i])
+		subs[i] = &Node{Op: OpClass, Set: set}
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Node{Op: OpConcat, Sub: subs}
+}
+
+// NumPositions counts the symbol positions (OpClass leaves) of the tree
+// after repeat expansion; it is the "m" of the Glushkov construction and
+// the length measure used in the paper's Table II ("m is length of regular
+// expression").
+func (n *Node) NumPositions() int {
+	switch n.Op {
+	case OpClass:
+		return 1
+	case OpRepeat:
+		inner := n.Sub[0].NumPositions()
+		if n.Max < 0 {
+			// x{min,} expands to min copies plus a star over one copy.
+			if n.Min == 0 {
+				return inner
+			}
+			return n.Min * inner
+		}
+		return n.Max * inner
+	}
+	total := 0
+	for _, s := range n.Sub {
+		total += s.NumPositions()
+	}
+	return total
+}
+
+// String renders the tree back to a pattern. The output is parseable and
+// equivalent to the original pattern but not necessarily byte-identical.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.render(&sb, 0)
+	return sb.String()
+}
+
+// precedence levels: 0 alternation, 1 concatenation, 2 repetition/atom.
+func (n *Node) render(sb *strings.Builder, prec int) {
+	paren := false
+	wrap := func(need int) {
+		if prec > need {
+			sb.WriteString("(?:")
+			paren = true
+		}
+	}
+	switch n.Op {
+	case OpNone:
+		// ∅ has no native spelling; [^\x00-\xff] is an empty class.
+		sb.WriteString(`[^\x00-\xff]`)
+	case OpEmpty:
+		sb.WriteString("(?:)")
+	case OpClass:
+		sb.WriteString(n.Set.String())
+	case OpAnchor:
+		if n.Anchor == AnchorBegin {
+			sb.WriteByte('^')
+		} else {
+			sb.WriteByte('$')
+		}
+	case OpConcat:
+		wrap(1)
+		for _, s := range n.Sub {
+			s.render(sb, 2)
+		}
+	case OpAlt:
+		wrap(0)
+		for i, s := range n.Sub {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			s.render(sb, 1)
+		}
+	case OpStar, OpPlus, OpQuest:
+		n.Sub[0].render(sb, 3)
+		switch n.Op {
+		case OpStar:
+			sb.WriteByte('*')
+		case OpPlus:
+			sb.WriteByte('+')
+		case OpQuest:
+			sb.WriteByte('?')
+		}
+	case OpRepeat:
+		n.Sub[0].render(sb, 3)
+		if n.Max < 0 {
+			fmt.Fprintf(sb, "{%d,}", n.Min)
+		} else if n.Min == n.Max {
+			fmt.Fprintf(sb, "{%d}", n.Min)
+		} else {
+			fmt.Fprintf(sb, "{%d,%d}", n.Min, n.Max)
+		}
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+// Dump renders the tree in a lisp-ish structural form for tests and
+// debugging, e.g. (cat a (star b)).
+func (n *Node) Dump() string {
+	var sb strings.Builder
+	n.dump(&sb)
+	return sb.String()
+}
+
+func (n *Node) dump(sb *strings.Builder) {
+	switch n.Op {
+	case OpNone:
+		sb.WriteString("none")
+	case OpEmpty:
+		sb.WriteString("eps")
+	case OpClass:
+		sb.WriteString(n.Set.String())
+	case OpAnchor:
+		if n.Anchor == AnchorBegin {
+			sb.WriteString("bol")
+		} else {
+			sb.WriteString("eol")
+		}
+	case OpConcat, OpAlt:
+		if n.Op == OpConcat {
+			sb.WriteString("(cat")
+		} else {
+			sb.WriteString("(alt")
+		}
+		for _, s := range n.Sub {
+			sb.WriteByte(' ')
+			s.dump(sb)
+		}
+		sb.WriteByte(')')
+	case OpStar:
+		sb.WriteString("(star ")
+		n.Sub[0].dump(sb)
+		sb.WriteByte(')')
+	case OpPlus:
+		sb.WriteString("(plus ")
+		n.Sub[0].dump(sb)
+		sb.WriteByte(')')
+	case OpQuest:
+		sb.WriteString("(quest ")
+		n.Sub[0].dump(sb)
+		sb.WriteByte(')')
+	case OpRepeat:
+		fmt.Fprintf(sb, "(rep{%d,%d} ", n.Min, n.Max)
+		n.Sub[0].dump(sb)
+		sb.WriteByte(')')
+	}
+}

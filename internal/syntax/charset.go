@@ -1,0 +1,224 @@
+// Package syntax implements the regular-expression front end of the SFA
+// matcher: a parser for the PCRE subset that appears in SNORT-style rules,
+// an abstract syntax tree, and the simplification passes that prepare the
+// tree for the Glushkov (McNaughton–Yamada) and Thompson constructions in
+// package nfa.
+//
+// The alphabet is the full byte range 0–255, matching the paper's
+// implementation in which every transition table row holds 256 entries
+// ("the transition table occupied 1KB for each state", Sect. VI-B).
+package syntax
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CharSet is a set of byte values represented as a 256-bit bitmap.
+// The zero value is the empty set.
+type CharSet [4]uint64
+
+// AddByte inserts the single byte b.
+func (s *CharSet) AddByte(b byte) {
+	s[b>>6] |= 1 << (b & 63)
+}
+
+// AddRange inserts every byte in the inclusive range [lo, hi].
+// Ranges with lo > hi are ignored.
+func (s *CharSet) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.AddByte(byte(c))
+	}
+}
+
+// AddSet inserts every byte of t into s.
+func (s *CharSet) AddSet(t CharSet) {
+	for i := range s {
+		s[i] |= t[i]
+	}
+}
+
+// Contains reports whether byte b is in the set.
+func (s CharSet) Contains(b byte) bool {
+	return s[b>>6]&(1<<(b&63)) != 0
+}
+
+// Negate replaces s with its complement over the 256-byte alphabet.
+func (s *CharSet) Negate() {
+	for i := range s {
+		s[i] = ^s[i]
+	}
+}
+
+// Len returns the number of bytes in the set.
+func (s CharSet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set contains no bytes.
+func (s CharSet) IsEmpty() bool {
+	return s == CharSet{}
+}
+
+// Min returns the smallest byte in the set and ok=false when empty.
+func (s CharSet) Min() (b byte, ok bool) {
+	for i, w := range s {
+		if w != 0 {
+			return byte(i*64 + bits.TrailingZeros64(w)), true
+		}
+	}
+	return 0, false
+}
+
+// Bytes returns the members of the set in increasing order.
+func (s CharSet) Bytes() []byte {
+	out := make([]byte, 0, s.Len())
+	for i, w := range s {
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			out = append(out, byte(i*64+t))
+			w &^= 1 << t
+		}
+	}
+	return out
+}
+
+// Ranges returns the set as a minimal list of inclusive [lo, hi] ranges.
+func (s CharSet) Ranges() [][2]byte {
+	var out [][2]byte
+	c := 0
+	for c < 256 {
+		if !s.Contains(byte(c)) {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && s.Contains(byte(c)) {
+			c++
+		}
+		out = append(out, [2]byte{byte(lo), byte(c - 1)})
+	}
+	return out
+}
+
+// SingleByte returns (b, true) when the set holds exactly one byte.
+func (s CharSet) SingleByte() (byte, bool) {
+	if s.Len() != 1 {
+		return 0, false
+	}
+	b, _ := s.Min()
+	return b, true
+}
+
+// Fold adds, for every letter in the set, the letter of opposite case.
+// It is used to implement the (?i) flag.
+func (s *CharSet) Fold() {
+	for c := byte('a'); c <= 'z'; c++ {
+		if s.Contains(c) {
+			s.AddByte(c - 'a' + 'A')
+		}
+	}
+	for c := byte('A'); c <= 'Z'; c++ {
+		if s.Contains(c) {
+			s.AddByte(c - 'A' + 'a')
+		}
+	}
+}
+
+// String renders the set using character-class notation, e.g. "[0-4]".
+// A handful of common sets get short spellings.
+func (s CharSet) String() string {
+	switch {
+	case s == AnyNoNL():
+		return "."
+	case s == AnyByte():
+		return `[\x00-\xff]`
+	case s == Digit():
+		return `\d`
+	case s == Word():
+		return `\w`
+	case s == Space():
+		return `\s`
+	}
+	if b, ok := s.SingleByte(); ok {
+		return escapeByte(b)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for _, r := range s.Ranges() {
+		if r[0] == r[1] {
+			sb.WriteString(escapeByte(r[0]))
+		} else {
+			fmt.Fprintf(&sb, "%s-%s", escapeByte(r[0]), escapeByte(r[1]))
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func escapeByte(b byte) string {
+	switch b {
+	case '\n':
+		return `\n`
+	case '\r':
+		return `\r`
+	case '\t':
+		return `\t`
+	case '\\', '.', '+', '*', '?', '(', ')', '|', '[', ']', '{', '}', '^', '$', '-':
+		return "\\" + string(b)
+	}
+	if b >= 0x20 && b < 0x7f {
+		return string(b)
+	}
+	return fmt.Sprintf(`\x%02x`, b)
+}
+
+// Predefined sets. Each call returns a fresh value.
+
+// AnyByte returns the set of all 256 byte values.
+func AnyByte() CharSet {
+	return CharSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// AnyNoNL returns every byte except '\n' (the default meaning of '.').
+func AnyNoNL() CharSet {
+	s := AnyByte()
+	s[0] &^= 1 << '\n'
+	return s
+}
+
+// Digit returns [0-9].
+func Digit() CharSet {
+	var s CharSet
+	s.AddRange('0', '9')
+	return s
+}
+
+// Word returns [0-9A-Za-z_].
+func Word() CharSet {
+	var s CharSet
+	s.AddRange('0', '9')
+	s.AddRange('A', 'Z')
+	s.AddRange('a', 'z')
+	s.AddByte('_')
+	return s
+}
+
+// Space returns [ \t\n\r\f\v].
+func Space() CharSet {
+	var s CharSet
+	for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+		s.AddByte(b)
+	}
+	return s
+}
+
+func negated(s CharSet) CharSet {
+	s.Negate()
+	return s
+}

@@ -1,0 +1,92 @@
+package syntax
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCharSetAgainstModel property-checks the bitset implementation
+// against a map-based model under random operation sequences.
+func TestCharSetAgainstModel(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s CharSet
+		model := map[byte]bool{}
+		for op := 0; op < 60; op++ {
+			switch r.Intn(4) {
+			case 0:
+				b := byte(r.Intn(256))
+				s.AddByte(b)
+				model[b] = true
+			case 1:
+				lo := byte(r.Intn(256))
+				hi := lo + byte(r.Intn(256-int(lo)))
+				s.AddRange(lo, hi)
+				for c := int(lo); c <= int(hi); c++ {
+					model[byte(c)] = true
+				}
+			case 2:
+				s.Negate()
+				for c := 0; c < 256; c++ {
+					model[byte(c)] = !model[byte(c)]
+				}
+			case 3:
+				var o CharSet
+				b := byte(r.Intn(256))
+				o.AddByte(b)
+				s.AddSet(o)
+				model[b] = true
+			}
+		}
+		// Compare every byte, Len, Bytes and Ranges consistency.
+		n := 0
+		for c := 0; c < 256; c++ {
+			if s.Contains(byte(c)) != model[byte(c)] {
+				return false
+			}
+			if model[byte(c)] {
+				n++
+			}
+		}
+		if s.Len() != n || len(s.Bytes()) != n {
+			return false
+		}
+		covered := 0
+		for _, rg := range s.Ranges() {
+			covered += int(rg[1]) - int(rg[0]) + 1
+		}
+		return covered == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldInvolution: folding twice equals folding once (idempotent), and
+// folded sets are case-closed.
+func TestFoldInvolution(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s CharSet
+		for i := 0; i < 10; i++ {
+			s.AddByte(byte(r.Intn(256)))
+		}
+		once := s
+		once.Fold()
+		twice := once
+		twice.Fold()
+		if once != twice {
+			return false
+		}
+		for c := byte('a'); c <= 'z'; c++ {
+			if once.Contains(c) != once.Contains(c-'a'+'A') {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package syntax
+
+// Brzozowski derivatives: ∂_b(L) = { w | bw ∈ L }. Deriving the AST
+// directly gives a regex matcher that needs no automaton at all — an
+// implementation completely disjoint from the Glushkov/Thompson → subset
+// construction pipeline, which makes it a powerful semantics oracle for
+// the test suite: any disagreement pinpoints a front-end bug.
+//
+// Derivatives also double as a reference for nullability and for the
+// anchors-as-ε convention (they operate on the same simplified tree).
+
+// Nullable reports whether the language of n contains the empty word.
+// Anchors are width-zero and treated as ε, matching the matcher's
+// whole-input convention.
+func Nullable(n *Node) bool {
+	switch n.Op {
+	case OpEmpty, OpStar, OpQuest, OpAnchor:
+		return true
+	case OpNone, OpClass:
+		return false
+	case OpConcat:
+		for _, s := range n.Sub {
+			if !Nullable(s) {
+				return false
+			}
+		}
+		return true
+	case OpAlt:
+		for _, s := range n.Sub {
+			if Nullable(s) {
+				return true
+			}
+		}
+		return false
+	case OpPlus:
+		return Nullable(n.Sub[0])
+	case OpRepeat:
+		return n.Min == 0 || Nullable(n.Sub[0])
+	}
+	return false
+}
+
+// Derive returns the Brzozowski derivative ∂_b(n), simplified.
+// The input tree is not modified.
+func Derive(n *Node, b byte) *Node {
+	return Simplify(derive(n, b))
+}
+
+func derive(n *Node, b byte) *Node {
+	switch n.Op {
+	case OpNone, OpEmpty, OpAnchor:
+		return &Node{Op: OpNone}
+
+	case OpClass:
+		if n.Set.Contains(b) {
+			return &Node{Op: OpEmpty}
+		}
+		return &Node{Op: OpNone}
+
+	case OpConcat:
+		// ∂(rs) = ∂(r)s | [nullable r]∂(s), generalized to k operands.
+		var alts []*Node
+		for i, sub := range n.Sub {
+			branch := []*Node{derive(sub, b)}
+			for _, rest := range n.Sub[i+1:] {
+				branch = append(branch, rest.Clone())
+			}
+			alts = append(alts, &Node{Op: OpConcat, Sub: branch})
+			if !Nullable(sub) {
+				break
+			}
+		}
+		if len(alts) == 1 {
+			return alts[0]
+		}
+		return &Node{Op: OpAlt, Sub: alts}
+
+	case OpAlt:
+		subs := make([]*Node, len(n.Sub))
+		for i, s := range n.Sub {
+			subs[i] = derive(s, b)
+		}
+		return &Node{Op: OpAlt, Sub: subs}
+
+	case OpStar:
+		// ∂(r*) = ∂(r) r*.
+		return &Node{Op: OpConcat, Sub: []*Node{
+			derive(n.Sub[0], b),
+			&Node{Op: OpStar, Sub: []*Node{n.Sub[0].Clone()}},
+		}}
+
+	case OpPlus:
+		// r+ = r r*.
+		return derive(&Node{Op: OpConcat, Sub: []*Node{
+			n.Sub[0],
+			{Op: OpStar, Sub: []*Node{n.Sub[0]}},
+		}}, b)
+
+	case OpQuest:
+		return derive(n.Sub[0], b)
+
+	case OpRepeat:
+		// ∂(r{m,M}) = ∂(r) r{max(m−1,0), M−1}.
+		if n.Max == 0 {
+			return &Node{Op: OpNone}
+		}
+		min := n.Min - 1
+		if min < 0 {
+			min = 0
+		}
+		max := n.Max
+		if max > 0 {
+			max--
+		}
+		return &Node{Op: OpConcat, Sub: []*Node{
+			derive(n.Sub[0], b),
+			{Op: OpRepeat, Min: min, Max: max, Sub: []*Node{n.Sub[0].Clone()}},
+		}}
+	}
+	return &Node{Op: OpNone}
+}
+
+// DeriveMatch decides w ∈ L(n) by repeated derivation — O(|w|) derivative
+// steps, each of which can grow the term; practical only for short words,
+// which is exactly the oracle use case.
+func DeriveMatch(n *Node, w []byte) bool {
+	cur := Simplify(n.Clone())
+	for _, b := range w {
+		cur = Derive(cur, b)
+		if cur.Op == OpNone {
+			return false
+		}
+	}
+	return Nullable(cur)
+}

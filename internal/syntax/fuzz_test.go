@@ -1,0 +1,65 @@
+package syntax
+
+import "testing"
+
+// FuzzParse exercises the parser with arbitrary inputs: it must either
+// fail cleanly or produce a tree whose String() form reparses to an
+// identical tree (print/parse round trip).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(ab)*", "([0-4]{5}[5-9]{5})*", `\d+\.\d+`, "a{2,}|b?",
+		"[^a-z]+", "(?i:AbC)", `\x41[\\\]]`, "a**", "((((a))))",
+		"(?s).*(T.*Y.*P)", "a|", "{", "[]a]", `\Q`, "(?:)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		n, err := Parse(pattern, 0)
+		if err != nil {
+			return
+		}
+		s := n.String()
+		n2, err := Parse(s, 0)
+		if err != nil {
+			t.Fatalf("String() of parsed %q gives unparseable %q: %v", pattern, s, err)
+		}
+		if n.Dump() != n2.Dump() {
+			t.Fatalf("round trip changed tree: %q → %q:\n%s\nvs\n%s",
+				pattern, s, n.Dump(), n2.Dump())
+		}
+		// Derivatives must not panic on parsed trees.
+		for _, b := range []byte{'a', 0x00, 0xff} {
+			Derive(n, b)
+		}
+		Nullable(n)
+	})
+}
+
+// FuzzDeriveMatchAgainstSelf checks the defining equation of derivatives
+// on arbitrary (pattern, word) pairs: matching w and deriving byte by
+// byte must agree.
+func FuzzDeriveMatchAgainstSelf(f *testing.F) {
+	f.Add("(ab)*", "abab")
+	f.Add("a{2,4}", "aaa")
+	f.Add("[ab]+c?", "abba")
+	f.Fuzz(func(t *testing.T, pattern, word string) {
+		if len(pattern) > 40 || len(word) > 20 {
+			return
+		}
+		n, err := Parse(pattern, 0)
+		if err != nil {
+			return
+		}
+		if n.NumPositions() > 60 {
+			return
+		}
+		direct := DeriveMatch(n, []byte(word))
+		cur := n.Clone()
+		for i := 0; i < len(word); i++ {
+			cur = Derive(cur, word[i])
+		}
+		if direct != Nullable(cur) {
+			t.Fatalf("derivative inconsistency: %q on %q", pattern, word)
+		}
+	})
+}

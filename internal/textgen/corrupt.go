@@ -1,0 +1,37 @@
+package textgen
+
+import "math/rand"
+
+// Corruption utilities build *negative* workloads: inputs that are
+// accepted except for a controlled number of damaged positions. Engines
+// must flip their verdict on them wherever the damage lands — including
+// exactly on a chunk boundary of the parallel engines, the historically
+// bug-prone spot for split-based matchers.
+
+// Corrupt returns a copy of text with k random positions replaced by a
+// byte the position did not hold before. k is capped at len(text).
+func Corrupt(text []byte, k int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), text...)
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		pos := r.Intn(len(out))
+		old := out[pos]
+		b := byte(r.Intn(256))
+		for b == old {
+			b = byte(r.Intn(256))
+		}
+		out[pos] = b
+	}
+	return out
+}
+
+// CorruptAt returns a copy of text damaged at exactly the given position
+// (for boundary-targeted tests).
+func CorruptAt(text []byte, pos int) []byte {
+	out := append([]byte(nil), text...)
+	out[pos] ^= 0xff
+	return out
+}

@@ -1,0 +1,169 @@
+// Package textgen generates the input workloads of the paper's
+// experiments: multi-megabyte texts *accepted* by a given automaton
+// ("The input texts were 1GB string accepted by those automata",
+// Sect. VI-B), plus the synthetic traffic used by the examples.
+//
+// Two generation strategies are provided: pattern-family constructors for
+// the paper's benchmark expressions (fast, any size), and a general
+// DP-based sampler that draws uniformly structured members of L(D) for
+// arbitrary DFAs (used by tests and the examples; memory is O(len·|Q|/64)).
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dfa"
+)
+
+// RnText returns a text of exactly `size` bytes accepted by
+// r_n = ([0-4]{n}[5-9]{n})*. size is rounded down to a multiple of the
+// 2n block length; the text is a concatenation of random low-digit and
+// high-digit runs.
+func RnText(n, size int, seed int64) []byte {
+	block := 2 * n
+	size -= size % block
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, size)
+	for i := 0; i < size; i += block {
+		for j := 0; j < n; j++ {
+			out[i+j] = byte('0' + r.Intn(5))
+		}
+		for j := n; j < block; j++ {
+			out[i+j] = byte('5' + r.Intn(5))
+		}
+	}
+	return out
+}
+
+// EvenOddText returns a text of `size` bytes (rounded down to a multiple
+// of 10) accepted by (([02468][13579]){5})*, the Fig. 10 pattern.
+func EvenOddText(size int, seed int64) []byte {
+	size -= size % 10
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, size)
+	evens, odds := []byte("02468"), []byte("13579")
+	for i := 0; i < size; i += 2 {
+		out[i] = evens[r.Intn(5)]
+		out[i+1] = odds[r.Intn(5)]
+	}
+	return out
+}
+
+// Repeat returns `size` copies of b — the Fig. 9 workload is Repeat('a').
+func Repeat(b byte, size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Sampler draws random members of L(D) of a fixed length using a
+// backward-reachability table: alive[t] is the bitset of states from
+// which an accepting state is reachable in exactly t steps.
+type Sampler struct {
+	d      *dfa.DFA
+	length int
+	words  int
+	alive  [][]uint64 // alive[t], t = 0 … length
+
+	classBytes [][]byte // class id → member bytes
+}
+
+// NewSampler prepares a sampler for members of L(d) of exactly `length`
+// bytes. It fails when no such member exists.
+func NewSampler(d *dfa.DFA, length int) (*Sampler, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("textgen: negative length")
+	}
+	nc := d.BC.Count
+	words := (d.NumStates + 63) / 64
+	s := &Sampler{d: d, length: length, words: words}
+
+	s.alive = make([][]uint64, length+1)
+	cur := make([]uint64, words)
+	for q := 0; q < d.NumStates; q++ {
+		if d.Accept[q] {
+			cur[q>>6] |= 1 << (q & 63)
+		}
+	}
+	s.alive[0] = cur
+	for t := 1; t <= length; t++ {
+		next := make([]uint64, words)
+		for q := 0; q < d.NumStates; q++ {
+			for c := 0; c < nc; c++ {
+				to := d.NextClass(int32(q), c)
+				if cur[to>>6]&(1<<(to&63)) != 0 {
+					next[q>>6] |= 1 << (q & 63)
+					break
+				}
+			}
+		}
+		s.alive[t] = next
+		cur = next
+	}
+	if !s.aliveAt(length, d.Start) {
+		return nil, fmt.Errorf("textgen: L(D) has no member of length %d", length)
+	}
+
+	s.classBytes = make([][]byte, nc)
+	for b := 0; b < 256; b++ {
+		c := d.BC.Of[b]
+		s.classBytes[c] = append(s.classBytes[c], byte(b))
+	}
+	return s, nil
+}
+
+func (s *Sampler) aliveAt(t int, q int32) bool {
+	return s.alive[t][q>>6]&(1<<(q&63)) != 0
+}
+
+// Sample appends one accepted word of the configured length to dst and
+// returns it. Byte choices are uniform over all viable bytes at each
+// position.
+func (s *Sampler) Sample(r *rand.Rand, dst []byte) []byte {
+	d := s.d
+	q := d.Start
+	for t := s.length; t > 0; t-- {
+		// Viable classes and their byte weights.
+		total := 0
+		for c, bytes := range s.classBytes {
+			to := d.NextClass(q, c)
+			if s.aliveAt(t-1, to) {
+				total += len(bytes)
+			}
+		}
+		pick := r.Intn(total)
+		for c, bytes := range s.classBytes {
+			to := d.NextClass(q, c)
+			if !s.aliveAt(t-1, to) {
+				continue
+			}
+			if pick < len(bytes) {
+				dst = append(dst, bytes[pick])
+				q = to
+				break
+			}
+			pick -= len(bytes)
+		}
+	}
+	return dst
+}
+
+// AcceptedText builds a text of roughly `size` bytes accepted by d, as a
+// concatenation of sampled words of length `wordLen` — valid whenever
+// L(d) is closed under concatenation of its members (true for the paper's
+// (…)* benchmark families). For general languages use Sampler directly.
+func AcceptedText(d *dfa.DFA, wordLen, size int, seed int64) ([]byte, error) {
+	s, err := NewSampler(d, wordLen)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, size+wordLen)
+	for len(out) < size {
+		out = s.Sample(r, out)
+	}
+	return out, nil
+}

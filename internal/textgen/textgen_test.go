@@ -1,0 +1,134 @@
+package textgen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfa"
+)
+
+func TestRnTextAccepted(t *testing.T) {
+	for _, n := range []int{1, 5, 50} {
+		pattern := fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", n, n)
+		d := dfa.MustCompilePattern(pattern)
+		text := RnText(n, 100_000, 1)
+		if len(text) == 0 || len(text)%(2*n) != 0 {
+			t.Fatalf("n=%d: bad length %d", n, len(text))
+		}
+		if !d.Accepts(text) {
+			t.Errorf("n=%d: generated text rejected", n)
+		}
+	}
+}
+
+func TestEvenOddTextAccepted(t *testing.T) {
+	d := dfa.MustCompilePattern("(([02468][13579]){5})*")
+	text := EvenOddText(10_000, 2)
+	if len(text) != 10_000 {
+		t.Fatalf("length %d", len(text))
+	}
+	if !d.Accepts(text) {
+		t.Error("generated text rejected")
+	}
+}
+
+func TestRepeatAccepted(t *testing.T) {
+	d := dfa.MustCompilePattern("([0-4]{5}[5-9]{5})*|a*")
+	text := Repeat('a', 4096)
+	if !d.Accepts(text) {
+		t.Error("a-repeat rejected by the Fig. 9 pattern")
+	}
+}
+
+func TestSamplerProducesMembers(t *testing.T) {
+	patterns := []string{
+		"(ab)*",
+		"([0-4]{3}[5-9]{3})*",
+		"(a|bc)*d",
+		"[0-9a-f]{16}",
+	}
+	r := rand.New(rand.NewSource(5))
+	for _, pat := range patterns {
+		d := dfa.MustCompilePattern(pat)
+		// find a feasible length
+		var s *Sampler
+		var err error
+		var length int
+		for length = 0; length <= 24; length++ {
+			s, err = NewSampler(d, length)
+			if err == nil && length > 0 {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("%q: no feasible length ≤ 24", pat)
+		}
+		for i := 0; i < 50; i++ {
+			w := s.Sample(r, nil)
+			if len(w) != length {
+				t.Fatalf("%q: sample length %d, want %d", pat, len(w), length)
+			}
+			if !d.Accepts(w) {
+				t.Fatalf("%q: sample %q rejected", pat, w)
+			}
+		}
+	}
+}
+
+func TestSamplerInfeasibleLength(t *testing.T) {
+	d := dfa.MustCompilePattern("(ab)*")
+	if _, err := NewSampler(d, 3); err == nil {
+		t.Error("odd length should be infeasible for (ab)*")
+	}
+	if _, err := NewSampler(d, -1); err == nil {
+		t.Error("negative length should error")
+	}
+}
+
+func TestAcceptedText(t *testing.T) {
+	d := dfa.MustCompilePattern("([0-4]{5}[5-9]{5})*")
+	text, err := AcceptedText(d, 10, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) < 5000 {
+		t.Fatalf("short text: %d", len(text))
+	}
+	if !d.Accepts(text) {
+		t.Error("concatenated samples rejected")
+	}
+}
+
+func TestTrafficDeterministicAndCounted(t *testing.T) {
+	tr := Traffic{SuspiciousPerMille: 20}
+	a, pa := tr.Generate(100_000, 3)
+	b, pb := tr.Generate(100_000, 3)
+	if !bytes.Equal(a, b) || pa != pb {
+		t.Error("traffic not deterministic")
+	}
+	if pa == 0 {
+		t.Error("no suspicious lines planted at 20‰")
+	}
+	lines := Lines(a)
+	if len(lines) < 1000 {
+		t.Errorf("suspiciously few lines: %d", len(lines))
+	}
+}
+
+func TestLinesSplitting(t *testing.T) {
+	lines := Lines([]byte("a\nbb\n\nccc"))
+	want := []string{"a", "bb", "", "ccc"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for i, w := range want {
+		if string(lines[i]) != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if got := Lines(nil); len(got) != 0 {
+		t.Error("empty input should give no lines")
+	}
+}

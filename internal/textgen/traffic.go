@@ -1,0 +1,77 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Traffic builds the synthetic HTTP-ish byte stream used by the examples
+// and the IDS scan scenario: newline-separated request lines and headers,
+// with a configurable fraction of lines containing "suspicious" fragments
+// that trip typical SNORT-style rules.
+type Traffic struct {
+	// SuspiciousPerMille is the per-line probability (in ‰) of injecting
+	// an attack-looking fragment. Default 2‰.
+	SuspiciousPerMille int
+}
+
+var (
+	trafficPaths   = []string{"/index.php", "/search", "/api/v1/items", "/img/logo.png", "/login", "/cart", "/health"}
+	trafficAgents  = []string{"Mozilla/5.0", "curl/8.1", "Go-http-client/2.0", "Wget/1.21"}
+	trafficAttacks = []string{
+		"/cgi-bin/sh.cgi",
+		"/index.php?id=1' or '1'='1",
+		"SELECT password UNION SELECT user",
+		"/scripts/../../winnt/system32/cmd.exe",
+		"\x90\x90\x90\x90\x90\x90\x90\x90\x90\x90",
+		"xp_cmdshell 'dir'",
+		"<script>eval(unescape('%61'))</script>",
+	}
+)
+
+// Generate produces about `size` bytes of traffic, deterministically from
+// seed, and reports how many suspicious lines were planted.
+func (t Traffic) Generate(size int, seed int64) (data []byte, planted int) {
+	perMille := t.SuspiciousPerMille
+	if perMille <= 0 {
+		perMille = 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, size+256)
+	for len(out) < size {
+		if r.Intn(1000) < perMille {
+			attack := trafficAttacks[r.Intn(len(trafficAttacks))]
+			out = append(out, fmt.Sprintf("GET %s HTTP/1.1\n", attack)...)
+			planted++
+			continue
+		}
+		switch r.Intn(3) {
+		case 0:
+			out = append(out, fmt.Sprintf("GET %s?q=%d HTTP/1.1\n",
+				trafficPaths[r.Intn(len(trafficPaths))], r.Intn(100000))...)
+		case 1:
+			out = append(out, fmt.Sprintf("User-Agent: %s\n",
+				trafficAgents[r.Intn(len(trafficAgents))])...)
+		default:
+			out = append(out, fmt.Sprintf("Host: host-%03d.example.com\n", r.Intn(1000))...)
+		}
+	}
+	return out, planted
+}
+
+// Lines splits data at newline boundaries, returning byte spans; the
+// examples match rules per line.
+func Lines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, data[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}

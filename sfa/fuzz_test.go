@@ -1,0 +1,40 @@
+package sfa
+
+import (
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// FuzzEngineAgreement feeds arbitrary (pattern, input) pairs through the
+// compile pipeline; whenever the pattern compiles, the default SFA engine
+// must agree with the Brzozowski-derivative oracle — an implementation
+// that shares only the parser with it.
+func FuzzEngineAgreement(f *testing.F) {
+	f.Add("(ab)*", "abab")
+	f.Add("([0-4]{2}[5-9]{2})*", "0055")
+	f.Add("a|bc+", "bcc")
+	f.Add("[a-c]{1,3}", "abc")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		if len(pattern) > 30 || len(input) > 30 {
+			return
+		}
+		node, err := syntax.Parse(pattern, 0)
+		if err != nil {
+			return
+		}
+		if node.NumPositions() > 40 {
+			return
+		}
+		re, err := Compile(pattern, WithDFACap(500), WithSFACap(20_000), WithThreads(2))
+		if err != nil {
+			return
+		}
+		got := re.Match([]byte(input))
+		want := syntax.DeriveMatch(node, []byte(input))
+		if got != want {
+			t.Fatalf("pattern %q input %q: engine=%v derivatives=%v",
+				pattern, input, got, want)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package sfa
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+// TestAgainstStdlibRegexp cross-validates whole-input acceptance against
+// Go's standard regexp engine (an RE2 derivative — a completely
+// independent implementation) on a shared syntax subset.
+func TestAgainstStdlibRegexp(t *testing.T) {
+	patterns := []string{
+		"(ab)*",
+		"(a|b)*abb",
+		"a+(b|c)*a?",
+		"([ab]{3}c)*",
+		"(a|bc)*d?",
+		"[0-4]{2}[5-9]{2}",
+		"(0|1)*(00|11)",
+		"a{2,5}b{1,3}",
+		"(ab|ba)+c*",
+		"[abc]*abc[abc]*",
+	}
+	r := rand.New(rand.NewSource(1234))
+	for _, pat := range patterns {
+		mine := MustCompile(pat, WithThreads(3))
+		std := regexp.MustCompile(`\A(?:` + pat + `)\z`)
+		for i := 0; i < 400; i++ {
+			w := make([]byte, r.Intn(24))
+			for j := range w {
+				w[j] = "abcd0156"[r.Intn(8)]
+			}
+			want := std.Match(w)
+			if got := mine.Match(w); got != want {
+				t.Fatalf("pattern %q input %q: sfa=%v stdlib=%v", pat, w, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchAgainstStdlib cross-validates substring-search semantics.
+func TestSearchAgainstStdlib(t *testing.T) {
+	patterns := []string{
+		"abb",
+		"a.c",
+		"(ab)+",
+		"[0-9]{3}",
+		"x(y|z)x",
+	}
+	r := rand.New(rand.NewSource(77))
+	for _, pat := range patterns {
+		mine := MustCompile(pat, WithSearch(), WithFlags(DotAll))
+		std := regexp.MustCompile(`(?s)` + pat)
+		for i := 0; i < 400; i++ {
+			w := make([]byte, r.Intn(40))
+			for j := range w {
+				w[j] = "abcxyz019."[r.Intn(10)]
+			}
+			want := std.Match(w)
+			if got := mine.Match(w); got != want {
+				t.Fatalf("pattern %q input %q: sfa=%v stdlib=%v", pat, w, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomPatternsAgainstStdlib generates random patterns valid in both
+// syntaxes and compares all engines against stdlib on random words.
+func TestRandomPatternsAgainstStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 {
+			switch r.Intn(5) {
+			case 0:
+				return "a"
+			case 1:
+				return "b"
+			case 2:
+				return "c"
+			case 3:
+				return "[ab]"
+			default:
+				return "[bc]"
+			}
+		}
+		switch r.Intn(7) {
+		case 0:
+			return gen(depth-1) + gen(depth-1)
+		case 1:
+			return "(?:" + gen(depth-1) + "|" + gen(depth-1) + ")"
+		case 2:
+			return "(?:" + gen(depth-1) + ")*"
+		case 3:
+			return "(?:" + gen(depth-1) + ")?"
+		case 4:
+			return "(?:" + gen(depth-1) + ")+"
+		case 5:
+			return "(?:" + gen(depth-1) + "){1,3}"
+		default:
+			return gen(depth - 1)
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		pat := gen(3)
+		std, err := regexp.Compile(`\A(?:` + pat + `)\z`)
+		if err != nil {
+			t.Fatalf("stdlib rejected %q: %v", pat, err)
+		}
+		for _, eng := range []Engine{EngineSFA, EngineLazySFA, EngineDFA, EngineSpecDFA, EngineNFA} {
+			mine, err := Compile(pat, WithEngine(eng), WithThreads(2))
+			if err != nil {
+				t.Fatalf("%v rejected %q: %v", eng, pat, err)
+			}
+			for i := 0; i < 25; i++ {
+				w := make([]byte, r.Intn(16))
+				for j := range w {
+					w[j] = "abc"[r.Intn(3)]
+				}
+				if got, want := mine.Match(w), std.Match(w); got != want {
+					t.Fatalf("engine %v pattern %q input %q: got %v want %v",
+						eng, pat, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParserRobustness: arbitrary byte soup must produce either a clean
+// parse or a clean error — never a panic or a hang.
+func TestParserRobustness(t *testing.T) {
+	r := rand.New(rand.NewSource(5150))
+	alphabet := []byte(`ab(){}[]|*+?^$\.-,0129xnrtdswSWD`)
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(30)
+		pat := make([]byte, n)
+		for j := range pat {
+			pat[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		re, err := Compile(string(pat), WithDFACap(2000), WithSFACap(50000))
+		if err != nil {
+			continue
+		}
+		// Smoke-match so the whole pipeline executes.
+		re.Match([]byte("abab01"))
+	}
+}

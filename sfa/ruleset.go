@@ -1,0 +1,109 @@
+package sfa
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RuleSet matches many patterns against the same input — the deep-packet-
+// inspection workload (one SNORT ruleset, many packets) that motivates
+// the paper's introduction. Patterns are compiled independently; Scan
+// fans the rules out over a bounded worker pool while each rule's own
+// engine parallelizes over the input.
+type RuleSet struct {
+	names []string
+	res   []*Regexp
+}
+
+// NewRuleSet compiles the named patterns with shared options. It fails on
+// the first pattern that does not compile, identifying it by name.
+func NewRuleSet(rules map[string]string, opts ...Option) (*RuleSet, error) {
+	rs := &RuleSet{}
+	for name := range rules {
+		rs.names = append(rs.names, name)
+	}
+	// Deterministic order for reporting.
+	sortStrings(rs.names)
+	for _, name := range rs.names {
+		re, err := Compile(rules[name], opts...)
+		if err != nil {
+			return nil, fmt.Errorf("sfa: rule %s: %w", name, err)
+		}
+		rs.res = append(rs.res, re)
+	}
+	return rs, nil
+}
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.res) }
+
+// Names returns the rule names in the order Scan reports them.
+func (rs *RuleSet) Names() []string {
+	out := make([]string, len(rs.names))
+	copy(out, rs.names)
+	return out
+}
+
+// Rule returns the compiled pattern for a name, if present.
+func (rs *RuleSet) Rule(name string) (*Regexp, bool) {
+	for i, n := range rs.names {
+		if n == name {
+			return rs.res[i], true
+		}
+	}
+	return nil, false
+}
+
+// Scan matches every rule against data, running up to `workers` rules
+// concurrently (0 = all). It returns the names of matching rules in the
+// deterministic Names() order.
+func (rs *RuleSet) Scan(data []byte, workers int) []string {
+	if workers <= 0 || workers > len(rs.res) {
+		workers = len(rs.res)
+	}
+	hits := make([]bool, len(rs.res))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range rs.res {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			hits[i] = rs.res[i].Match(data)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	var out []string
+	for i, h := range hits {
+		if h {
+			out = append(out, rs.names[i])
+		}
+	}
+	return out
+}
+
+// Any reports whether at least one rule matches, stopping the fan-out as
+// soon as one does.
+func (rs *RuleSet) Any(data []byte) bool {
+	done := make(chan bool, len(rs.res))
+	for i := range rs.res {
+		go func(i int) { done <- rs.res[i].Match(data) }(i)
+	}
+	hit := false
+	for range rs.res {
+		if <-done {
+			hit = true
+			// Drain the rest; goroutines already run to completion.
+		}
+	}
+	return hit
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

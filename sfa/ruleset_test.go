@@ -1,0 +1,84 @@
+package sfa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testRuleSet(t *testing.T) *RuleSet {
+	t.Helper()
+	rs, err := NewRuleSet(map[string]string{
+		"cmd":  `cmd\.exe`,
+		"sql":  `union.{1,32}select`,
+		"trav": `/\.\./`,
+		"nop":  `\x90{4,}`,
+	}, WithSearch(), WithFlags(FoldCase|DotAll), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestRuleSetScan(t *testing.T) {
+	rs := testRuleSet(t)
+	if rs.Len() != 4 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	got := rs.Scan([]byte("GET /a/../b?q=UNION ALL SELECT cmd.exe"), 0)
+	want := []string{"cmd", "sql", "trav"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Scan = %v, want %v", got, want)
+	}
+	if hits := rs.Scan([]byte("harmless request"), 2); hits != nil {
+		t.Errorf("clean input flagged: %v", hits)
+	}
+}
+
+func TestRuleSetAny(t *testing.T) {
+	rs := testRuleSet(t)
+	if !rs.Any([]byte("payload \x90\x90\x90\x90\x90 here")) {
+		t.Error("nop sled missed")
+	}
+	if rs.Any([]byte("nothing to see")) {
+		t.Error("false positive")
+	}
+}
+
+func TestRuleSetNamesAndRule(t *testing.T) {
+	rs := testRuleSet(t)
+	names := rs.Names()
+	want := []string{"cmd", "nop", "sql", "trav"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Names = %v, want %v", names, want)
+	}
+	if _, ok := rs.Rule("sql"); !ok {
+		t.Error("Rule(sql) missing")
+	}
+	if _, ok := rs.Rule("absent"); ok {
+		t.Error("Rule(absent) found")
+	}
+	// Names must return a copy.
+	names[0] = "mutated"
+	if rs.Names()[0] != "cmd" {
+		t.Error("Names leaked internal state")
+	}
+}
+
+func TestRuleSetCompileError(t *testing.T) {
+	_, err := NewRuleSet(map[string]string{"bad": "("})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); got == "" || !contains(got, "bad") {
+		t.Errorf("error should name the rule: %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

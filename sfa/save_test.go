@@ -1,0 +1,83 @@
+package sfa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	re := MustCompile("([0-4]{5}[5-9]{5})*", WithThreads(2))
+	var buf bytes.Buffer
+	if err := re.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, WithThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pattern() != re.Pattern() {
+		t.Errorf("pattern = %q", got.Pattern())
+	}
+	s := got.Sizes()
+	if s.DFALive != 10 || s.SFALive != 109 {
+		t.Errorf("sizes after load: %+v", s)
+	}
+	for in, want := range map[string]bool{
+		"":           true,
+		"0123456789": true,
+		"012345678":  false,
+	} {
+		if got.MatchString(in) != want {
+			t.Errorf("loaded matcher wrong on %q", in)
+		}
+	}
+	// A loaded Regexp supports streaming too.
+	stream, err := got.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Write([]byte("01234"))
+	stream.Write([]byte("56789"))
+	if !stream.Accepted() {
+		t.Error("stream on loaded Regexp failed")
+	}
+}
+
+func TestSaveRequiresSFA(t *testing.T) {
+	re := MustCompile("(ab)*", WithEngine(EngineDFA))
+	if err := re.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save without an SFA should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("\xff\xff\xff\xffgarbage"))); err == nil {
+		t.Error("implausible header accepted")
+	}
+	var buf bytes.Buffer
+	re := MustCompile("(ab)*")
+	if err := re.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func BenchmarkStreamWrite64K(b *testing.B) {
+	re := MustCompile("([0-4]{5}[5-9]{5})*", WithThreads(2))
+	s, err := re.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte("0123456789"), 6554) // ~64 KiB
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(chunk)
+	}
+}

@@ -1,0 +1,293 @@
+// Package sfa is the public API of the simultaneous-finite-automaton
+// regular-expression matcher, a reproduction of
+//
+//	Sin'ya, Matsuzaki, Sassa: "Simultaneous Finite Automata: An Efficient
+//	Data-Parallel Model for Regular Expression Matching", ICPP 2013.
+//
+// A compiled Regexp owns the full pipeline of the paper — Glushkov NFA,
+// minimized DFA (subset construction + Hopcroft), and D-SFA
+// (correspondence construction) — and matches whole inputs in parallel by
+// splitting them at arbitrary byte positions (Theorem 3), running each
+// chunk on one goroutine with a single table lookup per byte, and
+// reducing the per-chunk SFA states in O(p).
+//
+// Basic use:
+//
+//	re, err := sfa.Compile(`([0-4]{5}[5-9]{5})*`)
+//	...
+//	ok := re.Match(data) // parallel across runtime.GOMAXPROCS(0) goroutines
+//
+// Matching semantics are whole-input acceptance, as in the paper's
+// evaluation. Use the Search option for unanchored substring semantics.
+package sfa
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/engine"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// Flag mirrors the supported PCRE modifiers.
+type Flag uint8
+
+// Compile-time pattern flags.
+const (
+	// FoldCase makes matching case-insensitive ((?i), pcre /i).
+	FoldCase Flag = 1 << iota
+	// DotAll lets '.' match '\n' ((?s), pcre /s).
+	DotAll
+)
+
+// Engine selects the matching algorithm.
+type Engine int
+
+// Available engines. EngineSFA is the paper's Algorithm 5 and the
+// default; the others exist for comparison and ablation.
+const (
+	// EngineSFA matches with a precomputed D-SFA (Algorithm 5).
+	EngineSFA Engine = iota
+	// EngineLazySFA matches with an on-the-fly D-SFA (Sect. V-A).
+	EngineLazySFA
+	// EngineDFA is the sequential baseline (Algorithm 2).
+	EngineDFA
+	// EngineSpecDFA is the prior-work speculative parallel DFA
+	// (Algorithm 3).
+	EngineSpecDFA
+	// EngineNFA is the bitset NFA simulation.
+	EngineNFA
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSFA:
+		return "sfa"
+	case EngineLazySFA:
+		return "lazy-sfa"
+	case EngineDFA:
+		return "dfa"
+	case EngineSpecDFA:
+		return "spec-dfa"
+	case EngineNFA:
+		return "nfa"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// config carries compile options.
+type config struct {
+	flags   Flag
+	threads int
+	eng     Engine
+	tree    bool
+	search  bool
+	dfaCap  int
+	sfaCap  int
+	lazyMax int
+}
+
+// Option configures Compile.
+type Option func(*config)
+
+// WithFlags sets pattern flags (FoldCase, DotAll).
+func WithFlags(f Flag) Option { return func(c *config) { c.flags = f } }
+
+// WithThreads fixes the parallelism degree p of Algorithms 3/5.
+// The default (0) uses runtime.GOMAXPROCS(0).
+func WithThreads(p int) Option { return func(c *config) { c.threads = p } }
+
+// WithEngine selects the matching algorithm (default EngineSFA).
+func WithEngine(e Engine) Option { return func(c *config) { c.eng = e } }
+
+// WithTreeReduction switches Algorithms 3/5 from the O(p) sequential
+// reduction to the parallel ⊙-tree reduction.
+func WithTreeReduction() Option { return func(c *config) { c.tree = true } }
+
+// WithSearch compiles for unanchored substring search: the pattern is
+// implicitly bracketed with .* on unanchored sides (a leading ^ or
+// trailing $ in the pattern suppresses the respective bracket).
+func WithSearch() Option { return func(c *config) { c.search = true } }
+
+// WithDFACap bounds the intermediate DFA size (the paper's SNORT study
+// uses 1000). 0 means unbounded.
+func WithDFACap(n int) Option { return func(c *config) { c.dfaCap = n } }
+
+// WithSFACap bounds the D-SFA size for the precomputed engine; beyond it
+// Compile fails so the caller can fall back to EngineLazySFA or
+// EngineDFA. 0 means unbounded.
+func WithSFACap(n int) Option { return func(c *config) { c.sfaCap = n } }
+
+// Regexp is a compiled pattern. It is safe for concurrent use.
+type Regexp struct {
+	pattern string
+	cfg     config
+
+	node *syntax.Node
+	nfa  *nfa.NFA
+	dfa  *dfa.DFA
+	dsfa *core.DSFA // nil unless EngineSFA
+
+	matcher engine.Matcher
+}
+
+// Compile builds a Regexp with the paper's pipeline.
+func Compile(pattern string, opts ...Option) (*Regexp, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.threads <= 0 {
+		cfg.threads = runtime.GOMAXPROCS(0)
+	}
+
+	var sflags syntax.Flags
+	if cfg.flags&FoldCase != 0 {
+		sflags |= syntax.FoldCase
+	}
+	if cfg.flags&DotAll != 0 {
+		sflags |= syntax.DotAll
+	}
+	node, err := syntax.Parse(pattern, sflags)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.search {
+		node = bracketForSearch(node)
+	}
+
+	re := &Regexp{pattern: pattern, cfg: cfg, node: node}
+	re.nfa, err = nfa.Glushkov(node)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.eng == EngineNFA {
+		re.matcher = engineNFA(re.nfa)
+		return re, nil
+	}
+
+	d, err := dfa.Determinize(re.nfa, cfg.dfaCap)
+	if err != nil {
+		return nil, err
+	}
+	re.dfa = dfa.Minimize(d)
+
+	red := engine.ReduceSequential
+	if cfg.tree {
+		red = engine.ReduceTree
+	}
+	switch cfg.eng {
+	case EngineSFA:
+		re.dsfa, err = core.BuildDSFA(re.dfa, cfg.sfaCap)
+		if err != nil {
+			return nil, err
+		}
+		re.matcher = engine.NewSFAParallel(re.dsfa, cfg.threads, red)
+	case EngineLazySFA:
+		m, err := engine.NewSFALazy(re.dfa, cfg.threads, cfg.lazyMax)
+		if err != nil {
+			return nil, err
+		}
+		re.matcher = m
+	case EngineDFA:
+		re.matcher = engine.NewDFASequential(re.dfa)
+	case EngineSpecDFA:
+		re.matcher = engine.NewDFASpeculative(re.dfa, cfg.threads, red)
+	default:
+		return nil, fmt.Errorf("sfa: unknown engine %v", cfg.eng)
+	}
+	return re, nil
+}
+
+// engineNFA adapts the NFA simulator; kept tiny so Compile reads linearly.
+func engineNFA(a *nfa.NFA) engine.Matcher { return nfaSim{nfa.NewSimulator(a)} }
+
+type nfaSim struct{ s *nfa.Simulator }
+
+func (m nfaSim) Match(text []byte) bool { return m.s.Match(text) }
+func (m nfaSim) Name() string           { return "nfa-sim" }
+
+// MustCompile is Compile that panics on error, for initialization of
+// package-level patterns.
+func MustCompile(pattern string, opts ...Option) *Regexp {
+	re, err := Compile(pattern, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}
+
+// bracketForSearch rewrites e into (?s).* e (?s).*, honouring anchors.
+func bracketForSearch(node *syntax.Node) *syntax.Node {
+	stripped, begin, end := syntax.StripAnchors(node)
+	dotStar := func() *syntax.Node {
+		return &syntax.Node{Op: syntax.OpStar, Sub: []*syntax.Node{
+			{Op: syntax.OpClass, Set: syntax.AnyByte()},
+		}}
+	}
+	subs := []*syntax.Node{}
+	if !begin {
+		subs = append(subs, dotStar())
+	}
+	subs = append(subs, stripped)
+	if !end {
+		subs = append(subs, dotStar())
+	}
+	return syntax.Simplify(&syntax.Node{Op: syntax.OpConcat, Sub: subs})
+}
+
+// Match reports whether the pattern matches data — whole-input acceptance
+// by default, substring search when compiled WithSearch.
+func (re *Regexp) Match(data []byte) bool { return re.matcher.Match(data) }
+
+// MatchString is Match for strings.
+func (re *Regexp) MatchString(s string) bool { return re.matcher.Match([]byte(s)) }
+
+// Pattern returns the source pattern.
+func (re *Regexp) Pattern() string { return re.pattern }
+
+// EngineName identifies the selected engine and its parameters.
+func (re *Regexp) EngineName() string { return re.matcher.Name() }
+
+// String implements fmt.Stringer.
+func (re *Regexp) String() string { return re.pattern }
+
+// Sizes reports the automata sizes of the compiled pipeline, using the
+// paper's live-state convention.
+type Sizes struct {
+	NFAStates int // Glushkov states (positions + 1)
+	DFALive   int // minimal DFA, dead sink excluded
+	DFATotal  int
+	SFALive   int // D-SFA, everywhere-dead mapping excluded (0 if not built)
+	SFATotal  int
+	Classes   int // byte equivalence classes
+}
+
+// Sizes returns the pipeline's automata sizes. NFAStates is 0 for a
+// Regexp reconstructed with Load (the NFA is not serialized).
+func (re *Regexp) Sizes() Sizes {
+	var s Sizes
+	if re.nfa != nil {
+		s.NFAStates = re.nfa.NumStates
+	}
+	if re.dfa != nil {
+		s.DFALive = re.dfa.LiveSize()
+		s.DFATotal = re.dfa.NumStates
+		s.Classes = re.dfa.BC.Count
+	}
+	if re.dsfa != nil {
+		s.SFALive = re.dsfa.LiveSize()
+		s.SFATotal = re.dsfa.NumStates
+	}
+	return s
+}
+
+// DFA exposes the minimal DFA (nil for EngineNFA). Read-only.
+func (re *Regexp) DFA() *dfa.DFA { return re.dfa }
+
+// DSFA exposes the D-SFA when the precomputed SFA engine is selected.
+// Read-only.
+func (re *Regexp) DSFA() *core.DSFA { return re.dsfa }

@@ -1,0 +1,171 @@
+package sfa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompileAndMatchDefaults(t *testing.T) {
+	re, err := Compile("([0-4]{5}[5-9]{5})*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Match([]byte("0123456789")) {
+		t.Error("accepted input rejected")
+	}
+	if re.Match([]byte("01234567890")) {
+		t.Error("rejected input accepted")
+	}
+	if !re.MatchString("") {
+		t.Error("empty word is in the language")
+	}
+	sizes := re.Sizes()
+	if sizes.DFALive != 10 || sizes.SFALive != 109 {
+		t.Errorf("sizes = %+v, want DFALive 10 SFALive 109", sizes)
+	}
+	if sizes.NFAStates != 11 {
+		t.Errorf("NFA states = %d, want 11", sizes.NFAStates)
+	}
+	if sizes.Classes != 3 {
+		t.Errorf("classes = %d, want 3", sizes.Classes)
+	}
+}
+
+func TestAllEnginesViaAPI(t *testing.T) {
+	inputs := map[string]bool{
+		"":                          true,
+		"0123456789":                true,
+		"0123456789" + "0123456789": true,
+		"012345678":                 false,
+		"5123456789":                false,
+	}
+	for _, eng := range []Engine{EngineSFA, EngineLazySFA, EngineDFA, EngineSpecDFA, EngineNFA} {
+		re, err := Compile("([0-4]{5}[5-9]{5})*", WithEngine(eng), WithThreads(3))
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		for in, want := range inputs {
+			if got := re.MatchString(in); got != want {
+				t.Errorf("engine %v input %q = %v, want %v", eng, in, got, want)
+			}
+		}
+		if re.EngineName() == "" {
+			t.Errorf("engine %v has no name", eng)
+		}
+	}
+}
+
+func TestTreeReductionOption(t *testing.T) {
+	re, err := Compile("(ab)*", WithTreeReduction(), WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Match(bytes.Repeat([]byte("ab"), 1000)) {
+		t.Error("tree reduction engine rejected accepted input")
+	}
+}
+
+func TestSearchSemantics(t *testing.T) {
+	re, err := Compile(`cmd\.exe`, WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.MatchString("GET /scripts/cmd.exe HTTP/1.1") {
+		t.Error("substring not found")
+	}
+	if re.MatchString("GET /scripts/cmdQexe HTTP/1.1") {
+		t.Error("false positive")
+	}
+	// Anchored search: ^ pins the match to the start.
+	re, err = Compile(`^GET `, WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.MatchString("GET /x HTTP/1.1") {
+		t.Error("anchored prefix should match")
+	}
+	if re.MatchString("POST then GET ") {
+		t.Error("^ must suppress the leading .*")
+	}
+	// $ pins to the end.
+	re, err = Compile(`\.exe$`, WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.MatchString("run cmd.exe") {
+		t.Error("anchored suffix should match")
+	}
+	if re.MatchString("cmd.exe downloaded") {
+		t.Error("$ must suppress the trailing .*")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	re := MustCompile("abc", WithFlags(FoldCase))
+	if !re.MatchString("AbC") {
+		t.Error("FoldCase ignored")
+	}
+	re = MustCompile("a.b", WithFlags(DotAll))
+	if !re.MatchString("a\nb") {
+		t.Error("DotAll ignored")
+	}
+	re = MustCompile("a.b")
+	if re.MatchString("a\nb") {
+		t.Error("default dot must not match newline")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("("); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Compile("[ap]*[al][alp]{12}", WithDFACap(50)); err == nil {
+		t.Error("expected DFA cap error")
+	}
+	if _, err := Compile("([0-4]{10}[5-9]{10})*", WithSFACap(10)); err == nil {
+		t.Error("expected SFA cap error")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on a bad pattern")
+		}
+	}()
+	MustCompile("(")
+}
+
+func TestPatternAccessors(t *testing.T) {
+	re := MustCompile("(ab)*")
+	if re.Pattern() != "(ab)*" || re.String() != "(ab)*" {
+		t.Error("pattern accessors broken")
+	}
+	if re.DFA() == nil || re.DSFA() == nil {
+		t.Error("pipeline accessors should be populated for EngineSFA")
+	}
+	nre := MustCompile("(ab)*", WithEngine(EngineNFA))
+	if nre.DFA() != nil {
+		t.Error("EngineNFA should not build a DFA")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	re := MustCompile("(([02468][13579]){5})*", WithThreads(2))
+	text := bytes.Repeat([]byte("0123456789"), 5000)
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			ok := true
+			for k := 0; k < 20; k++ {
+				ok = ok && re.Match(text)
+			}
+			done <- ok
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Fatal("concurrent Match failed")
+		}
+	}
+}

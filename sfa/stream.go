@@ -1,0 +1,112 @@
+package sfa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Stream matches input that arrives in pieces — files read in blocks,
+// network payloads, log shipping. It is a direct payoff of the SFA's
+// algebra: each Write scans its chunk in parallel from the identity
+// mapping (Algorithm 5, lines 1–5) and folds the result into the running
+// transformation with the associative ⊙, so the state carried between
+// Writes is a single mapping of size |D| regardless of how much input has
+// been consumed. Chunks of any size may be fed in any number of calls;
+// Theorem 3 guarantees the verdict is split-invariant.
+//
+// A Stream is not safe for concurrent use; each goroutine should own one
+// (Regexp.NewStream is cheap).
+type Stream struct {
+	re      *Regexp
+	threads int
+	cur     []int16 // running transformation (starts at identity)
+	tmp     []int16
+	bytes   int64
+}
+
+// NewStream starts incremental matching. Only patterns compiled with
+// EngineSFA (the default) support streaming.
+func (re *Regexp) NewStream() (*Stream, error) {
+	if re.dsfa == nil {
+		return nil, fmt.Errorf("sfa: streaming needs EngineSFA, have %s", re.EngineName())
+	}
+	n := re.dfa.NumStates
+	s := &Stream{re: re, threads: re.cfg.threads, cur: make([]int16, n), tmp: make([]int16, n)}
+	copy(s.cur, re.dsfa.Map(re.dsfa.Start))
+	return s, nil
+}
+
+// Write consumes the next chunk of input. It never fails; the error
+// return satisfies io.Writer so a Stream can terminate io.Copy pipelines.
+func (s *Stream) Write(chunk []byte) (int, error) {
+	ds := s.re.dsfa
+	p := s.threads
+	if len(chunk) < 4096 || p < 2 {
+		// Small chunk: sequential run from the identity would waste the
+		// fork; instead advance the running mapping directly by walking
+		// the SFA from the state *equal to* the current composition...
+		// which may not be materialized. Run the chunk from identity
+		// sequentially and compose.
+		f := ds.Run(ds.Start, chunk)
+		core.ComposeVec(s.tmp, s.cur, ds.Map(f))
+		s.cur, s.tmp = s.tmp, s.cur
+		s.bytes += int64(len(chunk))
+		return len(chunk), nil
+	}
+	// Parallel scan of this chunk (Algorithm 5 on the chunk).
+	locals := make([]int32, p)
+	var wg sync.WaitGroup
+	size := len(chunk) / p
+	for i := 0; i < p; i++ {
+		lo, hi := i*size, (i+1)*size
+		if i == p-1 {
+			hi = len(chunk)
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			locals[i] = ds.Run(ds.Start, chunk[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, f := range locals {
+		core.ComposeVec(s.tmp, s.cur, ds.Map(f))
+		s.cur, s.tmp = s.tmp, s.cur
+	}
+	s.bytes += int64(len(chunk))
+	return len(chunk), nil
+}
+
+// Accepted reports whether the input consumed so far is accepted. It may
+// be called at any point; the stream continues afterwards.
+func (s *Stream) Accepted() bool {
+	d := s.re.dfa
+	return d.Accept[s.cur[d.Start]]
+}
+
+// Bytes returns the number of bytes consumed.
+func (s *Stream) Bytes() int64 { return s.bytes }
+
+// Reset rewinds the stream to the identity mapping (no input consumed).
+func (s *Stream) Reset() {
+	ds := s.re.dsfa
+	copy(s.cur, ds.Map(ds.Start))
+	s.bytes = 0
+}
+
+// Compose merges another stream's consumed input *after* this one's, as
+// if the two byte sequences had been concatenated: s ← s · t. Both
+// streams must come from the same Regexp. This enables out-of-order
+// processing: scan file segments on different machines or goroutines,
+// then fold the mappings.
+func (s *Stream) Compose(t *Stream) error {
+	if t.re != s.re {
+		return fmt.Errorf("sfa: cannot compose streams of different patterns")
+	}
+	core.ComposeVec(s.tmp, s.cur, t.cur)
+	s.cur, s.tmp = s.tmp, s.cur
+	s.bytes += t.bytes
+	return nil
+}

@@ -1,0 +1,136 @@
+package sfa
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	re := MustCompile("(([02468][13579]){5})*", WithThreads(2))
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		// Random digit text, sometimes accepted, sometimes not.
+		n := r.Intn(40_000)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('0' + r.Intn(10))
+		}
+		want := re.Match(text)
+
+		s, err := re.NewStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed in random-sized chunks.
+		for off := 0; off < len(text); {
+			sz := 1 + r.Intn(9000)
+			if off+sz > len(text) {
+				sz = len(text) - off
+			}
+			k, err := s.Write(text[off : off+sz])
+			if err != nil || k != sz {
+				t.Fatalf("Write = %d, %v", k, err)
+			}
+			off += sz
+		}
+		if got := s.Accepted(); got != want {
+			t.Fatalf("stream verdict %v, batch %v (len %d)", got, want, n)
+		}
+		if s.Bytes() != int64(len(text)) {
+			t.Fatalf("Bytes = %d, want %d", s.Bytes(), len(text))
+		}
+	}
+}
+
+func TestStreamEmptyAndReset(t *testing.T) {
+	re := MustCompile("(ab)*")
+	s, err := re.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Accepted() {
+		t.Error("empty input is in L((ab)*)")
+	}
+	s.Write([]byte("a"))
+	if s.Accepted() {
+		t.Error("'a' not accepted")
+	}
+	s.Write([]byte("b"))
+	if !s.Accepted() {
+		t.Error("'ab' accepted")
+	}
+	s.Reset()
+	if !s.Accepted() || s.Bytes() != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestStreamIsWriter(t *testing.T) {
+	re := MustCompile("(ab)*")
+	s, err := re.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(s, bytes.NewReader(bytes.Repeat([]byte("ab"), 100_000)))
+	if err != nil || n != 200_000 {
+		t.Fatalf("io.Copy = %d, %v", n, err)
+	}
+	if !s.Accepted() {
+		t.Error("(ab)^100000 accepted")
+	}
+}
+
+func TestStreamCompose(t *testing.T) {
+	re := MustCompile("(ab)*", WithThreads(2))
+	// Scan the two halves of the input on separate streams, out of order,
+	// then compose: s1 · s2 must equal the verdict on the concatenation.
+	text := bytes.Repeat([]byte("ab"), 50_001)
+	half := len(text)/2 + 1 // odd cut, splits an "ab" pair
+	s1, _ := re.NewStream()
+	s2, _ := re.NewStream()
+	s2.Write(text[half:]) // second half first — order of scanning is free
+	s1.Write(text[:half])
+	if err := s1.Compose(s2); err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Accepted() {
+		t.Error("composed verdict wrong")
+	}
+	if s1.Bytes() != int64(len(text)) {
+		t.Errorf("composed Bytes = %d", s1.Bytes())
+	}
+	// Composing streams of different patterns must fail.
+	other := MustCompile("a*")
+	s3, _ := other.NewStream()
+	if err := s1.Compose(s3); err == nil {
+		t.Error("cross-pattern compose should fail")
+	}
+}
+
+func TestStreamRequiresSFAEngine(t *testing.T) {
+	re := MustCompile("(ab)*", WithEngine(EngineDFA))
+	if _, err := re.NewStream(); err == nil {
+		t.Error("streaming without an SFA should fail")
+	}
+}
+
+func TestStreamLargeParallelChunks(t *testing.T) {
+	re := MustCompile("([0-4]{5}[5-9]{5})*", WithThreads(4))
+	s, err := re.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte("0123456789"), 2000) // 20 KB, parallel path
+	for i := 0; i < 50; i++ {
+		s.Write(chunk)
+	}
+	if !s.Accepted() {
+		t.Error("1 MB of accepted blocks rejected")
+	}
+	s.Write([]byte("9"))
+	if s.Accepted() {
+		t.Error("trailing byte must flip the verdict")
+	}
+}
