@@ -1,0 +1,25 @@
+# CI entry points. `make ci` is the gate: vet + build + race tests +
+# a short benchmark smoke run proving the hot path still reports
+# 0 allocs/op.
+
+GO ?= go
+
+.PHONY: build vet test race bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Keep the smoke run small: 1 MiB inputs, 2 iterations per benchmark.
+bench-smoke:
+	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_' -benchtime 2x .
+
+ci: vet build race bench-smoke

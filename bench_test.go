@@ -84,10 +84,14 @@ func rnFixture(b *testing.B, n int) *fixture {
 		func() []byte { return textgen.RnText(n, benchMB()<<20, 1) })
 }
 
-// benchMatcher runs m over text with throughput accounting.
+// benchMatcher runs m over text with throughput accounting. allocs/op is
+// reported for every engine benchmark: the pooled engines' guardrail is
+// 0 allocs/op in steady state.
 func benchMatcher(b *testing.B, m engine.Matcher, text []byte, want bool) {
 	b.Helper()
 	b.SetBytes(int64(len(text)))
+	m.Match(text) // warm the context pool so steady state is measured
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if m.Match(text) != want {
@@ -340,6 +344,60 @@ func BenchmarkAblation_FrontendThompson(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Hot path: persistent pool + width-specialized tables (ISSUE 1) ---
+//
+// The Hotpath pairs compare the seed engine configuration (goroutines
+// spawned per Match, int32 table — the paper's setup) against the pooled
+// default (persistent workers, narrowest table width that fits). The
+// r100 automaton (~40k SFA states) is the cache-sensitive regime: its
+// int32 table is ~40 MiB, the auto-selected u16 table half that.
+// Expected: pooled+auto ≥ 1.3× seed at p ≥ 4, and 0 allocs/op pooled.
+
+func benchHotpath(b *testing.B, threads int, opts ...engine.Option) {
+	f := rnFixture(b, 100)
+	benchMatcher(b, engine.NewSFAParallel(f.s, threads, engine.ReduceSequential, opts...), f.text, true)
+}
+
+func BenchmarkHotpath_R100_Seed_p4(b *testing.B) {
+	benchHotpath(b, 4, engine.WithSpawn(), engine.WithLayout(engine.LayoutI32))
+}
+func BenchmarkHotpath_R100_Pooled_p4(b *testing.B) { benchHotpath(b, 4) }
+func BenchmarkHotpath_R100_PooledI32_p4(b *testing.B) {
+	// Isolates the pool from the layout: pooled dispatch, seed table.
+	benchHotpath(b, 4, engine.WithLayout(engine.LayoutI32))
+}
+func BenchmarkHotpath_R100_Seed_p8(b *testing.B) {
+	benchHotpath(b, 8, engine.WithSpawn(), engine.WithLayout(engine.LayoutI32))
+}
+func BenchmarkHotpath_R100_Pooled_p8(b *testing.B) { benchHotpath(b, 8) }
+
+// Small-input hot path: here per-call goroutine creation is the
+// dominant overhead, the regime of Fig. 10.
+func benchHotpathSmall(b *testing.B, opts ...engine.Option) {
+	f := fig10Fixture(b)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 4, engine.ReduceSequential, opts...), f.text[:100_000], true)
+}
+
+func BenchmarkHotpath_100KB_Seed_p4(b *testing.B) {
+	benchHotpathSmall(b, engine.WithSpawn(), engine.WithLayout(engine.LayoutI32))
+}
+func BenchmarkHotpath_100KB_Pooled_p4(b *testing.B) { benchHotpathSmall(b) }
+
+// Per-layout throughput (MB/s via the B/s column) on the same automaton.
+func benchLayout(b *testing.B, l engine.TableLayout) {
+	f := rnFixture(b, 100)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential, engine.WithLayout(l)), f.text, true)
+}
+
+func BenchmarkLayout_R100_U16_p2(b *testing.B)   { benchLayout(b, engine.LayoutU16) }
+func BenchmarkLayout_R100_I32_p2(b *testing.B)   { benchLayout(b, engine.LayoutI32) }
+func BenchmarkLayout_R100_Class_p2(b *testing.B) { benchLayout(b, engine.LayoutClass) }
+
+func BenchmarkLayout_R5_U8_p2(b *testing.B) {
+	f := rnFixture(b, 5)
+	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential, engine.WithLayout(engine.LayoutU8)), f.text, true)
 }
 
 // BenchmarkAblation_Chunking compares p chunks on p goroutines against

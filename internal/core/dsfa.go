@@ -52,8 +52,19 @@ func BuildDSFA(d *dfa.DFA, cap int) (*DSFA, error) {
 
 	s := &DSFA{D: d, n: n, EmptyID: -1}
 
+	// Pre-size the flat storage: reachable SFA state counts are unknown
+	// until closure completes, but starting from a few hundred states'
+	// worth of capacity removes the early append-doubling churn that
+	// dominated construction allocations for small automata.
+	sizeHint := 512
+	if cap > 0 && cap < sizeHint {
+		sizeHint = cap
+	}
+	s.maps = make([]int16, 0, sizeHint*n)
+	s.NextC = make([]int32, 0, sizeHint*nc)
+
 	// Intern table: hash → candidate ids, vectors live in s.maps.
-	ids := make(map[uint64][]int32)
+	ids := make(map[uint64][]int32, sizeHint)
 	s.ids = ids
 	intern := func(vec []int16) (int32, bool, error) {
 		h := hashVec16(vec)
@@ -89,9 +100,14 @@ func BuildDSFA(d *dfa.DFA, cap int) (*DSFA, error) {
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
+		// Hoisted out of the per-class loop: intern's appends may move
+		// s.maps to a new backing array, leaving f viewing the old one —
+		// that stale view stays correct because interned vectors are
+		// write-once (do not add in-place mutation of s.maps without
+		// revisiting this).
+		f := s.mapOf(id)
 		for c := 0; c < nc; c++ {
 			// Line 6 (deterministic case): fnext(q) = δ(f(q), σ).
-			f := s.mapOf(id)
 			for q := 0; q < n; q++ {
 				next[q] = int16(d.NextClass(int32(f[q]), c))
 			}

@@ -1,0 +1,85 @@
+// Width-specialized 256-wide transition tables.
+//
+// The matching cost of Algorithm 5 is one table lookup per byte per
+// thread, so the physical size of a table entry decides how many automaton
+// states fit in each cache level — the effect Fig. 8 isolates (the r500
+// D-SFA's 1 GB of int32 tables against a 12 MB LLC). Narrowing the entry
+// to the smallest integer that can hold every state id shrinks the
+// resident table 2–4×: an automaton with ≤ 256 states walks a []uint8
+// table (256 B per state), one with ≤ 65 536 states a []uint16 table
+// (512 B per state), and only larger automata pay the 1 KB-per-state
+// int32 layout the paper used.
+package core
+
+// FitsU8 reports whether every id of an automaton with n states fits in a
+// uint8 table entry.
+func FitsU8(n int) bool { return n <= 1<<8 }
+
+// FitsU16 reports whether every id fits in a uint16 table entry.
+func FitsU16(n int) bool { return n <= 1<<16 }
+
+// buildTable256 drives a width-specialized table build from any successor
+// function over byte classes.
+func buildTable256(numStates, classes int, classOf *[256]uint8, nextC []int32, store func(i int, to int32)) {
+	for q := 0; q < numStates; q++ {
+		base := q * classes
+		for b := 0; b < 256; b++ {
+			store(q*256+b, nextC[base+int(classOf[b])])
+		}
+	}
+}
+
+// Table256U8 materializes the flat 256-wide table with uint8 entries
+// (256 B per SFA state). It panics unless FitsU8(s.NumStates).
+func (s *DSFA) Table256U8() []uint8 {
+	if !FitsU8(s.NumStates) {
+		panic("core: Table256U8 needs ≤ 256 states")
+	}
+	t := make([]uint8, s.NumStates*256)
+	buildTable256(s.NumStates, s.D.BC.Count, &s.D.BC.Of, s.NextC,
+		func(i int, to int32) { t[i] = uint8(to) })
+	return t
+}
+
+// Table256U16 materializes the flat 256-wide table with uint16 entries
+// (512 B per SFA state). It panics unless FitsU16(s.NumStates).
+func (s *DSFA) Table256U16() []uint16 {
+	if !FitsU16(s.NumStates) {
+		panic("core: Table256U16 needs ≤ 65536 states")
+	}
+	t := make([]uint16, s.NumStates*256)
+	buildTable256(s.NumStates, s.D.BC.Count, &s.D.BC.Of, s.NextC,
+		func(i int, to int32) { t[i] = uint16(to) })
+	return t
+}
+
+// Table256 materializes the N-SFA's flat 256-wide int32 table (the layout
+// the engine used to build by hand).
+func (s *NSFA) Table256() []int32 {
+	t := make([]int32, s.NumStates*256)
+	buildTable256(s.NumStates, s.t.BC.Count, &s.t.BC.Of, s.NextC,
+		func(i int, to int32) { t[i] = to })
+	return t
+}
+
+// Table256U8 is the uint8-entry layout for N-SFAs with ≤ 256 states.
+func (s *NSFA) Table256U8() []uint8 {
+	if !FitsU8(s.NumStates) {
+		panic("core: Table256U8 needs ≤ 256 states")
+	}
+	t := make([]uint8, s.NumStates*256)
+	buildTable256(s.NumStates, s.t.BC.Count, &s.t.BC.Of, s.NextC,
+		func(i int, to int32) { t[i] = uint8(to) })
+	return t
+}
+
+// Table256U16 is the uint16-entry layout for N-SFAs with ≤ 65536 states.
+func (s *NSFA) Table256U16() []uint16 {
+	if !FitsU16(s.NumStates) {
+		panic("core: Table256U16 needs ≤ 65536 states")
+	}
+	t := make([]uint16, s.NumStates*256)
+	buildTable256(s.NumStates, s.t.BC.Count, &s.t.BC.Of, s.NextC,
+		func(i int, to int32) { t[i] = uint16(to) })
+	return t
+}

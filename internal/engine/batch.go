@@ -12,38 +12,100 @@ import (
 // are naively executed in parallel when both/either of queries and/or
 // data are multiple"). Combined with a parallel Matcher, both axes
 // compose: workers × chunks.
+//
+// Dispatch runs on the persistent worker pool: the pool's help-while-
+// waiting protocol makes it safe for Batch workers (which are pool tasks
+// themselves) to call a pooled Matcher that submits chunk tasks to the
+// same pool. The number of dispatched workers never exceeds the number of
+// inputs.
 type Batch struct {
 	m       Matcher
 	workers int
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *batchCtx
 }
 
 // NewBatch wraps a matcher for batched use. workers ≤ 0 uses GOMAXPROCS.
-func NewBatch(m Matcher, workers int) *Batch {
+func NewBatch(m Matcher, workers int, opts ...Option) *Batch {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Batch{m: m, workers: workers}
+	o := buildOpts(opts)
+	b := &Batch{m: m, workers: workers, spawn: o.spawn, pool: o.pool}
+	b.ctxs.New = func() any { return &batchCtx{b: b} }
+	return b
+}
+
+// batchCtx is the shared state of one MatchAll/AnyIndex call: a
+// work-stealing input cursor plus the result sink.
+type batchCtx struct {
+	job    jobState
+	b      *Batch
+	inputs [][]byte
+	out    []bool // MatchAll mode when non-nil
+	next   atomic.Int64
+	found  atomic.Int64 // AnyIndex mode when out is nil
+}
+
+// runChunk is one batch worker: it pulls input indices until none remain
+// (or, in AnyIndex mode, until some worker found a hit).
+func (c *batchCtx) runChunk(int) {
+	if c.out != nil {
+		for {
+			i := int(c.next.Add(1)) - 1
+			if i >= len(c.inputs) {
+				return
+			}
+			c.out[i] = c.b.m.Match(c.inputs[i])
+		}
+	}
+	for c.found.Load() < 0 {
+		i := int(c.next.Add(1)) - 1
+		if i >= len(c.inputs) {
+			return
+		}
+		if c.b.m.Match(c.inputs[i]) {
+			c.found.CompareAndSwap(-1, int64(i))
+			return
+		}
+	}
+}
+
+// dispatch runs w batch workers to completion.
+func (b *Batch) dispatch(c *batchCtx, w int) {
+	if b.spawn {
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.runChunk(0)
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	b.pool.Run(c, &c.job, w)
+}
+
+// release returns the context to the pool with its references dropped.
+func (b *Batch) release(c *batchCtx) {
+	c.inputs, c.out = nil, nil
+	b.ctxs.Put(c)
 }
 
 // MatchAll returns one verdict per input, in order.
 func (b *Batch) MatchAll(inputs [][]byte) []bool {
 	out := make([]bool, len(inputs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < b.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(inputs) {
-					return
-				}
-				out[i] = b.m.Match(inputs[i])
-			}
-		}()
+	if len(inputs) == 0 {
+		return out
 	}
-	wg.Wait()
+	c := b.ctxs.Get().(*batchCtx)
+	c.inputs, c.out = inputs, out
+	c.next.Store(0)
+	b.dispatch(c, min(b.workers, len(inputs)))
+	b.release(c)
 	return out
 }
 
@@ -62,26 +124,15 @@ func (b *Batch) Count(inputs [][]byte) int {
 // dispatching new work after the first hit (already-running probes
 // finish).
 func (b *Batch) AnyIndex(inputs [][]byte) int {
-	var next atomic.Int64
-	found := atomic.Int64{}
-	found.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < b.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for found.Load() < 0 {
-				i := int(next.Add(1)) - 1
-				if i >= len(inputs) {
-					return
-				}
-				if b.m.Match(inputs[i]) {
-					found.CompareAndSwap(-1, int64(i))
-					return
-				}
-			}
-		}()
+	if len(inputs) == 0 {
+		return -1
 	}
-	wg.Wait()
-	return int(found.Load())
+	c := b.ctxs.Get().(*batchCtx)
+	c.inputs, c.out = inputs, nil
+	c.next.Store(0)
+	c.found.Store(-1)
+	b.dispatch(c, min(b.workers, len(inputs)))
+	found := int(c.found.Load())
+	b.release(c)
+	return found
 }

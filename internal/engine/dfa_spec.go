@@ -12,108 +12,189 @@ import (
 // *all* DFA states over its chunk, producing a mapping T_i: Q → Q. The
 // per-byte cost is therefore Θ(|D|), which is exactly the overhead SFA
 // construction moves to compile time; Figs. 6–8 are the comparison.
+//
+// Like SFAParallel it defaults to the persistent worker pool with pooled
+// per-match scratch (the p chunk mappings and the reduction buffers);
+// WithSpawn restores per-call goroutine creation.
 type DFASpeculative struct {
 	d       *dfa.DFA
-	tab     []int32
 	threads int
 	red     Reduction
+	layout  TableLayout
+	tab     tables
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *specCtx
 }
 
 // NewDFASpeculative compiles the matcher for a fixed thread count and
 // reduction strategy.
-func NewDFASpeculative(d *dfa.DFA, threads int, red Reduction) *DFASpeculative {
+func NewDFASpeculative(d *dfa.DFA, threads int, red Reduction, opts ...Option) *DFASpeculative {
 	if threads < 1 {
 		threads = 1
 	}
-	return &DFASpeculative{d: d, tab: d.Table256(), threads: threads, red: red}
+	o := buildOpts(opts)
+	m := &DFASpeculative{
+		d:       d,
+		threads: threads,
+		red:     red,
+		layout:  resolveLayout(o.layout, d.NumStates),
+		spawn:   o.spawn,
+		pool:    o.pool,
+	}
+	switch m.layout {
+	case LayoutU8:
+		m.tab.u8 = table256U8DFA(d)
+	case LayoutU16:
+		m.tab.u16 = table256U16DFA(d)
+	case LayoutI32:
+		m.tab.i32 = d.Table256()
+	}
+	m.ctxs.New = func() any {
+		return &specCtx{m: m, maps: make([]int32, m.threads*d.NumStates)}
+	}
+	return m
 }
 
-// Match implements Algorithm 3, including per-call goroutine creation so
-// that small-input overheads (Fig. 10's subject) are not hidden by a
-// worker pool the paper's pthread implementation did not have.
-func (m *DFASpeculative) Match(text []byte) bool {
-	n := m.d.NumStates
-	p := m.threads
-	spans := chunks(len(text), p)
-	maps := make([][]int32, p)
-
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			maps[i] = m.simulateChunk(text[spans[i][0]:spans[i][1]])
-		}(i)
+func table256U8DFA(d *dfa.DFA) []uint8 {
+	t := make([]uint8, d.NumStates*256)
+	for q := int32(0); q < int32(d.NumStates); q++ {
+		for b := 0; b < 256; b++ {
+			t[int(q)<<8|b] = uint8(d.NextByte(q, byte(b)))
+		}
 	}
-	wg.Wait()
+	return t
+}
 
+func table256U16DFA(d *dfa.DFA) []uint16 {
+	t := make([]uint16, d.NumStates*256)
+	for q := int32(0); q < int32(d.NumStates); q++ {
+		for b := 0; b < 256; b++ {
+			t[int(q)<<8|b] = uint16(d.NextByte(q, byte(b)))
+		}
+	}
+	return t
+}
+
+// specCtx is the per-Match scratch: the p chunk mappings (flat, p × |D|)
+// and the reduction arena.
+type specCtx struct {
+	job  jobState
+	m    *DFASpeculative
+	text []byte
+	maps []int32
+	ar   reduceArena32
+}
+
+func (c *specCtx) runChunk(i int) {
+	n := c.m.d.NumStates
+	lo, hi := span(len(c.text), c.m.threads, i)
+	c.m.simulateChunkInto(c.maps[i*n:(i+1)*n], c.text[lo:hi])
+}
+
+// Match implements Algorithm 3.
+func (m *DFASpeculative) Match(text []byte) bool {
+	p := m.threads
+	c := m.ctxs.Get().(*specCtx)
+	c.text = text
+	if m.spawn {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.runChunk(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		m.pool.Run(c, &c.job, p)
+	}
+	ok := m.reduce(c)
+	c.text = nil
+	m.ctxs.Put(c)
+	return ok
+}
+
+func (m *DFASpeculative) reduce(c *specCtx) bool {
+	n := m.d.NumStates
 	var final int32
 	switch m.red {
 	case ReduceSequential:
 		// Lines 9–11 (right column): thread the single start state
 		// through the p mappings.
 		q := m.d.Start
-		for i := 0; i < p; i++ {
-			q = maps[i][q]
+		for i := 0; i < m.threads; i++ {
+			q = c.maps[i*n+int(q)]
 		}
 		final = q
-	case ReduceTree:
+	default:
 		// Line 9 (left column): associative fold T1 ⊙ T2 ⊙ … ⊙ Tp.
-		t := treeReduce32(maps, n)
+		vecs := c.ar.vecs(m.threads)
+		for i := range vecs {
+			vecs[i] = c.maps[i*n : (i+1)*n]
+		}
+		t := treeReduce32(vecs, n, &c.ar)
 		final = t[m.d.Start]
 	}
 	return m.d.Accept[final]
 }
 
-// simulateChunk computes T[q] = destination of q over the chunk, for all q
-// (lines 2–7 of Algorithm 3).
-func (m *DFASpeculative) simulateChunk(chunk []byte) []int32 {
+// simulateChunkInto computes T[q] = destination of q over the chunk, for
+// all q (lines 2–7 of Algorithm 3), through the resolved table layout.
+func (m *DFASpeculative) simulateChunkInto(t []int32, chunk []byte) {
 	n := m.d.NumStates
-	tab := m.tab
-	t := make([]int32, n)
 	for q := range t {
 		t[q] = int32(q)
 	}
-	for _, b := range chunk {
-		base := int(b)
-		for q := 0; q < n; q++ {
-			t[q] = tab[int(t[q])<<8|base]
+	switch m.layout {
+	case LayoutU8:
+		tab := m.tab.u8
+		for _, b := range chunk {
+			base := uint32(b)
+			for q := 0; q < n; q++ {
+				t[q] = int32(tab[uint32(t[q])<<8|base])
+			}
+		}
+	case LayoutU16:
+		tab := m.tab.u16
+		for _, b := range chunk {
+			base := uint32(b)
+			for q := 0; q < n; q++ {
+				t[q] = int32(tab[uint32(t[q])<<8|base])
+			}
+		}
+	case LayoutClass:
+		d := m.d
+		for _, b := range chunk {
+			for q := 0; q < n; q++ {
+				t[q] = d.NextByte(t[q], b)
+			}
+		}
+	default:
+		tab := m.tab.i32
+		for _, b := range chunk {
+			base := int(b)
+			for q := 0; q < n; q++ {
+				t[q] = tab[int(t[q])<<8|base]
+			}
 		}
 	}
+}
+
+// simulateChunk is simulateChunkInto with a fresh mapping (tests and the
+// paper-semantics invariants use it).
+func (m *DFASpeculative) simulateChunk(chunk []byte) []int32 {
+	t := make([]int32, m.d.NumStates)
+	m.simulateChunkInto(t, chunk)
 	return t
-}
-
-// treeReduce32 folds the mappings pairwise with ⊙ (h = f then g,
-// h[q] = g[f[q]]), recursing in parallel while halves are large.
-func treeReduce32(maps [][]int32, n int) []int32 {
-	switch len(maps) {
-	case 1:
-		return maps[0]
-	case 2:
-		return compose32(maps[0], maps[1], n)
-	}
-	mid := len(maps) / 2
-	var left, right []int32
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		left = treeReduce32(maps[:mid], n)
-	}()
-	right = treeReduce32(maps[mid:], n)
-	wg.Wait()
-	return compose32(left, right, n)
-}
-
-func compose32(f, g []int32, n int) []int32 {
-	h := make([]int32, n)
-	for q := 0; q < n; q++ {
-		h[q] = g[f[q]]
-	}
-	return h
 }
 
 // Name implements Matcher.
 func (m *DFASpeculative) Name() string {
-	return fmt.Sprintf("dfa-spec-p%d-%s", m.threads, m.red)
+	mode := ""
+	if m.spawn {
+		mode = "-spawn"
+	}
+	return fmt.Sprintf("dfa-spec-p%d-%s-%s%s", m.threads, m.red, m.layout, mode)
 }

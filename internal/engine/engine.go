@@ -38,9 +38,14 @@ const (
 	// applying each mapping to a single running state: O(p) work for the
 	// SFA engine, O(p) for speculative DFA.
 	ReduceSequential Reduction = iota
-	// ReduceTree folds chunk results pairwise in parallel with the
-	// associative composition operator ⊙: O(|D| log p) for the SFA and
-	// speculative DFA engines, O(|N|³ log p) for the N-SFA engine.
+	// ReduceTree folds chunk results pairwise with the associative
+	// composition operator ⊙, ⌈log p⌉ levels of ⌊p/2⌋ compositions.
+	// Levels run iteratively on the calling goroutine over the match
+	// context's reusable ping-pong arena, so the fold allocates nothing
+	// in steady state; total work is O(|D|·p) for the SFA and speculative
+	// DFA engines and O(|N|³·p) for the N-SFA engine (the seed recursed
+	// in parallel goroutines, which only pays off for the N-SFA's heavy
+	// matrix products — revisit if that reduction shows up in profiles).
 	ReduceTree
 )
 
@@ -54,23 +59,30 @@ func (r Reduction) String() string {
 	return fmt.Sprintf("Reduction(%d)", int(r))
 }
 
-// chunks splits n bytes into p nearly equal contiguous spans. Spans may be
-// empty when n < p. The split points are arbitrary — Theorem 3 guarantees
-// any division yields the same result.
+// span returns the half-open byte range [lo, hi) of chunk i when n bytes
+// are split into p nearly equal contiguous spans (chunk i of chunks(n, p),
+// computed directly so the hot path never allocates a span slice). Spans
+// may be empty when n < p. The split points are arbitrary — Theorem 3
+// guarantees any division yields the same result.
+func span(n, p, i int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// chunks materializes all p spans of span(n, p, ·).
 func chunks(n, p int) [][2]int {
 	if p < 1 {
 		p = 1
 	}
 	out := make([][2]int, p)
-	base, rem := n/p, n%p
-	off := 0
 	for i := 0; i < p; i++ {
-		size := base
-		if i < rem {
-			size++
-		}
-		out[i] = [2]int{off, off + size}
-		off += size
+		lo, hi := span(n, p, i)
+		out[i] = [2]int{lo, hi}
 	}
 	return out
 }

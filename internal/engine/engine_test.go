@@ -42,12 +42,16 @@ func allEngines(t *testing.T, pattern string, threads int) []Matcher {
 		NewDFASequential(d),
 		NewDFASpeculative(d, threads, ReduceSequential),
 		NewDFASpeculative(d, threads, ReduceTree),
+		NewDFASpeculative(d, threads, ReduceSequential, WithSpawn()),
 		NewSFAParallel(s, threads, ReduceSequential),
 		NewSFAParallel(s, threads, ReduceTree),
 		NewSFAParallel(s, threads, ReduceSequential, WithClassTable()),
+		NewSFAParallel(s, threads, ReduceSequential, WithLayout(LayoutI32), WithSpawn()),
+		NewSFAParallel(s, threads, ReduceTree, WithLayout(LayoutU16)),
 		lazy,
 		NewNSFAParallel(ns, threads, ReduceSequential),
 		NewNSFAParallel(ns, threads, ReduceTree),
+		NewNSFAParallel(ns, threads, ReduceTree, WithClassTable()),
 	}
 }
 

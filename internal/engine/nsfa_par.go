@@ -12,61 +12,121 @@ import (
 // the reduction: composing two N-SFA mappings is a boolean matrix product
 // (O(|N|³), Table II), and the sequential reduction steps a state *set*
 // through the p correspondences (O(|N|·p) worst case).
+//
+// Matching defaults to the persistent worker pool with pooled scratch
+// (chunk results, the frontier bitsets, the matrix-reduction arena);
+// WithSpawn restores per-call goroutine creation.
 type NSFAParallel struct {
 	s       *core.NSFA
-	tab     []int32
 	threads int
 	red     Reduction
+	layout  TableLayout
+	tab     tables
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *nsfaCtx
 }
 
 // NewNSFAParallel compiles the matcher.
-func NewNSFAParallel(s *core.NSFA, threads int, red Reduction) *NSFAParallel {
+func NewNSFAParallel(s *core.NSFA, threads int, red Reduction, opts ...Option) *NSFAParallel {
 	if threads < 1 {
 		threads = 1
 	}
-	// 256-wide table, same layout as the D-SFA engine.
-	tab := make([]int32, s.NumStates*256)
-	for q := 0; q < s.NumStates; q++ {
-		for b := 0; b < 256; b++ {
-			tab[q*256+b] = s.NextByte(int32(q), byte(b))
+	o := buildOpts(opts)
+	m := &NSFAParallel{
+		s:       s,
+		threads: threads,
+		red:     red,
+		layout:  resolveLayout(o.layout, s.NumStates),
+		spawn:   o.spawn,
+		pool:    o.pool,
+	}
+	switch m.layout {
+	case LayoutU8:
+		m.tab.u8 = s.Table256U8()
+	case LayoutU16:
+		m.tab.u16 = s.Table256U16()
+	case LayoutI32:
+		m.tab.i32 = s.Table256()
+	}
+	m.ctxs.New = func() any {
+		words := s.Words()
+		return &nsfaCtx{
+			m:        m,
+			locals:   make([]int32, m.threads),
+			frontier: make([]uint64, words),
+			scratch:  make([]uint64, words),
 		}
 	}
-	return &NSFAParallel{s: s, tab: tab, threads: threads, red: red}
+	return m
+}
+
+// nsfaCtx is the per-Match scratch of the N-SFA engine.
+type nsfaCtx struct {
+	job      jobState
+	m        *NSFAParallel
+	text     []byte
+	locals   []int32
+	frontier []uint64
+	scratch  []uint64
+	ar       reduceArenaMat
+}
+
+func (c *nsfaCtx) runChunk(i int) {
+	lo, hi := span(len(c.text), c.m.threads, i)
+	c.locals[i] = c.m.runChunk(c.text[lo:hi])
+}
+
+func (m *NSFAParallel) runChunk(chunk []byte) int32 {
+	if m.layout == LayoutClass {
+		q := m.s.Start
+		for _, b := range chunk {
+			q = m.s.NextByte(q, b)
+		}
+		return q
+	}
+	return m.tab.run(m.layout, m.s.Start, chunk)
 }
 
 // Match implements Algorithm 5 for the general (NFA-derived) case.
 func (m *NSFAParallel) Match(text []byte) bool {
 	p := m.threads
-	spans := chunks(len(text), p)
-	locals := make([]int32, p)
-
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			q := m.s.Start
-			tab := m.tab
-			for _, b := range text[spans[i][0]:spans[i][1]] {
-				q = tab[int(q)<<8|int(b)]
-			}
-			locals[i] = q
-		}(i)
+	c := m.ctxs.Get().(*nsfaCtx)
+	c.text = text
+	if m.spawn {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.runChunk(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		m.pool.Run(c, &c.job, p)
 	}
-	wg.Wait()
+	ok := m.reduce(c)
+	c.text = nil
+	m.ctxs.Put(c)
+	return ok
+}
 
+func (m *NSFAParallel) reduce(c *nsfaCtx) bool {
 	a := m.s.A
 	n, words := a.NumStates, m.s.Words()
 	switch m.red {
 	case ReduceSequential:
 		// Sfin ← I; Sfin ← ⋃_{q∈Sfin} fi(q): step a frontier bitset
 		// through each correspondence.
-		frontier := make([]uint64, words)
+		frontier, scratch := c.frontier, c.scratch
+		for i := range frontier {
+			frontier[i] = 0
+		}
 		for _, q0 := range a.Start {
 			frontier[q0>>6] |= 1 << (q0 & 63)
 		}
-		scratch := make([]uint64, words)
-		for _, f := range locals {
+		for _, f := range c.locals {
 			mat := m.s.Mat(f)
 			for i := range scratch {
 				scratch[i] = 0
@@ -81,14 +141,15 @@ func (m *NSFAParallel) Match(text []byte) bool {
 			}
 			frontier, scratch = scratch, frontier
 		}
+		c.frontier, c.scratch = frontier, scratch
 		return a.AcceptsSet(frontier)
 	default:
-		// Tree reduction: boolean matrix products.
-		mats := make([][]uint64, len(locals))
-		for i, f := range locals {
+		// Tree reduction: boolean matrix products over the arena.
+		mats := c.ar.mats(len(c.locals))
+		for i, f := range c.locals {
 			mats[i] = m.s.Mat(f)
 		}
-		fin := treeReduceMat(mats, n, words)
+		fin := treeReduceMat(mats, n, words, &c.ar)
 		for _, q0 := range a.Start {
 			if a.AcceptsSet(fin[int(q0)*words : (int(q0)+1)*words]) {
 				return true
@@ -98,31 +159,11 @@ func (m *NSFAParallel) Match(text []byte) bool {
 	}
 }
 
-func treeReduceMat(mats [][]uint64, n, words int) []uint64 {
-	switch len(mats) {
-	case 1:
-		return mats[0]
-	case 2:
-		h := make([]uint64, n*words)
-		core.ComposeMat(h, mats[0], mats[1], n, words)
-		return h
-	}
-	mid := len(mats) / 2
-	var left, right []uint64
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		left = treeReduceMat(mats[:mid], n, words)
-	}()
-	right = treeReduceMat(mats[mid:], n, words)
-	wg.Wait()
-	h := make([]uint64, n*words)
-	core.ComposeMat(h, left, right, n, words)
-	return h
-}
-
 // Name implements Matcher.
 func (m *NSFAParallel) Name() string {
-	return fmt.Sprintf("nsfa-p%d-%s", m.threads, m.red)
+	mode := ""
+	if m.spawn {
+		mode = "-spawn"
+	}
+	return fmt.Sprintf("nsfa-p%d-%s-%s%s", m.threads, m.red, m.layout, mode)
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and breaks allocs/op checks.
+const raceEnabled = true

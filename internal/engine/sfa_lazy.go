@@ -13,9 +13,16 @@ import (
 // lock-free read path of core.Lazy. It trades Table III's up-front
 // construction time for slightly slower per-byte steps (class lookup plus
 // an atomic load) — ablation A3 quantifies the trade.
+//
+// Chunks run on the persistent worker pool by default (WithSpawn restores
+// per-call goroutine creation); there is no wide table to specialize, so
+// layout options do not apply.
 type SFALazy struct {
 	l       *core.Lazy
 	threads int
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *lazyCtx
 
 	mu  sync.Mutex
 	err error // first construction error (state cap), sticky
@@ -23,7 +30,7 @@ type SFALazy struct {
 
 // NewSFALazy prepares a lazy matcher. maxStates caps on-the-fly state
 // materialization (0 = the core.Lazy default).
-func NewSFALazy(d *dfa.DFA, threads, maxStates int) (*SFALazy, error) {
+func NewSFALazy(d *dfa.DFA, threads, maxStates int, opts ...Option) (*SFALazy, error) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -31,7 +38,30 @@ func NewSFALazy(d *dfa.DFA, threads, maxStates int) (*SFALazy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SFALazy{l: l, threads: threads}, nil
+	o := buildOpts(opts)
+	m := &SFALazy{l: l, threads: threads, spawn: o.spawn, pool: o.pool}
+	m.ctxs.New = func() any {
+		return &lazyCtx{m: m, locals: make([]int32, m.threads)}
+	}
+	return m, nil
+}
+
+// lazyCtx is the per-Match scratch of the lazy engine.
+type lazyCtx struct {
+	job    jobState
+	m      *SFALazy
+	text   []byte
+	locals []int32
+}
+
+func (c *lazyCtx) runChunk(i int) {
+	lo, hi := span(len(c.text), c.m.threads, i)
+	q, err := c.m.l.Run(c.m.l.Start(), c.text[lo:hi])
+	if err != nil {
+		c.m.setErr(err)
+		return
+	}
+	c.locals[i] = q
 }
 
 // Match implements Algorithm 5 with on-demand state construction.
@@ -39,33 +69,34 @@ func NewSFALazy(d *dfa.DFA, threads, maxStates int) (*SFALazy, error) {
 // false in that case (no acceptance can be proven).
 func (m *SFALazy) Match(text []byte) bool {
 	p := m.threads
-	spans := chunks(len(text), p)
-	locals := make([]int32, p)
-
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			q, err := m.l.Run(m.l.Start(), text[spans[i][0]:spans[i][1]])
-			if err != nil {
-				m.setErr(err)
-				return
-			}
-			locals[i] = q
-		}(i)
+	c := m.ctxs.Get().(*lazyCtx)
+	c.text = text
+	if m.spawn {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.runChunk(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		m.pool.Run(c, &c.job, p)
 	}
-	wg.Wait()
-	if m.Err() != nil {
-		return false
+	ok := false
+	if m.Err() == nil {
+		// Sequential reduction (the O(p) strategy).
+		d := m.l.D
+		q := d.Start
+		for _, f := range c.locals {
+			q = core.ApplyVec(m.l.Map(f), q)
+		}
+		ok = d.Accept[q]
 	}
-	// Sequential reduction (the O(p) strategy).
-	d := m.l.D
-	q := d.Start
-	for _, f := range locals {
-		q = core.ApplyVec(m.l.Map(f), q)
-	}
-	return d.Accept[q]
+	c.text = nil
+	m.ctxs.Put(c)
+	return ok
 }
 
 func (m *SFALazy) setErr(err error) {
@@ -87,4 +118,10 @@ func (m *SFALazy) Err() error {
 func (m *SFALazy) States() int { return m.l.NumStates() }
 
 // Name implements Matcher.
-func (m *SFALazy) Name() string { return fmt.Sprintf("sfa-lazy-p%d", m.threads) }
+func (m *SFALazy) Name() string {
+	mode := ""
+	if m.spawn {
+		mode = "-spawn"
+	}
+	return fmt.Sprintf("sfa-lazy-p%d%s", m.threads, mode)
+}

@@ -13,24 +13,21 @@ import (
 // byte (no per-state loop: the speculation was paid at construction
 // time). The per-chunk results are SFA states, i.e. transformations of
 // the DFA's state set, and are combined by either reduction strategy.
+//
+// By default matching runs on the persistent worker pool and recycles its
+// scratch (chunk results, reduction buffers) through a sync.Pool of match
+// contexts, so a steady-state Match creates no goroutines and performs no
+// heap allocation. WithSpawn restores the seed's spawn-per-match path for
+// the Fig. 10 thread-creation measurement.
 type SFAParallel struct {
 	s       *core.DSFA
-	tab     []int32 // 256-wide flat table (1 KB/state), default layout
 	threads int
 	red     Reduction
-
-	// classTable enables ablation A2: match through the class-indexed
-	// table (smaller, one extra indirection per byte).
-	classTable bool
-}
-
-// Option configures SFAParallel.
-type Option func(*SFAParallel)
-
-// WithClassTable matches through the byte-class-compressed table instead
-// of the 256-wide layout (ablation A2; changes Fig. 8's cache story).
-func WithClassTable() Option {
-	return func(m *SFAParallel) { m.classTable = true }
+	layout  TableLayout // resolved; never LayoutAuto
+	tab     tables
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *sfaCtx
 }
 
 // NewSFAParallel compiles the matcher for a fixed thread count and
@@ -39,61 +36,93 @@ func NewSFAParallel(s *core.DSFA, threads int, red Reduction, opts ...Option) *S
 	if threads < 1 {
 		threads = 1
 	}
-	m := &SFAParallel{s: s, threads: threads, red: red}
-	for _, o := range opts {
-		o(m)
+	o := buildOpts(opts)
+	m := &SFAParallel{
+		s:       s,
+		threads: threads,
+		red:     red,
+		layout:  resolveLayout(o.layout, s.NumStates),
+		spawn:   o.spawn,
+		pool:    o.pool,
 	}
-	if !m.classTable {
-		m.tab = s.Table256()
+	switch m.layout {
+	case LayoutU8:
+		m.tab.u8 = s.Table256U8()
+	case LayoutU16:
+		m.tab.u16 = s.Table256U16()
+	case LayoutI32:
+		m.tab.i32 = s.Table256()
+	}
+	m.ctxs.New = func() any {
+		return &sfaCtx{m: m, locals: make([]int32, m.threads)}
 	}
 	return m
 }
 
-// Match implements Algorithm 5. Thread creation is part of the call, as
-// in the paper's Fig. 10 measurement ("the execution times of the
-// parallel computation includes the creation of threads and the
-// reduction").
-func (m *SFAParallel) Match(text []byte) bool {
-	p := m.threads
-	if p == 1 {
-		// Degenerate case: no fork, no reduction — just the SFA walk.
-		f := m.runChunk(text)
-		return m.s.Accept[f]
-	}
-	spans := chunks(len(text), p)
-	locals := make([]int32, p)
-
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			locals[i] = m.runChunk(text[spans[i][0]:spans[i][1]])
-		}(i)
-	}
-	wg.Wait()
-	return m.reduce(locals)
+// sfaCtx is the per-Match scratch: chunk results plus the reduction
+// arena. Contexts are recycled through SFAParallel.ctxs, which is what
+// makes concurrent Match calls on one engine allocation-free and safe —
+// each in-flight call owns a private context.
+type sfaCtx struct {
+	job    jobState
+	m      *SFAParallel
+	text   []byte
+	locals []int32
+	ar     reduceArena16
 }
 
-// runChunk is lines 1–5: fi ← fI, then one lookup per byte.
+// runChunk is lines 1–5 of Algorithm 5 for chunk i: fi ← fI, then one
+// lookup per byte.
+func (c *sfaCtx) runChunk(i int) {
+	lo, hi := span(len(c.text), c.m.threads, i)
+	c.locals[i] = c.m.runChunk(c.text[lo:hi])
+}
+
+// runChunk walks one chunk through the resolved table layout.
 func (m *SFAParallel) runChunk(chunk []byte) int32 {
-	q := m.s.Start
-	if m.classTable {
+	if m.layout == LayoutClass {
+		q := m.s.Start
 		d := m.s
 		for _, b := range chunk {
 			q = d.NextByte(q, b)
 		}
 		return q
 	}
-	tab := m.tab
-	for _, b := range chunk {
-		q = tab[int(q)<<8|int(b)]
+	return m.tab.run(m.layout, m.s.Start, chunk)
+}
+
+// Match implements Algorithm 5.
+func (m *SFAParallel) Match(text []byte) bool {
+	p := m.threads
+	if p == 1 {
+		// Degenerate case: no fork, no reduction — just the SFA walk.
+		return m.s.Accept[m.runChunk(text)]
 	}
-	return q
+	c := m.ctxs.Get().(*sfaCtx)
+	c.text = text
+	if m.spawn {
+		// Seed semantics: thread creation is part of the call, as in the
+		// paper's Fig. 10 measurement.
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.runChunk(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		m.pool.Run(c, &c.job, p)
+	}
+	ok := m.reduce(c.locals, &c.ar)
+	c.text = nil
+	m.ctxs.Put(c)
+	return ok
 }
 
 // reduce is lines 6–9 of Algorithm 5.
-func (m *SFAParallel) reduce(locals []int32) bool {
+func (m *SFAParallel) reduce(locals []int32, ar *reduceArena16) bool {
 	d := m.s.D
 	switch m.red {
 	case ReduceSequential:
@@ -105,50 +134,32 @@ func (m *SFAParallel) reduce(locals []int32) bool {
 		}
 		return d.Accept[q]
 	default:
-		// ffin ← f1 ⊙ … ⊙ fp by parallel pairwise composition, then
-		// Sfin ← ffin(I).
-		vecs := make([][]int16, len(locals))
+		// ffin ← f1 ⊙ … ⊙ fp by pairwise ⊙-tree composition over the
+		// arena, then Sfin ← ffin(I).
+		vecs := ar.vecs(len(locals))
 		for i, f := range locals {
 			vecs[i] = m.s.Map(f)
 		}
-		fin := treeReduce16(vecs, d.NumStates)
+		fin := treeReduce16(vecs, d.NumStates, ar)
 		return d.Accept[fin[d.Start]]
 	}
-}
-
-// treeReduce16 folds transformation vectors pairwise with ⊙ in parallel.
-func treeReduce16(vecs [][]int16, n int) []int16 {
-	switch len(vecs) {
-	case 1:
-		return vecs[0]
-	case 2:
-		h := make([]int16, n)
-		core.ComposeVec(h, vecs[0], vecs[1])
-		return h
-	}
-	mid := len(vecs) / 2
-	var left, right []int16
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		left = treeReduce16(vecs[:mid], n)
-	}()
-	right = treeReduce16(vecs[mid:], n)
-	wg.Wait()
-	h := make([]int16, n)
-	core.ComposeVec(h, left, right)
-	return h
 }
 
 // SFA exposes the underlying automaton (harness reporting).
 func (m *SFAParallel) SFA() *core.DSFA { return m.s }
 
+// Layout returns the resolved table layout.
+func (m *SFAParallel) Layout() TableLayout { return m.layout }
+
+// TableBytes returns the resident size of the materialized match table
+// (0 for LayoutClass, which walks the class-indexed table in core).
+func (m *SFAParallel) TableBytes() int64 { return m.tab.memoryBytes() }
+
 // Name implements Matcher.
 func (m *SFAParallel) Name() string {
-	layout := "tab256"
-	if m.classTable {
-		layout = "tabclass"
+	mode := ""
+	if m.spawn {
+		mode = "-spawn"
 	}
-	return fmt.Sprintf("sfa-p%d-%s-%s", m.threads, m.red, layout)
+	return fmt.Sprintf("sfa-p%d-%s-%s%s", m.threads, m.red, m.layout, mode)
 }

@@ -45,7 +45,10 @@ func (c Config) Ablations() error {
 	}
 	w.Flush()
 
-	// A2: table layout on a big-table pattern (the Fig. 8 regime).
+	// A2: table layout on a big-table pattern (the Fig. 8 regime). The
+	// width-specialized layouts change the resident bytes per state —
+	// the narrower the entry, the more of the automaton each cache level
+	// holds — while LayoutClass trades footprint for an extra indirection.
 	c.header(fmt.Sprintf("Ablation A2 — table layout (r%d)", c.Fig8N))
 	dBig := dfa.MustCompilePattern(fmt.Sprintf("([0-4]{%d}[5-9]{%d})*", c.Fig8N, c.Fig8N))
 	sBig, err := core.BuildDSFA(dBig, 0)
@@ -53,13 +56,22 @@ func (c Config) Ablations() error {
 		return err
 	}
 	bigText := textgen.RnText(c.Fig8N, size, c.Seed)
-	m256 := engine.NewSFAParallel(sBig, 2, engine.ReduceSequential)
-	mCls := engine.NewSFAParallel(sBig, 2, engine.ReduceSequential, engine.WithClassTable())
-	gb256 := gbPerSec(len(bigText), bestOf(c.Repeats, func() { m256.Match(bigText) }))
-	gbCls := gbPerSec(len(bigText), bestOf(c.Repeats, func() { mCls.Match(bigText) }))
-	c.printf("256-wide table: %d KiB, %.3f GB/s\n", sBig.NumStates, gb256)
-	c.printf("class table:    %d KiB (%d classes), %.3f GB/s\n",
-		sBig.NumStates*dBig.BC.Count*4/1024, dBig.BC.Count, gbCls)
+	w2 := c.table()
+	fmt.Fprintf(w2, "layout\ttable KiB\tGB/s\t\n")
+	for _, l := range []engine.TableLayout{engine.LayoutAuto, engine.LayoutU16, engine.LayoutI32, engine.LayoutClass} {
+		m := engine.NewSFAParallel(sBig, 2, engine.ReduceSequential, engine.WithLayout(l))
+		gb := gbPerSec(len(bigText), bestOf(c.Repeats, func() { m.Match(bigText) }))
+		kib := m.TableBytes() >> 10
+		if l == engine.LayoutClass {
+			kib = int64(sBig.NumStates*dBig.BC.Count*4) >> 10
+		}
+		name := l.String()
+		if l == engine.LayoutAuto {
+			name = fmt.Sprintf("auto→%s", m.Layout())
+		}
+		fmt.Fprintf(w2, "%s\t%d\t%.3f\t\n", name, kib, gb)
+	}
+	w2.Flush()
 
 	// A3: precomputed vs lazy, single pass including construction.
 	c.header("Ablation A3 — precomputed vs on-the-fly SFA (r50, one pass)")

@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Config parameterizes all experiments.
@@ -41,6 +43,27 @@ type Config struct {
 	// Repeats per measurement; the best time is kept (paper-style
 	// steady-state throughput).
 	Repeats int
+	// Layout selects the transition-table layout of the parallel engines
+	// (engine.LayoutAuto picks the narrowest width that fits the
+	// automaton). Flag strings are parsed once at the CLI boundary with
+	// engine.ParseLayout.
+	Layout engine.TableLayout
+	// Spawn restores spawn-per-match goroutine creation — the seed/paper
+	// behaviour, whose per-call cost Fig. 10 measures — instead of the
+	// persistent worker pool.
+	Spawn bool
+}
+
+// engineOpts translates the Layout/Spawn knobs into engine options.
+func (c Config) engineOpts() []engine.Option {
+	var opts []engine.Option
+	if c.Layout != engine.LayoutAuto {
+		opts = append(opts, engine.WithLayout(c.Layout))
+	}
+	if c.Spawn {
+		opts = append(opts, engine.WithSpawn())
+	}
+	return opts
 }
 
 // Defaults fills zero fields with sensible defaults.

@@ -93,7 +93,7 @@ func (c Config) scale(spec scaleSpec) error {
 	fmt.Fprintf(w, "threads\tengine\tGB/s\tspeedup\t\n")
 	fmt.Fprintf(w, "1\tdfa-seq (Alg.2)\t%.3f\t%.2fx\t\n", baseGB, 1.0)
 	for p := 2; p <= c.MaxThreads; p++ {
-		m := engine.NewSFAParallel(s, p, engine.ReduceSequential)
+		m := engine.NewSFAParallel(s, p, engine.ReduceSequential, c.engineOpts()...)
 		dur := bestOf(c.Repeats, func() { m.Match(text) })
 		gb := gbPerSec(len(text), dur)
 		fmt.Fprintf(w, "%d\tsfa-par (Alg.5)\t%.3f\t%.2fx\t\n", p, gb, gb/baseGB)
@@ -132,7 +132,7 @@ func (c Config) Table2() error {
 		if n >= 500 {
 			specText = text[:len(text)/8]
 		}
-		spec := engine.NewDFASpeculative(d, p, engine.ReduceSequential)
+		spec := engine.NewDFASpeculative(d, p, engine.ReduceSequential, c.engineOpts()...)
 		specGB := gbPerSec(len(specText), bestOf(1, func() { spec.Match(specText) }))
 
 		// Algorithm 5 precomputed — except at n=500 where the full SFA
@@ -146,12 +146,12 @@ func (c Config) Table2() error {
 				return err
 			}
 			sfaStates = s.LiveSize()
-			m := engine.NewSFAParallel(s, p, engine.ReduceSequential)
+			m := engine.NewSFAParallel(s, p, engine.ReduceSequential, c.engineOpts()...)
 			sfaGB = gbPerSec(len(text), bestOf(c.Repeats, func() { m.Match(text) }))
 		} else {
 			sfaStates = -1 // not built
 		}
-		lazy, err := engine.NewSFALazy(d, p, 1<<21)
+		lazy, err := engine.NewSFALazy(d, p, 1<<21, c.engineOpts()...)
 		if err != nil {
 			return err
 		}

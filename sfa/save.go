@@ -62,11 +62,15 @@ func Load(r io.Reader, opts ...Option) (*Regexp, error) {
 	if cfg.tree {
 		red = engine.ReduceTree
 	}
+	var eopts []engine.Option
+	if cfg.spawn {
+		eopts = append(eopts, engine.WithSpawn())
+	}
 	return &Regexp{
 		pattern: string(pat),
 		cfg:     cfg,
 		dfa:     s.D,
 		dsfa:    s,
-		matcher: engine.NewSFAParallel(s, cfg.threads, red),
+		matcher: engine.NewSFAParallel(s, cfg.threads, red, eopts...),
 	}, nil
 }

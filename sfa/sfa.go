@@ -85,6 +85,7 @@ type config struct {
 	eng     Engine
 	tree    bool
 	search  bool
+	spawn   bool
 	dfaCap  int
 	sfaCap  int
 	lazyMax int
@@ -120,6 +121,12 @@ func WithDFACap(n int) Option { return func(c *config) { c.dfaCap = n } }
 // Compile fails so the caller can fall back to EngineLazySFA or
 // EngineDFA. 0 means unbounded.
 func WithSFACap(n int) Option { return func(c *config) { c.sfaCap = n } }
+
+// WithSpawnPerMatch makes the parallel engines create fresh goroutines on
+// every Match instead of running on the persistent worker pool — the
+// paper's thread-creation semantics (Fig. 10). The pooled default is
+// faster and allocation-free in steady state.
+func WithSpawnPerMatch() Option { return func(c *config) { c.spawn = true } }
 
 // Regexp is a compiled pattern. It is safe for concurrent use.
 type Regexp struct {
@@ -179,15 +186,19 @@ func Compile(pattern string, opts ...Option) (*Regexp, error) {
 	if cfg.tree {
 		red = engine.ReduceTree
 	}
+	var eopts []engine.Option
+	if cfg.spawn {
+		eopts = append(eopts, engine.WithSpawn())
+	}
 	switch cfg.eng {
 	case EngineSFA:
 		re.dsfa, err = core.BuildDSFA(re.dfa, cfg.sfaCap)
 		if err != nil {
 			return nil, err
 		}
-		re.matcher = engine.NewSFAParallel(re.dsfa, cfg.threads, red)
+		re.matcher = engine.NewSFAParallel(re.dsfa, cfg.threads, red, eopts...)
 	case EngineLazySFA:
-		m, err := engine.NewSFALazy(re.dfa, cfg.threads, cfg.lazyMax)
+		m, err := engine.NewSFALazy(re.dfa, cfg.threads, cfg.lazyMax, eopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +206,7 @@ func Compile(pattern string, opts ...Option) (*Regexp, error) {
 	case EngineDFA:
 		re.matcher = engine.NewDFASequential(re.dfa)
 	case EngineSpecDFA:
-		re.matcher = engine.NewDFASpeculative(re.dfa, cfg.threads, red)
+		re.matcher = engine.NewDFASpeculative(re.dfa, cfg.threads, red, eopts...)
 	default:
 		return nil, fmt.Errorf("sfa: unknown engine %v", cfg.eng)
 	}
