@@ -1,10 +1,13 @@
 # CI entry points. `make ci` is the gate: vet + build + race tests +
-# a short benchmark smoke run proving the hot path still reports
-# 0 allocs/op.
+# a fuzz smoke run + a short benchmark smoke run proving the hot path
+# still reports 0 allocs/op. `make bench-json` captures the benchmark
+# trajectory snapshot (BENCH_2.json) that CI uploads as an artifact and
+# gates on.
 
 GO ?= go
+BENCH_JSON ?= BENCH_2.json
 
-.PHONY: build vet test race bench-smoke ci
+.PHONY: build vet test race fuzz-smoke bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -18,8 +21,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Exercise the sfa fuzz corpus for a few seconds so the oracle
+# cross-checks in fuzz_test.go actually run somewhere.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./sfa
+
 # Keep the smoke run small: 1 MiB inputs, 2 iterations per benchmark.
 bench-smoke:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_' -benchtime 2x .
 
-ci: vet build race bench-smoke
+# Benchmark-trajectory snapshot: hot path + layouts + the multi-pattern
+# RuleSet engines, emitted as name → {ns/op, MB/s, allocs/op}. benchjson
+# doubles as the allocation gate: the pooled hot path must stay at
+# 0 allocs/op.
+bench-json:
+	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_|RuleSet_' -benchtime 2x -benchmem . > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) -zero-alloc 'Hotpath.*Pooled'
+
+ci: vet build race fuzz-smoke bench-smoke

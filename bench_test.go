@@ -18,11 +18,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/engine"
+	"repro/internal/harness"
 	"repro/internal/monoid"
 	"repro/internal/nfa"
 	"repro/internal/snort"
 	"repro/internal/syntax"
 	"repro/internal/textgen"
+	"repro/sfa"
 )
 
 // benchMB returns the per-benchmark input size in MiB.
@@ -398,6 +400,71 @@ func BenchmarkLayout_R100_Class_p2(b *testing.B) { benchLayout(b, engine.LayoutC
 func BenchmarkLayout_R5_U8_p2(b *testing.B) {
 	f := rnFixture(b, 5)
 	benchMatcher(b, engine.NewSFAParallel(f.s, 2, engine.ReduceSequential, engine.WithLayout(engine.LayoutU8)), f.text, true)
+}
+
+// --- RuleSet: combined multi-pattern D-SFA vs isolated engines (ISSUE 2) ---
+//
+// One SNORT-style sample scanned over synthetic traffic. Combined mode
+// reads the input once per shard; isolated mode once per rule. The MB/s
+// column (B/s via SetBytes) is the comparison the harness `ruleset`
+// table makes at full size; p=1 so the ratio is pass-count, not
+// parallelism.
+
+type rulesetBench struct {
+	rs   *sfa.RuleSet
+	text []byte
+}
+
+var (
+	rulesetMu  sync.Mutex
+	rulesetMap = map[string]*rulesetBench{}
+)
+
+func rulesetFixture(b *testing.B, key string, extra ...sfa.Option) *rulesetBench {
+	b.Helper()
+	rulesetMu.Lock()
+	defer rulesetMu.Unlock()
+	if f, ok := rulesetMap[key]; ok {
+		return f
+	}
+	rules := snort.ScanSample(16)
+	defs := make([]sfa.RuleDef, len(rules))
+	for i, r := range rules {
+		defs[i] = sfa.RuleDef{Name: fmt.Sprintf("r%03d", r.ID), Pattern: r.Pattern, Flags: harness.SFAFlags(r.Flags)}
+	}
+	opts := append([]sfa.Option{sfa.WithSearch(), sfa.WithThreads(1)}, extra...)
+	rs, err := sfa.NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text, _ := textgen.Traffic{SuspiciousPerMille: 2}.Generate(benchMB()<<20, 1)
+	f := &rulesetBench{rs: rs, text: text}
+	rulesetMap[key] = f
+	return f
+}
+
+func benchRuleSet(b *testing.B, f *rulesetBench) {
+	b.SetBytes(int64(len(f.text)))
+	want := f.rs.Scan(f.text, 0) // warm the scan contexts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.rs.Scan(f.text, 0); len(got) != len(want) {
+			b.Fatalf("verdict changed: %v vs %v", got, want)
+		}
+	}
+}
+
+func BenchmarkRuleSet_Combined_p1(b *testing.B) {
+	benchRuleSet(b, rulesetFixture(b, "combined"))
+}
+
+func BenchmarkRuleSet_Sharded4_p1(b *testing.B) {
+	benchRuleSet(b, rulesetFixture(b, "sharded4", sfa.WithShards(4)))
+}
+
+func BenchmarkRuleSet_Isolated_p1(b *testing.B) {
+	benchRuleSet(b, rulesetFixture(b, "isolated", sfa.WithIsolatedRules()))
 }
 
 // BenchmarkAblation_Chunking compares p chunks on p goroutines against

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable snapshot for benchmark-trajectory tracking: one JSON
+// object per benchmark (ns/op, MB/s, B/op, allocs/op), keyed by the
+// benchmark name with the -GOMAXPROCS suffix stripped.
+//
+// It is also the CI allocation gate: with -zero-alloc REGEX every
+// benchmark whose name matches must report 0 allocs/op, and at least one
+// must match (so a renamed benchmark cannot silently disarm the gate).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Hotpath -benchmem . > bench.out
+//	benchjson -in bench.out -out BENCH_2.json -zero-alloc 'Hotpath.*Pooled'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics is one benchmark's measured values. MBPerSec is 0 when the
+// benchmark does not call SetBytes.
+type Metrics struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the file format: environment header plus name → metrics.
+type Snapshot struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Generated  string             `json:"generated"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON snapshot file (default stdout)")
+	zeroAlloc := flag.String("zero-alloc", "", "regexp of benchmarks that must report 0 allocs/op")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	snap, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	if *zeroAlloc != "" {
+		if err := gateZeroAlloc(snap, *zeroAlloc); err != nil {
+			fatal(err)
+		}
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchjson: %d benchmarks → %s\n", len(names), *out)
+}
+
+// benchLine matches one result row:
+//
+//	BenchmarkName-8   12   3456 ns/op   78.90 MB/s   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: map[string]Metrics{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		met := Metrics{Iterations: iters, NsPerOp: ns}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "MB/s":
+				met.MBPerSec = v
+			case "B/op":
+				met.BytesPerOp = v
+			case "allocs/op":
+				met.AllocsPerOp = v
+			}
+		}
+		snap.Benchmarks[m[1]] = met
+	}
+	return snap, sc.Err()
+}
+
+// gateZeroAlloc enforces the pooled-hot-path allocation guardrail.
+func gateZeroAlloc(snap *Snapshot, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-zero-alloc: %w", err)
+	}
+	matched := 0
+	var bad []string
+	for name, m := range snap.Benchmarks {
+		if !re.MatchString(name) {
+			continue
+		}
+		matched++
+		if m.AllocsPerOp != 0 {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op", name, m.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("-zero-alloc %q matched no benchmark — gate disarmed by rename?", pattern)
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("allocation regression on the pooled hot path:\n  %s", strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("benchjson: zero-alloc gate passed (%d benchmarks)\n", matched)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -5,7 +5,7 @@
 //	sfabench [flags] <experiment>...
 //
 // Experiments: fig3 fig6 fig7 fig8 fig9 fig10 table2 table3 facts
-// ablation all
+// ablation ruleset all
 //
 // Examples:
 //
@@ -38,7 +38,7 @@ func main() {
 	pool := flag.Bool("pool", true, "run matches on the persistent worker pool (false = spawn goroutines per Match, the paper's thread-creation semantics)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sfabench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig3 fig6 fig7 fig8 fig9 fig10 table2 table3 facts ablation shapecheck all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig3 fig6 fig7 fig8 fig9 fig10 table2 table3 facts ablation ruleset shapecheck all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,8 +68,9 @@ func main() {
 		"facts":      cfg.Facts,
 		"ablation":   cfg.Ablations,
 		"shapecheck": cfg.ShapeCheck,
+		"ruleset":    cfg.Ruleset,
 	}
-	order := []string{"fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "facts", "ablation", "shapecheck"}
+	order := []string{"fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3", "facts", "ablation", "ruleset", "shapecheck"}
 
 	var queue []string
 	for _, a := range args {

@@ -3,16 +3,24 @@
 // substring-search semantics like grep; -whole switches to the paper's
 // whole-input acceptance.
 //
+// With -f the pattern argument is replaced by a rules file — one rule
+// per line, `name pattern` or bare `pattern`, # comments — compiled into
+// a combined multi-pattern D-SFA (sharded on state-budget blow-up) and
+// scanned in one pooled pass per shard; matching rule names are printed.
+//
 // Usage:
 //
 //	sfagrep [-engine sfa|lazy|dfa|spec|nfa] [-p N] [-whole] pattern [file]
+//	sfagrep -f rules [-isolated] [-shards K] [file]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/sfa"
@@ -25,18 +33,24 @@ func main() {
 	fold := flag.Bool("i", false, "case-insensitive")
 	dotall := flag.Bool("s", false, "dot matches newline")
 	stats := flag.Bool("stats", false, "print automata sizes and throughput")
+	rulesFile := flag.String("f", "", "rules file: one `name pattern` (or bare pattern) per line")
+	isolated := flag.Bool("isolated", false, "with -f: one engine per rule instead of the combined automaton")
+	shards := flag.Int("shards", 0, "with -f: force K combined shards (0 = automatic)")
 	flag.Parse()
 
-	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: sfagrep [flags] pattern [file]")
+	wantArgs := 1
+	if *rulesFile != "" {
+		wantArgs = 0
+	}
+	if flag.NArg() < wantArgs || flag.NArg() > wantArgs+1 {
+		fmt.Fprintln(os.Stderr, "usage: sfagrep [flags] pattern [file]  |  sfagrep -f rules [file]")
 		os.Exit(2)
 	}
-	pattern := flag.Arg(0)
 
 	var data []byte
 	var err error
-	if flag.NArg() == 2 {
-		data, err = os.ReadFile(flag.Arg(1))
+	if flag.NArg() == wantArgs+1 {
+		data, err = os.ReadFile(flag.Arg(wantArgs))
 	} else {
 		data, err = io.ReadAll(os.Stdin)
 	}
@@ -57,21 +71,20 @@ func main() {
 	if !*whole {
 		opts = append(opts, sfa.WithSearch())
 	}
-	switch *engine {
-	case "sfa":
-		opts = append(opts, sfa.WithEngine(sfa.EngineSFA))
-	case "lazy":
-		opts = append(opts, sfa.WithEngine(sfa.EngineLazySFA))
-	case "dfa":
-		opts = append(opts, sfa.WithEngine(sfa.EngineDFA))
-	case "spec":
-		opts = append(opts, sfa.WithEngine(sfa.EngineSpecDFA))
-	case "nfa":
-		opts = append(opts, sfa.WithEngine(sfa.EngineNFA))
-	default:
-		fmt.Fprintf(os.Stderr, "sfagrep: unknown engine %q\n", *engine)
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
 		os.Exit(2)
 	}
+	// A non-SFA engine makes RuleSet fall back to per-rule engines — the
+	// right call for e.g. `-engine lazy -f rules` on blow-up-prone rules.
+	opts = append(opts, sfa.WithEngine(eng))
+
+	if *rulesFile != "" {
+		scanRules(*rulesFile, data, opts, *isolated, *shards, *stats)
+		return
+	}
+	pattern := flag.Arg(0)
 
 	re, err := sfa.Compile(pattern, opts...)
 	if err != nil {
@@ -96,4 +109,100 @@ func main() {
 	}
 	fmt.Println("no match")
 	os.Exit(1)
+}
+
+// parseEngine maps the -engine flag to an engine.
+func parseEngine(name string) (sfa.Engine, error) {
+	switch name {
+	case "sfa":
+		return sfa.EngineSFA, nil
+	case "lazy":
+		return sfa.EngineLazySFA, nil
+	case "dfa":
+		return sfa.EngineDFA, nil
+	case "spec":
+		return sfa.EngineSpecDFA, nil
+	case "nfa":
+		return sfa.EngineNFA, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", name)
+}
+
+// scanRules is the -f mode: compile the rules file into a RuleSet and
+// report every matching rule. opts carries the shared flags, including
+// the engine choice (non-SFA engines select per-rule matching).
+func scanRules(path string, data []byte, opts []sfa.Option, isolated bool, shards int, stats bool) {
+	defs, err := loadRules(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+		os.Exit(1)
+	}
+
+	if isolated {
+		opts = append(opts, sfa.WithIsolatedRules())
+	}
+	if shards > 0 {
+		opts = append(opts, sfa.WithShards(shards))
+	}
+
+	buildStart := time.Now()
+	rs, err := sfa.NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+		os.Exit(1)
+	}
+	build := time.Since(buildStart)
+
+	start := time.Now()
+	hits := rs.Scan(data, 0)
+	elapsed := time.Since(start)
+
+	if stats {
+		fmt.Printf("%d rules in %d shard(s), built in %v\n", rs.Len(), rs.NumShards(), build.Round(time.Millisecond))
+		for i, sh := range rs.Shards() {
+			fmt.Printf("  shard %d: |D|=%-6d |Sd|=%-7d layout=%-5s table %6d KiB  %d rule(s)\n",
+				i, sh.DFAStates, sh.SFAStates, sh.Layout, sh.TableBytes>>10, len(sh.Rules))
+		}
+		fmt.Printf("%d bytes in %v (%.3f GB/s)\n",
+			len(data), elapsed, float64(len(data))/elapsed.Seconds()/1e9)
+	}
+	for _, name := range hits {
+		fmt.Println(name)
+	}
+	if len(hits) == 0 {
+		os.Exit(1)
+	}
+}
+
+// loadRules parses a rules file: one rule per line, `name pattern` or a
+// bare pattern (auto-named rNNN by line); blank lines and # comments are
+// skipped.
+func loadRules(path string) ([]sfa.RuleDef, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var defs []sfa.RuleDef
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, pattern, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, `\[(.?*+{^$|`) {
+			// No separator, or the "name" looks like regex syntax: the
+			// whole line is the pattern.
+			name, pattern = fmt.Sprintf("r%03d", lineno), line
+		}
+		defs = append(defs, sfa.RuleDef{Name: name, Pattern: strings.TrimSpace(pattern)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return defs, nil
 }

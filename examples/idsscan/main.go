@@ -1,7 +1,11 @@
 // IDS scan: the workload that motivates the paper — SNORT-style deep
-// packet inspection. A set of detection rules is compiled once; a stream
-// of synthetic HTTP traffic is scanned line by line with substring
-// semantics, and flagged lines are reported with per-rule hit counts.
+// packet inspection. A set of detection rules is compiled once into a
+// combined multi-pattern D-SFA (sharded if the product automaton would
+// blow its state budget); a stream of synthetic HTTP traffic is scanned
+// line by line with substring semantics, and flagged lines are reported
+// with per-rule hit counts. The same scan then runs on the isolated
+// per-rule engines — one full pass per rule per line, the architecture
+// the combined automaton replaces — for comparison.
 //
 //	go run ./examples/idsscan
 package main
@@ -17,40 +21,41 @@ import (
 
 // rules is a hand-picked slice of realistic SNORT-shaped patterns (see
 // internal/snort for the full corpus used by the Fig. 3 study).
-var rules = []struct {
-	name    string
-	pattern string
-	flags   sfa.Flag
-}{
-	{"sql-union", `(select|union).{1,64}(select|union)`, sfa.FoldCase | sfa.DotAll},
-	{"dir-traversal", `/\.\./\.\./`, 0},
-	{"cmd-exe", `cmd\.exe`, sfa.FoldCase},
-	{"nop-sled", `\x90{8,}`, 0},
-	{"xp-cmdshell", `xp_cmdshell`, sfa.FoldCase},
-	{"script-inject", `<script[^>]{0,64}>`, sfa.FoldCase},
-	{"sqli-quote", `('|%27) ?or ?('|%27)?1('|%27)?=('|%27)?1`, sfa.FoldCase},
-	{"cgi-shell", `/cgi-bin/[a-z]{1,12}\.cgi`, 0},
+var rules = []sfa.RuleDef{
+	{Name: "sql-union", Pattern: `(select|union).{1,64}(select|union)`, Flags: sfa.FoldCase | sfa.DotAll},
+	{Name: "dir-traversal", Pattern: `/\.\./\.\./`},
+	{Name: "cmd-exe", Pattern: `cmd\.exe`, Flags: sfa.FoldCase},
+	{Name: "nop-sled", Pattern: `\x90{8,}`},
+	{Name: "xp-cmdshell", Pattern: `xp_cmdshell`, Flags: sfa.FoldCase},
+	{Name: "script-inject", Pattern: `<script[^>]{0,64}>`, Flags: sfa.FoldCase},
+	{Name: "sqli-quote", Pattern: `('|%27) ?or ?('|%27)?1('|%27)?=('|%27)?1`, Flags: sfa.FoldCase},
+	{Name: "cgi-shell", Pattern: `/cgi-bin/[a-z]{1,12}\.cgi`},
 }
 
 func main() {
-	// Compile every rule for substring search.
-	type compiled struct {
-		name string
-		re   *sfa.Regexp
-		hits int
+	// Lines are tiny, so intra-line parallelism would only pay the
+	// goroutine fork; one thread per pass, lines processed in bulk.
+	opts := []sfa.Option{sfa.WithSearch(), sfa.WithThreads(1)}
+
+	start := time.Now()
+	combined, err := sfa.NewRuleSetFromDefs(rules, opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var cs []compiled
-	for _, r := range rules {
-		// Lines are tiny, so intra-line parallelism would only pay the
-		// goroutine fork; one thread per rule, lines processed in bulk.
-		re, err := sfa.Compile(r.pattern, sfa.WithSearch(), sfa.WithFlags(r.flags), sfa.WithThreads(1))
-		if err != nil {
-			log.Fatalf("rule %s: %v", r.name, err)
-		}
-		s := re.Sizes()
-		fmt.Printf("compiled %-14s |D|=%-4d |Sd|=%-6d\n", r.name, s.DFALive, s.SFALive)
-		cs = append(cs, compiled{name: r.name, re: re})
+	fmt.Printf("combined: %d rules → %d shard(s) in %v\n",
+		combined.Len(), combined.NumShards(), time.Since(start).Round(time.Millisecond))
+	for i, sh := range combined.Shards() {
+		fmt.Printf("  shard %d: |D|=%-5d |Sd|=%-6d table %4d KiB  rules %v\n",
+			i, sh.DFAStates, sh.SFAStates, sh.TableBytes>>10, sh.Rules)
 	}
+
+	start = time.Now()
+	isolated, err := sfa.NewRuleSetFromDefs(rules, append(opts, sfa.WithIsolatedRules())...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolated: %d independent engines in %v\n",
+		isolated.Len(), time.Since(start).Round(time.Millisecond))
 
 	// 16 MiB of synthetic traffic with ~2‰ attack lines planted.
 	data, planted := textgen.Traffic{SuspiciousPerMille: 2}.Generate(16<<20, 42)
@@ -58,25 +63,40 @@ func main() {
 	fmt.Printf("\nscanning %d MiB, %d lines (%d suspicious planted)\n",
 		len(data)>>20, len(lines), planted)
 
-	start := time.Now()
-	flagged := 0
-	for _, line := range lines {
-		hit := false
-		for i := range cs {
-			if cs[i].re.Match(line) {
-				cs[i].hits++
-				hit = true
+	names := combined.Names()
+	scan := func(rs *sfa.RuleSet) (hits map[string]int, flagged int, elapsed time.Duration) {
+		hits = make(map[string]int, len(names))
+		start := time.Now()
+		for _, line := range lines {
+			matched := rs.Scan(line, 0)
+			for _, name := range matched {
+				hits[name]++
+			}
+			if len(matched) > 0 {
+				flagged++
 			}
 		}
-		if hit {
-			flagged++
-		}
+		return hits, flagged, time.Since(start)
 	}
-	elapsed := time.Since(start)
 
-	fmt.Printf("flagged %d lines in %v (%.2f GB/s aggregate)\n\n",
-		flagged, elapsed, float64(len(data))*float64(len(cs))/elapsed.Seconds()/1e9)
-	for _, c := range cs {
-		fmt.Printf("%-14s %6d hits\n", c.name, c.hits)
+	cHits, cFlagged, cTime := scan(combined)
+	iHits, iFlagged, iTime := scan(isolated)
+
+	fmt.Printf("\ncombined: flagged %d lines in %v (%.2f MB/s, %d passes/line)\n",
+		cFlagged, cTime.Round(time.Millisecond),
+		float64(len(data))/cTime.Seconds()/1e6, combined.NumShards())
+	fmt.Printf("isolated: flagged %d lines in %v (%.2f MB/s, %d passes/line)\n",
+		iFlagged, iTime.Round(time.Millisecond),
+		float64(len(data))/iTime.Seconds()/1e6, isolated.Len())
+	if cFlagged != iFlagged {
+		log.Fatalf("verdict mismatch: combined flagged %d, isolated %d", cFlagged, iFlagged)
+	}
+
+	fmt.Println()
+	for _, name := range names {
+		if cHits[name] != iHits[name] {
+			log.Fatalf("rule %s: combined %d hits, isolated %d", name, cHits[name], iHits[name])
+		}
+		fmt.Printf("%-14s %6d hits\n", name, cHits[name])
 	}
 }

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// MultiSFA is Algorithm 5 generalized to multi-pattern matching: the
+// underlying D-SFA was built from a combined DFA whose states carry a
+// per-rule accept bitmask, so one parallel pass over the input reports
+// every matching rule at once. The per-byte cost is unchanged — one table
+// lookup per byte per thread through the same width-specialized layouts
+// as the single-pattern engine — and the reduction is the O(p) sequential
+// fold of chunk mappings, finishing with one bitmask row copy instead of
+// one bool read.
+//
+// Matching runs on the persistent worker pool by default and recycles its
+// scratch through a sync.Pool of contexts; with a caller-provided result
+// buffer a steady-state MatchMask performs no heap allocation.
+type MultiSFA struct {
+	s       *core.DSFA
+	words   int      // mask words per combined-DFA state
+	masks   []uint64 // DFA-state-indexed accept bitmasks, stride words
+	threads int
+	layout  TableLayout // resolved; never LayoutAuto
+	tab     tables
+	spawn   bool
+	pool    *Pool
+	ctxs    sync.Pool // of *multiCtx
+}
+
+// NewMultiSFA compiles the matcher. masks holds one accept bitmask of
+// `words` uint64 words per state of the combined DFA underlying s (the
+// DFA whose transformation vectors s's states are): bit r is set when the
+// DFA state accepts rule r.
+func NewMultiSFA(s *core.DSFA, masks []uint64, words, threads int, opts ...Option) *MultiSFA {
+	if threads < 1 {
+		threads = 1
+	}
+	if len(masks) != s.D.NumStates*words {
+		panic(fmt.Sprintf("engine: mask table %d != %d DFA states × %d words",
+			len(masks), s.D.NumStates, words))
+	}
+	o := buildOpts(opts)
+	m := &MultiSFA{
+		s:       s,
+		words:   words,
+		masks:   masks,
+		threads: threads,
+		layout:  resolveLayout(o.layout, s.NumStates),
+		spawn:   o.spawn,
+		pool:    o.pool,
+	}
+	switch m.layout {
+	case LayoutU8:
+		m.tab.u8 = s.Table256U8()
+	case LayoutU16:
+		m.tab.u16 = s.Table256U16()
+	case LayoutI32:
+		m.tab.i32 = s.Table256()
+	}
+	m.ctxs.New = func() any {
+		return &multiCtx{m: m, locals: make([]int32, m.threads)}
+	}
+	return m
+}
+
+// multiCtx is the per-MatchMask scratch, recycled through MultiSFA.ctxs so
+// concurrent calls on one engine are allocation-free and each own private
+// chunk-result storage.
+type multiCtx struct {
+	job    jobState
+	m      *MultiSFA
+	text   []byte
+	locals []int32
+}
+
+func (c *multiCtx) runChunk(i int) {
+	lo, hi := span(len(c.text), c.m.threads, i)
+	c.locals[i] = c.m.runChunk(c.text[lo:hi])
+}
+
+func (m *MultiSFA) runChunk(chunk []byte) int32 {
+	if m.layout == LayoutClass {
+		q := m.s.Start
+		d := m.s
+		for _, b := range chunk {
+			q = d.NextByte(q, b)
+		}
+		return q
+	}
+	return m.tab.run(m.layout, m.s.Start, chunk)
+}
+
+// finalState folds the p chunk mappings into the combined-DFA state the
+// whole input reaches (lines 6–9 of Algorithm 5 with the O(p) sequential
+// reduction; the bitmask row lookup replaces the accept-bit read).
+func (m *MultiSFA) finalState(locals []int32) int32 {
+	q := m.s.D.Start
+	for _, f := range locals {
+		q = core.ApplyVec(m.s.Map(f), q)
+	}
+	return q
+}
+
+// run walks text with p chunks and returns the final combined-DFA state.
+func (m *MultiSFA) run(text []byte) int32 {
+	p := m.threads
+	if p == 1 {
+		// Degenerate case: the chunk result is an SFA state; apply its
+		// mapping to the DFA start to land on the final DFA state.
+		f := m.runChunk(text)
+		return core.ApplyVec(m.s.Map(f), m.s.D.Start)
+	}
+	c := m.ctxs.Get().(*multiCtx)
+	c.text = text
+	if m.spawn {
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.runChunk(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		m.pool.Run(c, &c.job, p)
+	}
+	q := m.finalState(c.locals)
+	c.text = nil
+	m.ctxs.Put(c)
+	return q
+}
+
+// MatchMask scans text once and writes the accept bitmask — bit r set iff
+// rule r matches the whole input — into dst, which must have Words()
+// capacity. It returns dst[:Words()].
+func (m *MultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
+	q := m.run(text)
+	return append(dst[:0], m.masks[int(q)*m.words:(int(q)+1)*m.words]...)
+}
+
+// Match implements Matcher: whole-input acceptance by any rule.
+func (m *MultiSFA) Match(text []byte) bool {
+	q := m.run(text)
+	for _, w := range m.masks[int(q)*m.words : (int(q)+1)*m.words] {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Words returns the mask width in uint64 words.
+func (m *MultiSFA) Words() int { return m.words }
+
+// SFA exposes the combined automaton (stats reporting).
+func (m *MultiSFA) SFA() *core.DSFA { return m.s }
+
+// Layout returns the resolved table layout.
+func (m *MultiSFA) Layout() TableLayout { return m.layout }
+
+// TableBytes returns the resident size of the materialized match table.
+func (m *MultiSFA) TableBytes() int64 { return m.tab.memoryBytes() }
+
+// Name implements Matcher.
+func (m *MultiSFA) Name() string {
+	mode := ""
+	if m.spawn {
+		mode = "-spawn"
+	}
+	return fmt.Sprintf("multi-sfa-p%d-%s%s", m.threads, m.layout, mode)
+}

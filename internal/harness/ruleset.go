@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/snort"
+	"repro/internal/syntax"
+	"repro/internal/textgen"
+	"repro/sfa"
+)
+
+// Ruleset measures the multi-pattern architectures on the workload the
+// paper's introduction motivates: one SNORT-style rule set scanned over
+// heavy traffic. Three engines over identical rules and input:
+//
+//	combined  — one product D-SFA with per-rule accept masks (the
+//	            planner may shard on state-budget blow-up);
+//	sharded-K — the planner forced to K combined shards;
+//	isolated  — one independent engine per rule, N passes per input
+//	            (the pre-combined architecture, kept as oracle).
+//
+// The reported MB/s is whole-input scan throughput: bytes of traffic
+// divided by the time to produce the full per-rule verdict. Combined
+// mode reads each input byte once per shard instead of once per rule,
+// which is the entire effect — per-byte work is one table lookup in
+// every mode.
+func (c Config) Ruleset() error {
+	c = c.Defaults()
+	n := c.SnortN
+	if n > 40 {
+		// The curated scan sample tops out near 50 rules; the study uses
+		// a fixed slice so the shard planner's output stays comparable.
+		n = 40
+	}
+	rules := snort.ScanSample(n)
+	defs := make([]sfa.RuleDef, len(rules))
+	for i, r := range rules {
+		defs[i] = sfa.RuleDef{
+			Name:    fmt.Sprintf("r%03d-%s", r.ID, r.Category),
+			Pattern: r.Pattern,
+			Flags:   SFAFlags(r.Flags),
+		}
+	}
+
+	size := c.TextMB << 20 / 4
+	if size < 1<<20 {
+		size = 1 << 20
+	}
+	data, planted := textgen.Traffic{SuspiciousPerMille: 2}.Generate(size, c.Seed)
+
+	c.header(fmt.Sprintf("Ruleset — combined vs sharded vs isolated (%d rules, %d MiB traffic, %d planted, p=1)",
+		len(defs), size>>20, planted))
+
+	type mode struct {
+		name string
+		opts []sfa.Option
+	}
+	base := []sfa.Option{sfa.WithSearch(), sfa.WithThreads(1)}
+	if c.Spawn {
+		base = append(base, sfa.WithSpawnPerMatch())
+	}
+	modes := []mode{
+		{"combined", base},
+		{"sharded-2", append([]sfa.Option{sfa.WithShards(2)}, base...)},
+		{"sharded-4", append([]sfa.Option{sfa.WithShards(4)}, base...)},
+		{"isolated", append([]sfa.Option{sfa.WithIsolatedRules()}, base...)},
+	}
+
+	w := c.table()
+	fmt.Fprintf(w, "mode\tshards\tΣ|D|\tΣ|Sd|\ttables MiB\tbuild s\tMB/s\thits\t\n")
+	var oracle []string
+	haveOracle := false
+	for _, m := range modes {
+		start := time.Now()
+		rs, err := sfa.NewRuleSetFromDefs(defs, m.opts...)
+		if err != nil {
+			return fmt.Errorf("ruleset %s: %w", m.name, err)
+		}
+		build := time.Since(start)
+
+		var dStates, sStates int
+		var tableBytes int64
+		for _, sh := range rs.Shards() {
+			dStates += sh.DFAStates
+			sStates += sh.SFAStates
+			tableBytes += sh.TableBytes
+		}
+
+		var hits []string
+		elapsed := bestOf(c.Repeats, func() { hits = rs.Scan(data, 0) })
+		if !haveOracle {
+			oracle, haveOracle = hits, true
+		} else if !equalStrings(hits, oracle) {
+			return fmt.Errorf("ruleset %s: verdict diverged from %s: %v vs %v",
+				m.name, modes[0].name, hits, oracle)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.2f\t%.1f\t%d\t\n",
+			m.name, rs.NumShards(), dStates, sStates,
+			float64(tableBytes)/(1<<20), build.Seconds(),
+			float64(size)/elapsed.Seconds()/1e6, len(hits))
+	}
+	w.Flush()
+	c.printf("matching rules: %v\n", oracle)
+	return nil
+}
+
+// SFAFlags converts the corpus' parser flags to public API flags. It is
+// exported for the root benchmark suite; package sfa's own tests carry a
+// private copy because importing harness from there would cycle
+// (harness → sfa → harness test binary).
+func SFAFlags(f syntax.Flags) sfa.Flag {
+	var out sfa.Flag
+	if f&syntax.FoldCase != 0 {
+		out |= sfa.FoldCase
+	}
+	if f&syntax.DotAll != 0 {
+		out |= sfa.DotAll
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+// Package multi compiles a set of patterns into combined simultaneous
+// automata for multi-pattern matching — the deep-packet-inspection
+// workload of the paper's introduction (one SNORT ruleset, heavy packet
+// traffic), where scanning each input once per rule multiplies table
+// walks and cache pressure by the rule count.
+//
+// The pipeline generalizes the paper's single-pattern one:
+//
+//  1. each rule is compiled to its minimal DFA as usual;
+//  2. the rules of a shard are combined by the product construction into
+//     one DFA whose states carry a per-rule accept bitmask (bit r set
+//     when rule r accepts), then minimized mask-aware;
+//  3. the combined DFA feeds the unchanged D-SFA correspondence
+//     construction (core.BuildDSFA — the SFA states are transformations
+//     of the combined DFA's state set), and matching is one pooled
+//     parallel pass per shard through engine.MultiSFA, which reports the
+//     full bitmask of matching rules.
+//
+// Construction cost is the known pain point of combined automata: the
+// product DFA can approach the product of the component sizes, and its
+// transformation monoid can grow further still. A state-count budget
+// detects the blow-up during both constructions, and the planner falls
+// back to K combined shards scanned concurrently, with rules assigned
+// greedily by estimated automaton size. K = rule count degenerates to
+// the isolated per-rule engines, so the fallback is total.
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/dfa"
+	"repro/internal/engine"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// ErrBudget is wrapped by construction errors when a state budget is
+// exceeded; the planner reacts to it by splitting the shard.
+var ErrBudget = errors.New("multi: state budget exceeded")
+
+// Options parameterizes Compile.
+type Options struct {
+	// DFABudget bounds the product DFA of one shard (0 = default). It is
+	// clamped to core.MaxDFAStates, the D-SFA construction's own limit.
+	DFABudget int
+	// SFABudget bounds the combined D-SFA of one shard (0 = default).
+	// Shards whose D-SFA would exceed it are split.
+	SFABudget int
+	// SFAHardCap is the caller's fail-fast ceiling (sfa.WithSFACap): it
+	// also binds the uncapped single-rule fallback, so a pathological
+	// rule errors out instead of building an unbounded automaton.
+	// 0 = no ceiling. When set below SFABudget it lowers the budget.
+	SFAHardCap int
+	// ForceShards plans exactly K shards up front instead of starting
+	// from one combined automaton (blow-up splitting still applies, so
+	// more shards may result). 0 = automatic.
+	ForceShards int
+	// PerRuleDFACap bounds each rule's own DFA, failing Compile when
+	// exceeded — the same contract as the isolated engines' WithDFACap
+	// (0 = unbounded). Without it a single pathological rule (a counted
+	// window containing its own trigger) can make subset construction
+	// exponential before any shard is planned.
+	PerRuleDFACap int
+	// Threads is the chunk parallelism of each shard's pass
+	// (0 = GOMAXPROCS).
+	Threads int
+	// Layout selects the transition-table layout (default LayoutAuto).
+	Layout engine.TableLayout
+	// Pool overrides the engine's process-wide worker pool.
+	Pool *engine.Pool
+	// Spawn restores spawn-per-match goroutine creation (Fig. 10
+	// semantics) instead of the persistent pool.
+	Spawn bool
+}
+
+// defaultDFABudget bounds the per-shard product DFA. core.BuildDSFA
+// stores mapping entries as int16, so this may never exceed
+// core.MaxDFAStates; 20 000 also keeps one shard's class-indexed table
+// within a few MiB.
+const defaultDFABudget = 20_000
+
+// defaultSFABudget bounds the per-shard D-SFA: 1<<15 states resolve to
+// the u16 table layout at 512 B per state — a 16 MiB ceiling per shard.
+const defaultSFABudget = 1 << 15
+
+func (o Options) withDefaults() Options {
+	if o.DFABudget <= 0 || o.DFABudget > maxProductStates {
+		o.DFABudget = defaultDFABudget
+	}
+	if o.SFABudget <= 0 {
+		o.SFABudget = defaultSFABudget
+	}
+	if o.SFAHardCap > 0 && o.SFAHardCap < o.SFABudget {
+		o.SFABudget = o.SFAHardCap
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// engineOpts translates the engine-facing knobs.
+func (o Options) engineOpts() []engine.Option {
+	var opts []engine.Option
+	if o.Layout != engine.LayoutAuto {
+		opts = append(opts, engine.WithLayout(o.Layout))
+	}
+	if o.Pool != nil {
+		opts = append(opts, engine.WithPool(o.Pool))
+	}
+	if o.Spawn {
+		opts = append(opts, engine.WithSpawn())
+	}
+	return opts
+}
+
+// Compile builds a Set matching every pattern in nodes (already parsed,
+// and search-bracketed by the caller if substring semantics are wanted —
+// package sfa owns parsing, flags, and bracketing). Rule r of the result
+// is nodes[r].
+func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("multi: empty rule set")
+	}
+	o = o.withDefaults()
+
+	// Per-rule components: the minimal DFA is both the product-
+	// construction input and, via a budget-capped D-SFA dry run, the
+	// planner's size estimate.
+	rules := make([]planRule, len(nodes))
+	for i, node := range nodes {
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			return nil, fmt.Errorf("multi: rule %d: %w", i, err)
+		}
+		d, err := dfa.Determinize(a, o.PerRuleDFACap)
+		if err != nil {
+			return nil, fmt.Errorf("multi: rule %d: %w", i, err)
+		}
+		m := dfa.Minimize(d)
+		est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
+		rules[i] = planRule{idx: i, d: m, est: est, sfa: s}
+	}
+
+	bins := plan(rules, o)
+	var builds []*shardBuild
+	for _, bin := range bins {
+		built, err := buildShards(bin, o)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, built...)
+	}
+	if o.ForceShards == 0 && len(builds) > 1 {
+		// The packing is pessimistic on purpose; recover over-sharding
+		// by merging while the measured sizes say it fits.
+		var err error
+		builds, err = mergeShards(builds, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(builds, func(i, j int) bool { return builds[i].bin[0].idx < builds[j].bin[0].idx })
+	shards := make([]*shard, len(builds))
+	for i, b := range builds {
+		shards[i] = b.sh
+	}
+	return newSet(shards, len(nodes)), nil
+}

@@ -1,0 +1,250 @@
+package multi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfa"
+	"repro/internal/syntax"
+)
+
+// parseAll parses whole-input patterns.
+func parseAll(t testing.TB, patterns []string) []*syntax.Node {
+	t.Helper()
+	nodes := make([]*syntax.Node, len(patterns))
+	for i, p := range patterns {
+		nodes[i] = syntax.MustParse(p, 0)
+	}
+	return nodes
+}
+
+// oracleDFAs compiles each pattern independently (the isolated engines'
+// pipeline) as the semantics reference.
+func oracleDFAs(t testing.TB, patterns []string) []*dfa.DFA {
+	t.Helper()
+	ds := make([]*dfa.DFA, len(patterns))
+	for i, p := range patterns {
+		ds[i] = dfa.MustCompilePattern(p)
+	}
+	return ds
+}
+
+var testPatterns = []string{
+	`(ab)*`,
+	`a[ab]*b`,
+	`([0-4]{2}[5-9]{2})*`,
+	`(a|bc)*d?`,
+	`[a-c]{1,3}`,
+	`abba`,
+	`(0|1)*1(0|1)`,
+	`x*y*z*`,
+}
+
+// testInputs is a deterministic mix of matching-ish and random inputs
+// over the patterns' alphabets.
+func testInputs() [][]byte {
+	inputs := [][]byte{
+		nil, []byte("a"), []byte("ab"), []byte("abab"), []byte("abba"),
+		[]byte("aabb"), []byte("0156"), []byte("01560459"), []byte("bcd"),
+		[]byte("abc"), []byte("ccc"), []byte("xyzz"), []byte("101"),
+		[]byte("d"), []byte("z"),
+	}
+	r := rand.New(rand.NewSource(7))
+	alpha := []byte("ab01459bcxyzd")
+	for i := 0; i < 60; i++ {
+		n := r.Intn(24)
+		in := make([]byte, n)
+		for j := range in {
+			in[j] = alpha[r.Intn(len(alpha))]
+		}
+		inputs = append(inputs, in)
+	}
+	return inputs
+}
+
+// checkAgainstOracle verifies that the set reports exactly the rules
+// whose own DFAs accept, for every input.
+func checkAgainstOracle(t *testing.T, s *Set, ds []*dfa.DFA, inputs [][]byte) {
+	t.Helper()
+	dst := make([]uint64, s.Words())
+	for _, in := range inputs {
+		mask := s.Scan(in, 0, dst)
+		for r, d := range ds {
+			want := d.Accepts(in)
+			got := mask[r>>6]&(1<<(r&63)) != 0
+			if got != want {
+				t.Fatalf("input %q rule %d (%s): combined=%v isolated=%v (shards=%d)",
+					in, r, testPatterns[r], got, want, s.NumShards())
+			}
+		}
+		if any := s.Any(in); any != (countBits(mask) > 0) {
+			t.Fatalf("input %q: Any=%v but mask has %d bits", in, any, countBits(mask))
+		}
+	}
+}
+
+func countBits(mask []uint64) int {
+	n := 0
+	for _, w := range mask {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCombinedAgreesWithIsolatedOracle(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	ds := oracleDFAs(t, testPatterns)
+	inputs := testInputs()
+	for _, force := range []int{0, 1, 2, 4, len(testPatterns)} {
+		for _, threads := range []int{1, 3} {
+			s, err := Compile(nodes, Options{ForceShards: force, Threads: threads})
+			if err != nil {
+				t.Fatalf("force=%d: %v", force, err)
+			}
+			if force > 1 && s.NumShards() < 2 {
+				t.Fatalf("force=%d built %d shards", force, s.NumShards())
+			}
+			checkAgainstOracle(t, s, ds, inputs)
+		}
+	}
+}
+
+func TestProductMasksMatchComponents(t *testing.T) {
+	ds := oracleDFAs(t, testPatterns)
+	d, masks, err := productDFA(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	words := maskWords(len(ds))
+	for _, in := range testInputs() {
+		q := d.Run(d.Start, in)
+		row := masks[int(q)*words : (int(q)+1)*words]
+		for i, comp := range ds {
+			want := comp.Accepts(in)
+			got := row[i>>6]&(1<<(i&63)) != 0
+			if got != want {
+				t.Fatalf("input %q component %d: product=%v component=%v", in, i, got, want)
+			}
+		}
+		if d.Accepts(in) != (countBits(row) > 0) {
+			t.Fatalf("input %q: bool accept disagrees with mask", in)
+		}
+	}
+}
+
+func TestMinimizeMaskedPreservesSemantics(t *testing.T) {
+	ds := oracleDFAs(t, testPatterns)
+	d, masks, err := productDFA(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := maskWords(len(ds))
+	m, mmasks := minimizeMasked(d, masks, words)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates > d.NumStates {
+		t.Fatalf("minimization grew the DFA: %d → %d", d.NumStates, m.NumStates)
+	}
+	for _, in := range testInputs() {
+		q0 := d.Run(d.Start, in)
+		q1 := m.Run(m.Start, in)
+		r0 := masks[int(q0)*words : (int(q0)+1)*words]
+		r1 := mmasks[int(q1)*words : (int(q1)+1)*words]
+		for w := range r0 {
+			if r0[w] != r1[w] {
+				t.Fatalf("input %q: mask changed by minimization: %x → %x", in, r0, r1)
+			}
+		}
+	}
+	// Idempotence: a second pass must find nothing to merge.
+	m2, _ := minimizeMasked(m, mmasks, words)
+	if m2.NumStates != m.NumStates {
+		t.Fatalf("second minimization changed size: %d → %d", m.NumStates, m2.NumStates)
+	}
+}
+
+// TestBudgetFallbackShards forces blow-up with a tiny budget and checks
+// the planner still produces a correct (just more sharded) set.
+func TestBudgetFallbackShards(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	ds := oracleDFAs(t, testPatterns)
+	s, err := Compile(nodes, Options{SFABudget: 12, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() < 2 {
+		t.Fatalf("budget 12 produced %d shards; expected a split", s.NumShards())
+	}
+	checkAgainstOracle(t, s, ds, testInputs())
+}
+
+// TestManyRulesCrossWordBoundary exercises masks wider than one word.
+func TestManyRulesCrossWordBoundary(t *testing.T) {
+	var patterns []string
+	for i := 0; i < 70; i++ {
+		patterns = append(patterns, fmt.Sprintf("a{%d}", i+1))
+	}
+	nodes := parseAll(t, patterns)
+	s, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Words() != 2 {
+		t.Fatalf("Words = %d, want 2", s.Words())
+	}
+	dst := make([]uint64, s.Words())
+	for n := 0; n <= 70; n++ {
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = 'a'
+		}
+		mask := s.Scan(in, 0, dst)
+		for r := 0; r < 70; r++ {
+			want := r+1 == n
+			got := mask[r>>6]&(1<<(r&63)) != 0
+			if got != want {
+				t.Fatalf("len %d rule a{%d}: got %v", n, r+1, got)
+			}
+		}
+	}
+}
+
+func TestEmptySetRejected(t *testing.T) {
+	if _, err := Compile(nil, Options{}); err == nil {
+		t.Fatal("expected error for empty rule set")
+	}
+}
+
+func TestShardStats(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	s, err := Compile(nodes, Options{ForceShards: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := s.Shards()
+	if len(infos) != s.NumShards() {
+		t.Fatalf("Shards() len %d != NumShards %d", len(infos), s.NumShards())
+	}
+	seen := make(map[int]bool)
+	for _, info := range infos {
+		if info.SFAStates <= 0 || info.DFAStates <= 0 {
+			t.Fatalf("empty stats: %+v", info)
+		}
+		for _, r := range info.Rules {
+			if seen[r] {
+				t.Fatalf("rule %d in two shards", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != len(testPatterns) {
+		t.Fatalf("%d rules covered, want %d", len(seen), len(testPatterns))
+	}
+}

@@ -1,0 +1,297 @@
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/engine"
+)
+
+// logEst is a rule's packing weight under the product bound.
+func logEst(r planRule) float64 {
+	if r.est < 2 {
+		return math.Log(2)
+	}
+	return math.Log(float64(r.est))
+}
+
+// planRule is one rule as the planner sees it: its global index, its
+// minimal component DFA, and an estimated automaton size. sfa holds the
+// estimation dry run's D-SFA when it fit the budget, so a rule that ends
+// up in a shard of its own is never built twice.
+type planRule struct {
+	idx int
+	d   *dfa.DFA
+	est int
+	sfa *core.DSFA
+}
+
+// estimateSFA sizes a rule for greedy shard assignment by dry-running
+// the D-SFA construction under the shard budget. The D-SFA — not the
+// DFA — is the automaton whose size a shard is budgeted on, and no
+// static bound predicts it (Sect. VII shows it ranges from |D| to
+// exponential), so the capped build is the estimator. Rules over budget
+// report est = budget+1 (and a nil D-SFA), forcing a dedicated shard.
+func estimateSFA(d *dfa.DFA, budget int) (int, *core.DSFA) {
+	s, err := core.BuildDSFA(d, budget)
+	if err != nil {
+		return budget + 1, nil
+	}
+	return s.NumStates, s
+}
+
+// plan assigns rules to bins greedily by estimated automaton size.
+//
+// The combined D-SFA's states are reachable tuples of component SFA
+// states, so the combined size lies between max(est) — every component
+// projection is onto — and Πest. For the scan workload's unanchored
+// rules the product end dominates (independent monoids compose nearly
+// freely), so bins are packed first-fit-decreasing against Σ log est ≤
+// log SFABudget (a product bound), with Σ|D| under the product-DFA
+// budget as a side constraint. Correlated rules that would have fit
+// together anyway only cost extra shards, not failed builds; the rare
+// under-prediction is caught by buildShards' budget checks and split.
+//
+// With ForceShards = K the rules are instead spread over exactly K bins
+// by longest-processing-time scheduling: sorted by estimate descending,
+// each placed in the currently lightest bin.
+func plan(rules []planRule, o Options) [][]planRule {
+	sorted := make([]planRule, len(rules))
+	copy(sorted, rules)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].est > sorted[j].est })
+
+	var bins [][]planRule
+	if k := o.ForceShards; k > 0 {
+		if k > len(rules) {
+			k = len(rules)
+		}
+		bins = make([][]planRule, k)
+		load := make([]float64, k)
+		for _, r := range sorted {
+			lightest := 0
+			for b := 1; b < k; b++ {
+				if load[b] < load[lightest] {
+					lightest = b
+				}
+			}
+			bins[lightest] = append(bins[lightest], r)
+			load[lightest] += logEst(r)
+		}
+	} else {
+		budget := math.Log(float64(o.SFABudget))
+		var estLoad []float64
+		var dfaLoad []int
+		for _, r := range sorted {
+			placed := false
+			for b := range bins {
+				if estLoad[b]+logEst(r) <= budget && dfaLoad[b]+r.d.NumStates <= o.DFABudget {
+					bins[b] = append(bins[b], r)
+					estLoad[b] += logEst(r)
+					dfaLoad[b] += r.d.NumStates
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				bins = append(bins, []planRule{r})
+				estLoad = append(estLoad, logEst(r))
+				dfaLoad = append(dfaLoad, r.d.NumStates)
+			}
+		}
+	}
+	// Deterministic rule order within each bin; drop empty forced bins.
+	out := bins[:0]
+	for _, bin := range bins {
+		if len(bin) == 0 {
+			continue
+		}
+		sort.Slice(bin, func(i, j int) bool { return bin[i].idx < bin[j].idx })
+		out = append(out, bin)
+	}
+	return out
+}
+
+// maxMapEntries bounds the mapping storage a *capped* D-SFA attempt may
+// intern before giving up: cap × |D| int16 entries. Without it a capped
+// build over a large product DFA does cap·|D| work just to fail — the
+// failure must be cheap for the split-and-retry loop to be practical.
+// 32 Mi entries is 64 MiB of vectors, a few hundred milliseconds.
+const maxMapEntries = 32 << 20
+
+// sfaCapFor derives the effective D-SFA cap for a shard attempt from the
+// state budget and the mapping-cost bound.
+func sfaCapFor(budget, dfaStates int) int {
+	if c := maxMapEntries / dfaStates; c < budget {
+		return c
+	}
+	return budget
+}
+
+// shardBuild pairs a materialized shard with the plan bin it came from,
+// so the merge pass can recombine bins.
+type shardBuild struct {
+	bin    []planRule
+	sh     *shard
+	frozen bool // a merge attempt involving this shard failed
+}
+
+// isBudgetErr reports whether err is a state-budget overrun (the
+// condition the planner reacts to by splitting or freezing).
+func isBudgetErr(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, core.ErrTooManyStates)
+}
+
+// buildShards materializes one planned bin, recursively halving it (LPT
+// by estimate) whenever the product DFA or the combined D-SFA overruns
+// its budget. A single-rule shard that still overruns is built uncapped:
+// that is exactly the cost the isolated per-rule engine would pay, so
+// the fallback never rejects a rule set the old path accepted.
+func buildShards(bin []planRule, o Options) ([]*shardBuild, error) {
+	maxEst := 0
+	for _, r := range bin {
+		if r.est > maxEst {
+			maxEst = r.est
+		}
+	}
+	if len(bin) == 1 {
+		// Reuse the estimation dry run's D-SFA when it fit the budget —
+		// the shard-of-one build would reproduce it exactly.
+		if r := bin[0]; r.sfa != nil {
+			return []*shardBuild{{bin: bin, sh: singleRuleShard(r, o)}}, nil
+		}
+		// The max(est) lower bound says a capped attempt cannot succeed;
+		// go straight to the uncapped isolated-equivalent build. Freeze
+		// the result: no merge can fit an over-budget component.
+		s, err := buildShard(bin, o, false)
+		if err != nil {
+			return nil, fmt.Errorf("multi: rule %d alone exceeds construction limits: %w", bin[0].idx, err)
+		}
+		return []*shardBuild{{bin: bin, sh: s, frozen: true}}, nil
+	}
+	// Multi-rule bin: attempt only when the lower bound fits (forced
+	// plans can pack over-budget rules together); otherwise split.
+	if maxEst <= o.SFABudget {
+		s, err := buildShard(bin, o, true)
+		if err == nil {
+			return []*shardBuild{{bin: bin, sh: s}}, nil
+		}
+		if !isBudgetErr(err) {
+			return nil, err
+		}
+	}
+	halves := plan(bin, Options{ForceShards: 2})
+	var builds []*shardBuild
+	for _, half := range halves {
+		built, err := buildShards(half, o)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, built...)
+	}
+	return builds, nil
+}
+
+// maxMergeFails bounds the merge pass' wasted work: each failed merge
+// attempt costs up to maxMapEntries of interning before the budget
+// fires.
+const maxMergeFails = 4
+
+// mergeShards greedily recombines shards after the initial build: the
+// product-bound packing is deliberately pessimistic (correlated rules —
+// shared anchors, shared .* brackets — combine far below the product of
+// their sizes), and every shard fewer is one fewer pass over every
+// input. Each round tries to merge the two smallest unfrozen shards by
+// measured D-SFA size; a budget failure freezes the smaller one. The
+// pass stops when fewer than two shards remain unfrozen or after
+// maxMergeFails failures, so construction time stays bounded.
+func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
+	fails := 0
+	for fails < maxMergeFails {
+		var cand []*shardBuild
+		for _, b := range builds {
+			if !b.frozen {
+				cand = append(cand, b)
+			}
+		}
+		if len(cand) < 2 {
+			break
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			si, sj := cand[i].sh.m.SFA().NumStates, cand[j].sh.m.SFA().NumStates
+			if si != sj {
+				return si < sj
+			}
+			return cand[i].bin[0].idx < cand[j].bin[0].idx
+		})
+		a, b := cand[0], cand[1]
+		bin := make([]planRule, 0, len(a.bin)+len(b.bin))
+		bin = append(append(bin, a.bin...), b.bin...)
+		sort.Slice(bin, func(i, j int) bool { return bin[i].idx < bin[j].idx })
+		merged, err := buildShard(bin, o, true)
+		if err != nil {
+			if !isBudgetErr(err) {
+				return nil, err
+			}
+			a.frozen = true
+			fails++
+			continue
+		}
+		next := builds[:0]
+		for _, x := range builds {
+			if x != a && x != b {
+				next = append(next, x)
+			}
+		}
+		builds = append(next, &shardBuild{bin: bin, sh: merged})
+	}
+	return builds, nil
+}
+
+// singleRuleShard wraps a rule's own estimation D-SFA as a one-rule
+// shard: the mask table is just the DFA's accept vector on bit 0.
+func singleRuleShard(r planRule, o Options) *shard {
+	masks := make([]uint64, r.d.NumStates)
+	for q, acc := range r.d.Accept {
+		if acc {
+			masks[q] = 1
+		}
+	}
+	m := engine.NewMultiSFA(r.sfa, masks, 1, o.Threads, o.engineOpts()...)
+	return &shard{m: m, rules: []int{r.idx}}
+}
+
+// buildShard runs the combined pipeline — product DFA, mask-aware
+// minimization, D-SFA — for one bin. capped=false lifts the budgets to
+// the construction's hard limits (the single-rule fallback).
+func buildShard(bin []planRule, o Options, capped bool) (*shard, error) {
+	ds := make([]*dfa.DFA, len(bin))
+	rules := make([]int, len(bin))
+	for i, r := range bin {
+		ds[i] = r.d
+		rules[i] = r.idx
+	}
+	dfaBudget := 0
+	if capped {
+		dfaBudget = o.DFABudget
+	}
+	d, masks, err := productDFA(ds, dfaBudget)
+	if err != nil {
+		return nil, err
+	}
+	words := maskWords(len(bin))
+	d, masks = minimizeMasked(d, masks, words)
+	sfaCap := o.SFAHardCap
+	if capped {
+		sfaCap = sfaCapFor(o.SFABudget, d.NumStates)
+	}
+	s, err := core.BuildDSFA(d, sfaCap)
+	if err != nil {
+		return nil, err
+	}
+	m := engine.NewMultiSFA(s, masks, words, o.Threads, o.engineOpts()...)
+	return &shard{m: m, rules: rules}, nil
+}

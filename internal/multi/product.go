@@ -1,0 +1,137 @@
+package multi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+)
+
+// maxProductStates caps any product DFA at the D-SFA construction's own
+// limit: core.BuildDSFA stores mapping entries as int16.
+const maxProductStates = core.MaxDFAStates
+
+// maskWords returns the bitmask width for n rules.
+func maskWords(n int) int { return (n + 63) / 64 }
+
+// combinedClasses computes the common refinement of the component DFAs'
+// byte classes: two bytes are combined-equivalent iff every component
+// treats them alike, so the product automaton behaves identically on
+// them.
+func combinedClasses(ds []*dfa.DFA) *nfa.ByteClasses {
+	bc := &nfa.ByteClasses{}
+	seen := make(map[string]uint8)
+	key := make([]byte, len(ds))
+	for b := 0; b < 256; b++ {
+		for i, d := range ds {
+			key[i] = d.BC.Of[b]
+		}
+		id, ok := seen[string(key)]
+		if !ok {
+			id = uint8(len(seen)) // a partition of 256 bytes has ≤ 256 blocks
+			seen[string(key)] = id
+			bc.Rep = append(bc.Rep, byte(b))
+		}
+		bc.Of[b] = id
+	}
+	bc.Count = len(seen)
+	return bc
+}
+
+// productDFA combines the component DFAs into one complete DFA over their
+// common byte-class refinement. States are reachable tuples of component
+// states; the returned mask table holds one bitmask row per product state
+// with bit i set iff component i accepts (stride maskWords(len(ds))).
+//
+// The construction is the subset construction of Algorithm 1 restricted
+// to the deterministic union: every reachable subset holds exactly one
+// state per component, so exploring tuples directly avoids the bitset
+// machinery. budget > 0 bounds the product's state count; blow-up —
+// which can approach the product of the component sizes — is reported as
+// an error wrapping ErrBudget so the planner can split the shard.
+func productDFA(ds []*dfa.DFA, budget int) (*dfa.DFA, []uint64, error) {
+	if budget <= 0 || budget > maxProductStates {
+		budget = maxProductStates
+	}
+	bc := combinedClasses(ds)
+	n := len(ds)
+	nc := bc.Count
+	words := maskWords(n)
+
+	ids := make(map[string]int32)
+	var tuples []int32 // flat, stride n (owned copies)
+	var trans []int32  // id*nc + c → id, grown in lockstep
+	key := make([]byte, n*4)
+	intern := func(t []int32) (int32, bool, error) {
+		for i, q := range t {
+			binary.LittleEndian.PutUint32(key[i*4:], uint32(q))
+		}
+		if id, ok := ids[string(key)]; ok {
+			return id, false, nil
+		}
+		id := int32(len(ids))
+		if int(id) >= budget {
+			return 0, false, fmt.Errorf("%w: product DFA over %d states", ErrBudget, budget)
+		}
+		ids[string(key)] = id
+		tuples = append(tuples, t...)
+		trans = append(trans, make([]int32, nc)...)
+		return id, true, nil
+	}
+
+	start := make([]int32, n)
+	for i, d := range ds {
+		start[i] = d.Start
+	}
+	startID, _, err := intern(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	queue := []int32{startID}
+	next := make([]int32, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for c := 0; c < nc; c++ {
+			// One representative byte per combined class steps every
+			// component; within a class no component distinguishes bytes.
+			b := bc.Rep[c]
+			src := tuples[int(id)*n : (int(id)+1)*n]
+			for i, d := range ds {
+				next[i] = d.NextByte(src[i], b)
+			}
+			to, fresh, err := intern(next)
+			if err != nil {
+				return nil, nil, err
+			}
+			trans[int(id)*nc+c] = to
+			if fresh {
+				queue = append(queue, to)
+			}
+		}
+	}
+
+	d := dfa.New(len(ids), bc)
+	d.Start = startID
+	d.NextC = trans
+	masks := make([]uint64, len(ids)*words)
+	for id := 0; id < len(ids); id++ {
+		t := tuples[id*n : (id+1)*n]
+		row := masks[id*words : (id+1)*words]
+		any := false
+		for i, q := range t {
+			if ds[i].Accept[q] {
+				row[i>>6] |= 1 << (i & 63)
+				any = true
+			}
+		}
+		// The bool accept bit is "any rule matches": it makes the product
+		// a valid dfa.DFA (dead-sink detection, D-SFA accept vector)
+		// while the mask table carries the per-rule verdicts.
+		d.Accept[id] = any
+	}
+	d.DetectDead()
+	return d, masks, nil
+}

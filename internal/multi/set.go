@@ -1,0 +1,153 @@
+package multi
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// shard is one combined automaton covering a subset of the rules.
+// Local mask bit i of the shard's matcher corresponds to global rule
+// index rules[i].
+type shard struct {
+	m     *engine.MultiSFA
+	rules []int
+}
+
+// Set matches a whole rule set with one pooled pass per shard. It is
+// safe for concurrent use: per-Scan scratch is recycled through a
+// sync.Pool of contexts.
+type Set struct {
+	shards []*shard
+	rules  int
+	words  int // global mask words, maskWords(rules)
+	ctxs   sync.Pool
+}
+
+func newSet(shards []*shard, rules int) *Set {
+	s := &Set{shards: shards, rules: rules, words: maskWords(rules)}
+	s.ctxs.New = func() any {
+		c := &scanCtx{bufs: make([][]uint64, len(shards))}
+		for i, sh := range shards {
+			c.bufs[i] = make([]uint64, maskWords(len(sh.rules)))
+		}
+		return c
+	}
+	return s
+}
+
+// scanCtx carries one Scan's per-shard result buffers.
+type scanCtx struct {
+	bufs [][]uint64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// NumRules returns the number of rules the set was compiled from.
+func (s *Set) NumRules() int { return s.rules }
+
+// NumShards returns the number of combined shards.
+func (s *Set) NumShards() int { return len(s.shards) }
+
+// Words returns the result bitmask width in uint64 words.
+func (s *Set) Words() int { return s.words }
+
+// Scan matches every rule against data in one pass per shard and writes
+// the global bitmask — bit r set iff rule r matches — into dst, which
+// must have Words() capacity; dst[:Words()] is returned. Shards run
+// concurrently, up to `workers` at a time (0 = all); each shard's pass
+// is itself chunk-parallel on the engine pool.
+func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
+	dst = dst[:s.words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		c := s.ctxs.Get().(*scanCtx)
+		sh.merge(dst, sh.m.MatchMask(data, c.bufs[0]))
+		s.ctxs.Put(c)
+		return dst
+	}
+	c := s.ctxs.Get().(*scanCtx)
+	c.next.Store(0)
+	if workers <= 0 || workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	c.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer c.wg.Done()
+			for {
+				i := int(c.next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				s.shards[i].m.MatchMask(data, c.bufs[i])
+			}
+		}()
+	}
+	c.wg.Wait()
+	for i, sh := range s.shards {
+		sh.merge(dst, c.bufs[i])
+	}
+	s.ctxs.Put(c)
+	return dst
+}
+
+// merge translates a shard-local result mask into global rule bits.
+func (sh *shard) merge(dst, local []uint64) {
+	for i, r := range sh.rules {
+		if local[i>>6]&(1<<(i&63)) != 0 {
+			dst[r>>6] |= 1 << (r & 63)
+		}
+	}
+}
+
+// Any reports whether any rule matches, scanning shards sequentially
+// with an early exit (each shard's pass is still chunk-parallel).
+func (s *Set) Any(data []byte) bool {
+	for _, sh := range s.shards {
+		if sh.m.Match(data) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardInfo describes one shard for stats reporting.
+type ShardInfo struct {
+	Rules      []int // global rule indices
+	DFAStates  int   // combined minimal DFA (live states)
+	SFAStates  int   // combined D-SFA (live states)
+	Layout     string
+	TableBytes int64
+}
+
+// Shards reports per-shard statistics.
+func (s *Set) Shards() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, sh := range s.shards {
+		rules := make([]int, len(sh.rules))
+		copy(rules, sh.rules)
+		out[i] = ShardInfo{
+			Rules:      rules,
+			DFAStates:  sh.m.SFA().D.LiveSize(),
+			SFAStates:  sh.m.SFA().LiveSize(),
+			Layout:     sh.m.Layout().String(),
+			TableBytes: sh.m.TableBytes(),
+		}
+	}
+	return out
+}
+
+// TableBytes returns the total resident size of all shards' match
+// tables.
+func (s *Set) TableBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.m.TableBytes()
+	}
+	return n
+}

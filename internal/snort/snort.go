@@ -15,7 +15,11 @@ package snort
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/nfa"
 	"repro/internal/syntax"
 )
 
@@ -102,6 +106,71 @@ func Curated() []Rule {
 		rules[i] = Rule{ID: i, Pattern: p.p, Flags: p.f, Category: p.cat}
 	}
 	return rules
+}
+
+// ScanSample returns up to n curated rules for the multi-pattern scan
+// workload (the combined/sharded RuleSet engines, their oracle
+// cross-checks, and the harness throughput table). Rules are filtered
+// the way the paper filters its SNORT corpus (Sect. VI-A skips DFAs over
+// 1000 states): each rule is bracketed for substring search — the scan
+// workload's semantics — and kept only when its DFA stays under
+// scanSampleDFACap. That drops the "dotchain" family and counted-window
+// rules like Cookie\x3a [^\x0d\x0a]{128,256}, whose window class
+// contains its own trigger so subset construction explodes
+// exponentially; such rules need the lazy engine, not an eager combined
+// automaton.
+func ScanSample(n int) []Rule {
+	sample := scanSampleOnce()
+	if n > len(sample) {
+		n = len(sample)
+	}
+	return sample[:n]
+}
+
+// scanSampleDFACap mirrors the paper's 1000-state SNORT filter.
+const scanSampleDFACap = 1000
+
+// scanSampleSFACap drops rules whose own D-SFA explodes: they would
+// stall both the isolated oracle and the planner's dedicated-shard
+// fallback, neither of which caps a lone rule.
+const scanSampleSFACap = 4096
+
+// scanSampleOnce computes (once — the capped dry runs cost real time)
+// the filtered curated sample.
+var scanSampleOnce = sync.OnceValue(func() []Rule {
+	var out []Rule
+	for _, r := range Curated() {
+		if scannable(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+})
+
+// scannable reports whether the rule's search-bracketed automata stay
+// under the sample caps. The bracketing is the same syntax helper the
+// public WithSearch option uses, so the filter judges exactly the
+// automata a scanning RuleSet will build.
+func scannable(r Rule) bool {
+	node, err := syntax.Parse(r.Pattern, r.Flags)
+	if err != nil {
+		return false
+	}
+	node = syntax.BracketForSearch(node)
+	a, err := nfa.Glushkov(node)
+	if err != nil {
+		return false
+	}
+	d, err := dfa.Determinize(a, 4*scanSampleDFACap)
+	if err != nil {
+		return false
+	}
+	m := dfa.Minimize(d)
+	if m.LiveSize() > scanSampleDFACap {
+		return false
+	}
+	_, err = core.BuildDSFA(m, scanSampleSFACap)
+	return err == nil
 }
 
 // Generate returns a deterministic corpus of n rules: the curated set

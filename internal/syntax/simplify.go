@@ -167,6 +167,29 @@ func ExpandRepeats(n *Node) *Node {
 	return Simplify(&Node{Op: OpConcat, Sub: subs})
 }
 
+// BracketForSearch rewrites e into (?s).* e (?s).*, honouring anchors: a
+// leading ^ or trailing $ in the pattern suppresses the respective
+// bracket. This is the whole-input-acceptance encoding of unanchored
+// substring search, shared by the public API's WithSearch option and the
+// corpus filters that must predict the automata it produces.
+func BracketForSearch(node *Node) *Node {
+	stripped, begin, end := StripAnchors(node)
+	dotStar := func() *Node {
+		return &Node{Op: OpStar, Sub: []*Node{
+			{Op: OpClass, Set: AnyByte()},
+		}}
+	}
+	subs := []*Node{}
+	if !begin {
+		subs = append(subs, dotStar())
+	}
+	subs = append(subs, stripped)
+	if !end {
+		subs = append(subs, dotStar())
+	}
+	return Simplify(&Node{Op: OpConcat, Sub: subs})
+}
+
 // StripAnchors removes ^ and $ assertions, returning the stripped tree and
 // whether the pattern was anchored at its beginning and end. For the
 // whole-input acceptance semantics used throughout the paper's experiments

@@ -1,10 +1,63 @@
 package sfa
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/syntax"
 )
+
+// FuzzMatch feeds arbitrary (pattern, input) pairs through the
+// multi-pattern path: the fuzzed pattern joins two fixed rules in a
+// RuleSet, and the combined automaton's Scan must agree rule-for-rule
+// with the isolated per-rule engines — and, for the fuzzed rule itself,
+// with the Brzozowski-derivative oracle.
+func FuzzMatch(f *testing.F) {
+	f.Add("(ab)*", "abab")
+	f.Add("a[ab]*b", "aabb")
+	f.Add("([0-4]{2}[5-9]{2})*", "0055")
+	f.Add("a|bc+", "bcc")
+	f.Fuzz(func(t *testing.T, pattern, input string) {
+		if len(pattern) > 30 || len(input) > 30 {
+			return
+		}
+		node, err := syntax.Parse(pattern, 0)
+		if err != nil {
+			return
+		}
+		if node.NumPositions() > 40 {
+			return
+		}
+		defs := []RuleDef{
+			{Name: "fixed-a", Pattern: `(ab)*c?`},
+			{Name: "fixed-b", Pattern: `[a-c]{1,4}`},
+			{Name: "fuzzed", Pattern: pattern},
+		}
+		opts := []Option{WithDFACap(500), WithShardStateBudget(4096), WithThreads(2)}
+		combined, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			return // the fuzzed rule blew a cap; nothing to compare
+		}
+		isolated, err := NewRuleSetFromDefs(defs, append(opts, WithIsolatedRules())...)
+		if err != nil {
+			return
+		}
+		in := []byte(input)
+		got, want := combined.Scan(in, 0), isolated.Scan(in, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pattern %q input %q: combined=%v isolated=%v", pattern, input, got, want)
+		}
+		fuzzHit := false
+		for _, name := range got {
+			if name == "fuzzed" {
+				fuzzHit = true
+			}
+		}
+		if oracle := syntax.DeriveMatch(node, in); fuzzHit != oracle {
+			t.Fatalf("pattern %q input %q: combined=%v derivatives=%v", pattern, input, fuzzHit, oracle)
+		}
+	})
+}
 
 // FuzzEngineAgreement feeds arbitrary (pattern, input) pairs through the
 // compile pipeline; whenever the pattern compiles, the default SFA engine

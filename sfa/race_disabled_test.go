@@ -1,0 +1,5 @@
+//go:build !race
+
+package sfa
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package sfa
+
+// raceEnabled reports that this test binary was built with the race
+// detector. Its ~10× instrumentation overhead lands hardest on automaton
+// construction, so the RuleSet fixtures shrink their pathological rules
+// under race while keeping the same shape of coverage.
+const raceEnabled = true

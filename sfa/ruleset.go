@@ -2,74 +2,281 @@ package sfa
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+
+	"repro/internal/multi"
+	"repro/internal/syntax"
 )
 
 // RuleSet matches many patterns against the same input — the deep-packet-
 // inspection workload (one SNORT ruleset, many packets) that motivates
-// the paper's introduction. Patterns are compiled independently; Scan
-// fans the rules out over a bounded worker pool while each rule's own
-// engine parallelizes over the input.
+// the paper's introduction.
+//
+// By default the patterns are compiled into a single combined D-SFA whose
+// accept states carry a per-rule bitmask, so one pooled parallel pass
+// over the input reports every matching rule at once. When the combined
+// automaton would blow past its state budget — the known construction
+// hazard of product automata — the compiler falls back to K combined
+// shards scanned concurrently, with rules assigned greedily by estimated
+// automaton size. WithIsolatedRules restores the previous architecture of
+// one independent engine per rule (N full passes per input); it survives
+// as the oracle the combined path is cross-checked against, and it is
+// also what a rule set compiled WithEngine other than the default SFA
+// engine uses (the combined automaton is SFA-only). WithDFACap and
+// WithSFACap keep their per-rule fail-fast contract in both modes;
+// WithTreeReduction has no effect on the combined pass, whose reduction
+// is the O(p) sequential fold.
 type RuleSet struct {
-	names []string
-	res   []*Regexp
+	defs []RuleDef // sorted by name; rule index == reporting position
+	idx  map[string]int
+	opts []Option
+
+	set      *multi.Set // combined/sharded engine
+	isolated []*Regexp  // per-rule engines (WithIsolatedRules)
+
+	mu    sync.Mutex
+	cache map[string]*Regexp // lazy per-rule compilations for Rule
+}
+
+// RuleDef names one pattern of a rule set. Flags are OR-ed with any
+// set-wide WithFlags option, so rule sets can mix per-rule modifiers
+// (as SNORT's pcre options do).
+type RuleDef struct {
+	Name    string
+	Pattern string
+	Flags   Flag
 }
 
 // NewRuleSet compiles the named patterns with shared options. It fails on
 // the first pattern that does not compile, identifying it by name.
 func NewRuleSet(rules map[string]string, opts ...Option) (*RuleSet, error) {
-	rs := &RuleSet{}
-	for name := range rules {
-		rs.names = append(rs.names, name)
+	defs := make([]RuleDef, 0, len(rules))
+	for name, pattern := range rules {
+		defs = append(defs, RuleDef{Name: name, Pattern: pattern})
+	}
+	return NewRuleSetFromDefs(defs, opts...)
+}
+
+// NewRuleSetFromDefs is NewRuleSet for explicit definitions with
+// per-rule flags. Rules are reported in name order regardless of input
+// order; duplicate names are rejected.
+func NewRuleSetFromDefs(defs []RuleDef, opts ...Option) (*RuleSet, error) {
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("sfa: empty rule set")
+	}
+	cfg := buildConfig(opts)
+
+	rs := &RuleSet{
+		defs: append([]RuleDef(nil), defs...),
+		opts: opts,
+		idx:  make(map[string]int, len(defs)),
 	}
 	// Deterministic order for reporting.
-	sortStrings(rs.names)
-	for _, name := range rs.names {
-		re, err := Compile(rules[name], opts...)
-		if err != nil {
-			return nil, fmt.Errorf("sfa: rule %s: %w", name, err)
+	sort.Slice(rs.defs, func(i, j int) bool { return rs.defs[i].Name < rs.defs[j].Name })
+	for i, d := range rs.defs {
+		if _, dup := rs.idx[d.Name]; dup {
+			return nil, fmt.Errorf("sfa: duplicate rule %s", d.Name)
 		}
-		rs.res = append(rs.res, re)
+		rs.idx[d.Name] = i
 	}
+
+	// The combined automaton is SFA-only: a rule set compiled for any
+	// other engine (lazy, DFA, spec, NFA) keeps the per-rule
+	// architecture those engines imply.
+	if cfg.isolatedRules || cfg.eng != EngineSFA {
+		rs.isolated = make([]*Regexp, len(rs.defs))
+		for i, d := range rs.defs {
+			re, err := rs.compileRule(d)
+			if err != nil {
+				return nil, err
+			}
+			rs.isolated[i] = re
+		}
+		return rs, nil
+	}
+
+	nodes := make([]*syntax.Node, len(rs.defs))
+	for i, d := range rs.defs {
+		node, err := parseRule(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sfa: rule %s: %w", d.Name, err)
+		}
+		nodes[i] = node
+	}
+	set, err := multi.Compile(nodes, multi.Options{
+		SFABudget:     cfg.shardBudget,
+		SFAHardCap:    cfg.sfaCap,
+		ForceShards:   cfg.shards,
+		PerRuleDFACap: cfg.dfaCap,
+		Threads:       cfg.threads,
+		Spawn:         cfg.spawn,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sfa: %w", err)
+	}
+	rs.set = set
 	return rs, nil
 }
 
+// parseRule runs the front end — parse, per-rule flags, search
+// bracketing — that the combined compiler shares with Compile.
+func parseRule(d RuleDef, cfg config) (*syntax.Node, error) {
+	var sflags syntax.Flags
+	if (cfg.flags|d.Flags)&FoldCase != 0 {
+		sflags |= syntax.FoldCase
+	}
+	if (cfg.flags|d.Flags)&DotAll != 0 {
+		sflags |= syntax.DotAll
+	}
+	node, err := syntax.Parse(d.Pattern, sflags)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.search {
+		node = syntax.BracketForSearch(node)
+	}
+	return node, nil
+}
+
+// compileRule builds the rule's own isolated Regexp (per-rule flags
+// appended so they win over the set-wide WithFlags).
+func (rs *RuleSet) compileRule(d RuleDef) (*Regexp, error) {
+	cfg := buildConfig(rs.opts)
+	opts := append(append([]Option(nil), rs.opts...), WithFlags(cfg.flags|d.Flags))
+	re, err := Compile(d.Pattern, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sfa: rule %s: %w", d.Name, err)
+	}
+	return re, nil
+}
+
 // Len returns the number of rules.
-func (rs *RuleSet) Len() int { return len(rs.res) }
+func (rs *RuleSet) Len() int { return len(rs.defs) }
 
 // Names returns the rule names in the order Scan reports them.
 func (rs *RuleSet) Names() []string {
-	out := make([]string, len(rs.names))
-	copy(out, rs.names)
+	out := make([]string, len(rs.defs))
+	for i, d := range rs.defs {
+		out[i] = d.Name
+	}
 	return out
 }
 
-// Rule returns the compiled pattern for a name, if present.
-func (rs *RuleSet) Rule(name string) (*Regexp, bool) {
-	for i, n := range rs.names {
-		if n == name {
-			return rs.res[i], true
-		}
+// NumShards returns how many combined automata the set was compiled
+// into: 1 when every rule fit one combined D-SFA, more after a blow-up
+// fallback, and Len() in isolated mode.
+func (rs *RuleSet) NumShards() int {
+	if rs.isolated != nil {
+		return len(rs.isolated)
 	}
-	return nil, false
+	return rs.set.NumShards()
 }
 
-// Scan matches every rule against data, running up to `workers` rules
-// concurrently (0 = all). It returns the names of matching rules in the
-// deterministic Names() order.
-func (rs *RuleSet) Scan(data []byte, workers int) []string {
-	if workers <= 0 || workers > len(rs.res) {
-		workers = len(rs.res)
+// ShardInfo describes one combined shard of the set.
+type ShardInfo struct {
+	Rules      []string // rule names covered by this shard
+	DFAStates  int      // combined minimal DFA, live states
+	SFAStates  int      // combined D-SFA, live states
+	Layout     string   // resolved transition-table layout
+	TableBytes int64    // resident match-table bytes
+}
+
+// Shards reports per-shard statistics; in isolated mode every rule is
+// its own shard.
+func (rs *RuleSet) Shards() []ShardInfo {
+	if rs.isolated != nil {
+		out := make([]ShardInfo, len(rs.isolated))
+		for i, re := range rs.isolated {
+			s := re.Sizes()
+			out[i] = ShardInfo{
+				Rules:     []string{rs.defs[i].Name},
+				DFAStates: s.DFALive,
+				SFAStates: s.SFALive,
+			}
+		}
+		return out
 	}
-	hits := make([]bool, len(rs.res))
+	infos := rs.set.Shards()
+	out := make([]ShardInfo, len(infos))
+	for i, info := range infos {
+		names := make([]string, len(info.Rules))
+		for j, r := range info.Rules {
+			names[j] = rs.defs[r].Name
+		}
+		out[i] = ShardInfo{
+			Rules:      names,
+			DFAStates:  info.DFAStates,
+			SFAStates:  info.SFAStates,
+			Layout:     info.Layout,
+			TableBytes: info.TableBytes,
+		}
+	}
+	return out
+}
+
+// Rule returns the compiled pattern for a name, if present. In combined
+// mode the per-rule Regexp is not part of the match path, so it is
+// compiled on first access and cached.
+func (rs *RuleSet) Rule(name string) (*Regexp, bool) {
+	i, ok := rs.idx[name]
+	if !ok {
+		return nil, false
+	}
+	if rs.isolated != nil {
+		return rs.isolated[i], true
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if re, ok := rs.cache[name]; ok {
+		return re, true
+	}
+	re, err := rs.compileRule(rs.defs[i])
+	if err != nil {
+		// The combined front end parsed this rule at construction; an
+		// isolated compile can only fail on a cap option, in which case
+		// there is no per-rule engine to hand out.
+		return nil, false
+	}
+	if rs.cache == nil {
+		rs.cache = make(map[string]*Regexp)
+	}
+	rs.cache[name] = re
+	return re, true
+}
+
+// Scan matches every rule against data and returns the names of matching
+// rules in the deterministic Names() order. In combined mode this is one
+// pooled pass per shard, with up to `workers` shards scanned concurrently
+// (0 = all); in isolated mode it fans the per-rule engines out over up to
+// `workers` goroutines (0 = all).
+func (rs *RuleSet) Scan(data []byte, workers int) []string {
+	if rs.isolated != nil {
+		return rs.scanIsolated(data, workers)
+	}
+	mask := rs.set.Scan(data, workers, make([]uint64, rs.set.Words()))
+	var out []string
+	for i := range rs.defs {
+		if mask[i>>6]&(1<<(i&63)) != 0 {
+			out = append(out, rs.defs[i].Name)
+		}
+	}
+	return out
+}
+
+func (rs *RuleSet) scanIsolated(data []byte, workers int) []string {
+	if workers <= 0 || workers > len(rs.isolated) {
+		workers = len(rs.isolated)
+	}
+	hits := make([]bool, len(rs.isolated))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for i := range rs.res {
+	for i := range rs.isolated {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
-			hits[i] = rs.res[i].Match(data)
+			hits[i] = rs.isolated[i].Match(data)
 			<-sem
 		}(i)
 	}
@@ -77,33 +284,29 @@ func (rs *RuleSet) Scan(data []byte, workers int) []string {
 	var out []string
 	for i, h := range hits {
 		if h {
-			out = append(out, rs.names[i])
+			out = append(out, rs.defs[i].Name)
 		}
 	}
 	return out
 }
 
-// Any reports whether at least one rule matches, stopping the fan-out as
-// soon as one does.
+// Any reports whether at least one rule matches. Combined shards carry
+// an any-rule accept bit, so this needs no mask handling and stops at
+// the first matching shard.
 func (rs *RuleSet) Any(data []byte) bool {
-	done := make(chan bool, len(rs.res))
-	for i := range rs.res {
-		go func(i int) { done <- rs.res[i].Match(data) }(i)
+	if rs.isolated == nil {
+		return rs.set.Any(data)
+	}
+	done := make(chan bool, len(rs.isolated))
+	for i := range rs.isolated {
+		go func(i int) { done <- rs.isolated[i].Match(data) }(i)
 	}
 	hit := false
-	for range rs.res {
+	for range rs.isolated {
 		if <-done {
 			hit = true
 			// Drain the rest; goroutines already run to completion.
 		}
 	}
 	return hit
-}
-
-func sortStrings(a []string) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

@@ -1,0 +1,142 @@
+package sfa
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/snort"
+	"repro/internal/syntax"
+	"repro/internal/textgen"
+)
+
+// snortDefs converts a slice of the corpus into rule definitions with
+// per-rule flags (a private copy of harness.SFAFlags — importing harness
+// from an in-package sfa test would cycle).
+func snortDefs(rules []snort.Rule) []RuleDef {
+	defs := make([]RuleDef, len(rules))
+	for i, r := range rules {
+		var fl Flag
+		if r.Flags&syntax.FoldCase != 0 {
+			fl |= FoldCase
+		}
+		if r.Flags&syntax.DotAll != 0 {
+			fl |= DotAll
+		}
+		defs[i] = RuleDef{Name: fmt.Sprintf("r%03d", r.ID), Pattern: r.Pattern, Flags: fl}
+	}
+	return defs
+}
+
+// oracleInputs mixes synthetic traffic lines (with planted attacks, so
+// rules actually fire) and random byte strings.
+func oracleInputs(t *testing.T) [][]byte {
+	t.Helper()
+	data, planted := textgen.Traffic{SuspiciousPerMille: 30}.Generate(1<<16, 11)
+	if planted == 0 {
+		t.Fatal("traffic generator planted nothing")
+	}
+	inputs := [][]byte{nil, data[:1<<12]}
+	lines := textgen.Lines(data)
+	for i := 0; i < len(lines); i += 7 {
+		inputs = append(inputs, lines[i])
+	}
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		in := make([]byte, r.Intn(200))
+		for j := range in {
+			in[j] = byte(r.Intn(256))
+		}
+		inputs = append(inputs, in)
+	}
+	return inputs
+}
+
+// TestRuleSetCombinedShardedIsolatedAgree is the oracle cross-check the
+// combined architecture ships under: over the snort sample rules,
+// combined (automatic), sharded (K=2, K=4), and isolated modes must
+// report the identical rule set for every input. Runs under -race via
+// `make race` like the rest of the suite.
+func TestRuleSetCombinedShardedIsolatedAgree(t *testing.T) {
+	n := 12
+	if raceEnabled {
+		n = 8 // same modes and shard shapes, cheaper builds
+	}
+	defs := snortDefs(snort.ScanSample(n))
+	if len(defs) < n {
+		t.Fatalf("scan sample too small: %d rules", len(defs))
+	}
+	base := []Option{WithSearch(), WithThreads(2), WithShardStateBudget(8192)}
+
+	modes := map[string][]Option{
+		"combined":  base,
+		"sharded-2": append([]Option{WithShards(2)}, base...),
+		"sharded-4": append([]Option{WithShards(4)}, base...),
+		"isolated":  append([]Option{WithIsolatedRules()}, base...),
+	}
+	sets := make(map[string]*RuleSet, len(modes))
+	for name, opts := range modes {
+		rs, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sets[name] = rs
+	}
+	if k := sets["combined"].NumShards(); k >= len(defs) {
+		t.Fatalf("combined mode degenerated to %d shards for %d rules", k, len(defs))
+	}
+
+	inputs := oracleInputs(t)
+	matched := 0
+	for _, in := range inputs {
+		want := sets["isolated"].Scan(in, 0)
+		matched += len(want)
+		for name, rs := range sets {
+			if name == "isolated" {
+				continue
+			}
+			if got := rs.Scan(in, 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s input %q: Scan=%v isolated=%v", name, in, got, want)
+			}
+			if got, wantAny := rs.Any(in), len(want) > 0; got != wantAny {
+				t.Fatalf("%s input %q: Any=%v want %v", name, in, got, wantAny)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no input matched any rule; the cross-check exercised nothing")
+	}
+}
+
+// TestRuleSetConcurrentScan hammers one combined set from many
+// goroutines (the -race guard for the shared scan contexts).
+func TestRuleSetConcurrentScan(t *testing.T) {
+	defs := snortDefs(snort.ScanSample(8))
+	rs, err := NewRuleSetFromDefs(defs, WithSearch(), WithThreads(2), WithShardStateBudget(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := oracleInputs(t)
+	want := make([][]string, len(inputs))
+	for i, in := range inputs {
+		want[i] = rs.Scan(in, 0)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i, in := range inputs {
+				if got := rs.Scan(in, 0); !reflect.DeepEqual(got, want[i]) {
+					done <- fmt.Errorf("goroutine %d input %d: %v vs %v", g, i, got, want[i])
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

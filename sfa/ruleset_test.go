@@ -2,17 +2,37 @@ package sfa
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
-func testRuleSet(t *testing.T) *RuleSet {
+// testRules is the shared fixture. The sql rule's counted gap drives its
+// D-SFA to ~10⁵ states at {1,32}; under the race detector's construction
+// overhead the gap shrinks, which keeps every test's match semantics
+// (the probe input's gap is 5 bytes) while cutting minutes of build.
+var testRules = map[string]string{
+	"cmd":  `cmd\.exe`,
+	"sql":  sqlRulePattern(),
+	"trav": `/\.\./`,
+	"nop":  `\x90{4,}`,
+}
+
+func sqlRulePattern() string {
+	if raceEnabled {
+		return `union.{1,8}select`
+	}
+	return `union.{1,32}select`
+}
+
+// testRuleSet builds (once — the sql rule's D-SFA alone has ~10⁵ states)
+// the combined fixture shared by the RuleSet tests.
+var testRuleSet = sync.OnceValues(func() (*RuleSet, error) {
+	return NewRuleSet(testRules, WithSearch(), WithFlags(FoldCase|DotAll), WithThreads(2))
+})
+
+func combinedRuleSet(t *testing.T) *RuleSet {
 	t.Helper()
-	rs, err := NewRuleSet(map[string]string{
-		"cmd":  `cmd\.exe`,
-		"sql":  `union.{1,32}select`,
-		"trav": `/\.\./`,
-		"nop":  `\x90{4,}`,
-	}, WithSearch(), WithFlags(FoldCase|DotAll), WithThreads(2))
+	rs, err := testRuleSet()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +40,7 @@ func testRuleSet(t *testing.T) *RuleSet {
 }
 
 func TestRuleSetScan(t *testing.T) {
-	rs := testRuleSet(t)
+	rs := combinedRuleSet(t)
 	if rs.Len() != 4 {
 		t.Fatalf("Len = %d", rs.Len())
 	}
@@ -35,7 +55,7 @@ func TestRuleSetScan(t *testing.T) {
 }
 
 func TestRuleSetAny(t *testing.T) {
-	rs := testRuleSet(t)
+	rs := combinedRuleSet(t)
 	if !rs.Any([]byte("payload \x90\x90\x90\x90\x90 here")) {
 		t.Error("nop sled missed")
 	}
@@ -45,14 +65,22 @@ func TestRuleSetAny(t *testing.T) {
 }
 
 func TestRuleSetNamesAndRule(t *testing.T) {
-	rs := testRuleSet(t)
+	rs := combinedRuleSet(t)
 	names := rs.Names()
 	want := []string{"cmd", "nop", "sql", "trav"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("Names = %v, want %v", names, want)
 	}
-	if _, ok := rs.Rule("sql"); !ok {
-		t.Error("Rule(sql) missing")
+	re, ok := rs.Rule("trav")
+	if !ok {
+		t.Fatal("Rule(trav) missing")
+	}
+	if !re.Match([]byte("GET /../../etc")) {
+		t.Error("Rule(trav) engine does not match")
+	}
+	re2, _ := rs.Rule("trav")
+	if re2 != re {
+		t.Error("Rule(trav) not cached")
 	}
 	if _, ok := rs.Rule("absent"); ok {
 		t.Error("Rule(absent) found")
@@ -72,6 +100,123 @@ func TestRuleSetCompileError(t *testing.T) {
 	if got := err.Error(); got == "" || !contains(got, "bad") {
 		t.Errorf("error should name the rule: %q", got)
 	}
+	if _, err := NewRuleSet(nil); err == nil {
+		t.Error("empty rule set accepted")
+	}
+	_, err = NewRuleSetFromDefs([]RuleDef{
+		{Name: "dup", Pattern: "a"},
+		{Name: "dup", Pattern: "b"},
+	})
+	if err == nil || !contains(err.Error(), "dup") {
+		t.Errorf("duplicate names accepted: %v", err)
+	}
+}
+
+// TestRuleSetShards checks the combined fixture's structure: few shards
+// covering every rule, with non-trivial stats.
+func TestRuleSetShards(t *testing.T) {
+	rs := combinedRuleSet(t)
+	if k := rs.NumShards(); k < 1 || k >= rs.Len() {
+		t.Fatalf("NumShards = %d, want 1 ≤ k < %d (combined, not isolated)", k, rs.Len())
+	}
+	covered := 0
+	for _, sh := range rs.Shards() {
+		if sh.SFAStates <= 0 || sh.DFAStates <= 0 {
+			t.Fatalf("empty shard stats: %+v", sh)
+		}
+		covered += len(sh.Rules)
+	}
+	if covered != rs.Len() {
+		t.Fatalf("shards cover %d rules, want %d", covered, rs.Len())
+	}
+}
+
+// TestRuleSetPerRuleFlags checks that RuleDef flags are honoured per
+// rule: the fold-case rule matches uppercase while its sibling stays
+// case-sensitive.
+func TestRuleSetPerRuleFlags(t *testing.T) {
+	rs, err := NewRuleSetFromDefs([]RuleDef{
+		{Name: "fold", Pattern: `attack`, Flags: FoldCase},
+		{Name: "exact", Pattern: `attack`},
+	}, WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Scan([]byte("ATTACK VECTOR"), 0)
+	if !reflect.DeepEqual(got, []string{"fold"}) {
+		t.Errorf("Scan = %v, want [fold]", got)
+	}
+	got = rs.Scan([]byte("attack vector"), 0)
+	if !reflect.DeepEqual(got, []string{"exact", "fold"}) {
+		t.Errorf("Scan = %v, want [exact fold]", got)
+	}
+}
+
+// TestRuleSetModesAgree cross-checks combined, forced-shard, and
+// isolated modes on the shared fixture patterns.
+func TestRuleSetModesAgree(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("GET /a/../b?q=UNION ALL SELECT cmd.exe"),
+		[]byte("harmless request"),
+		[]byte("payload \x90\x90\x90\x90\x90 here"),
+		[]byte("UNION/**/SELECT"),
+		[]byte("cmd.exe /../.."),
+		{},
+	}
+	base := combinedRuleSet(t)
+	for _, opts := range [][]Option{
+		{WithSearch(), WithFlags(FoldCase | DotAll), WithThreads(2), WithShards(2)},
+		{WithSearch(), WithFlags(FoldCase | DotAll), WithThreads(2), WithIsolatedRules()},
+	} {
+		rs, err := NewRuleSet(testRules, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			if got, want := rs.Scan(in, 0), base.Scan(in, 0); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s input %q: Scan = %v, want %v", rs.modeName(), in, got, want)
+			}
+			if got, want := rs.Any(in), base.Any(in); got != want {
+				t.Errorf("%s input %q: Any = %v, want %v", rs.modeName(), in, got, want)
+			}
+		}
+	}
+}
+
+// TestRuleSetCapsAndEngineFallback pins the pre-combined contracts: a
+// WithSFACap too small for a rule fails NewRuleSet fast (the combined
+// path must not fall back to an unbounded build), and a non-SFA engine
+// choice keeps the per-rule architecture it implies.
+func TestRuleSetCapsAndEngineFallback(t *testing.T) {
+	defs := []RuleDef{{Name: "big", Pattern: `[0-4]{9}[5-9]{9}`}, {Name: "small", Pattern: `ab+`}}
+	if _, err := NewRuleSetFromDefs(defs, WithSFACap(8)); err == nil {
+		t.Error("WithSFACap(8) did not fail the combined compile")
+	}
+	if _, err := NewRuleSetFromDefs(defs, WithDFACap(3)); err == nil {
+		t.Error("WithDFACap(3) did not fail the combined compile")
+	}
+	rs, err := NewRuleSetFromDefs(defs, WithEngine(EngineLazySFA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumShards() != len(defs) {
+		t.Errorf("EngineLazySFA rule set has %d shards, want isolated %d", rs.NumShards(), len(defs))
+	}
+	re, ok := rs.Rule("small")
+	if !ok || !contains(re.EngineName(), "lazy") {
+		t.Errorf("Rule(small) engine = %q, want a lazy engine", re.EngineName())
+	}
+	if got := rs.Scan([]byte("abb"), 0); len(got) != 1 || got[0] != "small" {
+		t.Errorf("Scan = %v, want [small]", got)
+	}
+}
+
+// modeName identifies a RuleSet's architecture in test output.
+func (rs *RuleSet) modeName() string {
+	if rs.isolated != nil {
+		return "isolated"
+	}
+	return "combined"
 }
 
 func contains(s, sub string) bool {

@@ -89,6 +89,23 @@ type config struct {
 	dfaCap  int
 	sfaCap  int
 	lazyMax int
+
+	// RuleSet-only knobs (ignored by Compile).
+	isolatedRules bool
+	shards        int
+	shardBudget   int
+}
+
+// buildConfig folds the options and resolves defaults.
+func buildConfig(opts []Option) config {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.threads <= 0 {
+		cfg.threads = runtime.GOMAXPROCS(0)
+	}
+	return cfg
 }
 
 // Option configures Compile.
@@ -128,6 +145,24 @@ func WithSFACap(n int) Option { return func(c *config) { c.sfaCap = n } }
 // faster and allocation-free in steady state.
 func WithSpawnPerMatch() Option { return func(c *config) { c.spawn = true } }
 
+// WithIsolatedRules makes NewRuleSet compile one independent engine per
+// rule and scan with N full passes per input — the pre-combined
+// architecture, kept as the oracle the combined automaton is
+// cross-checked against. Compile ignores this option.
+func WithIsolatedRules() Option { return func(c *config) { c.isolatedRules = true } }
+
+// WithShards makes NewRuleSet plan exactly k combined shards up front
+// instead of starting from one combined automaton (blow-up splitting may
+// still raise the count). 0 — the default — plans automatically. Compile
+// ignores this option.
+func WithShards(k int) Option { return func(c *config) { c.shards = k } }
+
+// WithShardStateBudget bounds each combined shard's D-SFA state count;
+// a shard that would exceed it is split and its rules spread greedily by
+// estimated automaton size. 0 uses the default budget (32 768 states,
+// the u16-layout ceiling). Compile ignores this option.
+func WithShardStateBudget(n int) Option { return func(c *config) { c.shardBudget = n } }
+
 // Regexp is a compiled pattern. It is safe for concurrent use.
 type Regexp struct {
 	pattern string
@@ -143,13 +178,7 @@ type Regexp struct {
 
 // Compile builds a Regexp with the paper's pipeline.
 func Compile(pattern string, opts ...Option) (*Regexp, error) {
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.threads <= 0 {
-		cfg.threads = runtime.GOMAXPROCS(0)
-	}
+	cfg := buildConfig(opts)
 
 	var sflags syntax.Flags
 	if cfg.flags&FoldCase != 0 {
@@ -163,7 +192,7 @@ func Compile(pattern string, opts ...Option) (*Regexp, error) {
 		return nil, err
 	}
 	if cfg.search {
-		node = bracketForSearch(node)
+		node = syntax.BracketForSearch(node)
 	}
 
 	re := &Regexp{pattern: pattern, cfg: cfg, node: node}
@@ -229,25 +258,6 @@ func MustCompile(pattern string, opts ...Option) *Regexp {
 		panic(err)
 	}
 	return re
-}
-
-// bracketForSearch rewrites e into (?s).* e (?s).*, honouring anchors.
-func bracketForSearch(node *syntax.Node) *syntax.Node {
-	stripped, begin, end := syntax.StripAnchors(node)
-	dotStar := func() *syntax.Node {
-		return &syntax.Node{Op: syntax.OpStar, Sub: []*syntax.Node{
-			{Op: syntax.OpClass, Set: syntax.AnyByte()},
-		}}
-	}
-	subs := []*syntax.Node{}
-	if !begin {
-		subs = append(subs, dotStar())
-	}
-	subs = append(subs, stripped)
-	if !end {
-		subs = append(subs, dotStar())
-	}
-	return syntax.Simplify(&syntax.Node{Op: syntax.OpConcat, Sub: subs})
 }
 
 // Match reports whether the pattern matches data — whole-input acceptance
