@@ -1,13 +1,14 @@
 # CI entry points. `make ci` is the gate: vet + build + race tests +
-# a fuzz smoke run + a short benchmark smoke run proving the hot path
-# still reports 0 allocs/op. `make bench-json` captures the benchmark
-# trajectory snapshot (BENCH_2.json) that CI uploads as an artifact and
-# gates on.
+# a fuzz smoke run + the sfaserve serving smoke (server boot, rule load,
+# hot reload under concurrent streamed scans) + a short benchmark smoke
+# run proving the hot paths still report 0 allocs/op. `make bench-json`
+# captures the benchmark trajectory snapshot (BENCH_3.json) that CI
+# uploads as an artifact and gates on.
 
 GO ?= go
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 
-.PHONY: build vet test race fuzz-smoke bench-smoke bench-json ci
+.PHONY: build vet test race fuzz-smoke serve-smoke bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -26,17 +27,26 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./sfa
 
+# Serving subsystem smoke: boot the real sfaserve loop, load rules over
+# HTTP, hot-reload under concurrent streamed scans, assert shard reuse —
+# all under -race.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestServeEndToEnd|TestRuleboardConcurrentScansAndReloads' ./cmd/sfaserve ./internal/serve
+
 # Keep the smoke run small: 1 MiB inputs, 2 iterations per benchmark.
+# 'Hotpath' also selects the StreamHotpath carried-mapping writes.
 bench-smoke:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_' -benchtime 2x .
 
 # Benchmark-trajectory snapshot: hot path + layouts + the multi-pattern
-# RuleSet engines, emitted as name → {ns/op, MB/s, allocs/op}. benchjson
-# doubles as the allocation gate: the pooled hot path must stay at
-# 0 allocs/op.
+# RuleSet engines + the streaming writes, emitted as name → {ns/op, MB/s,
+# allocs/op}. benchjson doubles as the allocation gate: the pooled match
+# hot path and the streaming chunk hot path must stay at 0 allocs/op,
+# each armed by its own pattern.
 bench-json:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_|RuleSet_' -benchtime 2x -benchmem . > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) -zero-alloc 'Hotpath.*Pooled'
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) \
+		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
 
-ci: vet build race fuzz-smoke bench-smoke
+ci: vet build race fuzz-smoke serve-smoke bench-smoke

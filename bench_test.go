@@ -479,3 +479,73 @@ func BenchmarkAblation_Chunking_p16(b *testing.B) {
 	f := rnFixture(b, 5)
 	benchMatcher(b, engine.NewSFAParallel(f.s, 16, engine.ReduceSequential), f.text, true)
 }
+
+// --- Streaming hot path: carried-mapping writes (ISSUE 3) ---
+//
+// The serving subsystem's per-chunk cost: RuleStream.Write advances one
+// |D|-sized mapping per shard (pooled parallel scan + ⊙-fold) and Mask
+// extracts the verdict into a caller buffer. Both must stay at
+// 0 allocs/op — benchjson gates the StreamHotpath benchmarks exactly
+// like the pooled Match hot path.
+
+func BenchmarkStreamHotpath_RuleSetWrite64KB_p1(b *testing.B) {
+	f := rulesetFixture(b, "combined")
+	st, err := f.rs.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := f.text[:64<<10]
+	dst := make([]uint64, f.rs.MaskWords())
+	st.Write(chunk) // warm the engine contexts
+	st.Mask(dst)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Write(chunk)
+		st.Mask(dst)
+	}
+}
+
+func BenchmarkStreamHotpath_RuleSetWrite64KB_p4(b *testing.B) {
+	f := rulesetFixture(b, "combined-p4", sfa.WithThreads(4))
+	st, err := f.rs.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := f.text[:64<<10]
+	dst := make([]uint64, f.rs.MaskWords())
+	st.Write(chunk)
+	st.Mask(dst)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Write(chunk)
+		st.Mask(dst)
+	}
+}
+
+func BenchmarkStreamHotpath_SingleWrite64KB_p4(b *testing.B) {
+	re, err := sfa.Compile("(([02468][13579]){5})*", sfa.WithThreads(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := re.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := textgen.EvenOddText(64<<10, 1)
+	st.Write(chunk)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !st.Accepted() {
+		b.Fatal("streamed input rejected")
+	}
+}

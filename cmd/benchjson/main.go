@@ -6,11 +6,15 @@
 // It is also the CI allocation gate: with -zero-alloc REGEX every
 // benchmark whose name matches must report 0 allocs/op, and at least one
 // must match (so a renamed benchmark cannot silently disarm the gate).
+// -zero-alloc repeats: each pattern is armed independently, so adding a
+// gated hot path (e.g. the streaming writes) cannot be lost to a rename
+// that still satisfies some other pattern.
 //
 // Usage:
 //
 //	go test -run '^$' -bench Hotpath -benchmem . > bench.out
-//	benchjson -in bench.out -out BENCH_2.json -zero-alloc 'Hotpath.*Pooled'
+//	benchjson -in bench.out -out BENCH_3.json \
+//	  -zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
 package main
 
 import (
@@ -49,7 +53,8 @@ type Snapshot struct {
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON snapshot file (default stdout)")
-	zeroAlloc := flag.String("zero-alloc", "", "regexp of benchmarks that must report 0 allocs/op")
+	var zeroAlloc multiFlag
+	flag.Var(&zeroAlloc, "zero-alloc", "regexp of benchmarks that must report 0 allocs/op (repeatable)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -70,8 +75,8 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found"))
 	}
 
-	if *zeroAlloc != "" {
-		if err := gateZeroAlloc(snap, *zeroAlloc); err != nil {
+	for _, pattern := range zeroAlloc {
+		if err := gateZeroAlloc(snap, pattern); err != nil {
 			fatal(err)
 		}
 	}
@@ -170,6 +175,19 @@ func gateZeroAlloc(snap *Snapshot, pattern string) error {
 		return fmt.Errorf("allocation regression on the pooled hot path:\n  %s", strings.Join(bad, "\n  "))
 	}
 	fmt.Printf("benchjson: zero-alloc gate passed (%d benchmarks)\n", matched)
+	return nil
+}
+
+// multiFlag collects repeated flag occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty pattern")
+	}
+	*m = append(*m, v)
 	return nil
 }
 

@@ -3,10 +3,19 @@
 // substring-search semantics like grep; -whole switches to the paper's
 // whole-input acceptance.
 //
+// Input is scanned in streamed chunks through the SFA's carried-mapping
+// protocol (sfa.Stream / sfa.RuleStream), so arbitrarily large files and
+// unbounded stdin pipes match in constant memory; only the non-streaming
+// engines (-engine lazy|dfa|spec|nfa) fall back to buffering the input.
+//
 // With -f the pattern argument is replaced by a rules file — one rule
 // per line, `name pattern` or bare `pattern`, # comments — compiled into
 // a combined multi-pattern D-SFA (sharded on state-budget blow-up) and
 // scanned in one pooled pass per shard; matching rule names are printed.
+// Patterns written /…/i, /…/s, or /…/is carry per-rule flags (the SNORT
+// pcre convention, shared with sfaserve's tenant endpoints); a *literal*
+// pattern of that exact shape must be written as (?:/…/s) to suppress
+// the flag reading.
 //
 // Usage:
 //
@@ -15,16 +24,27 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
+	"repro/internal/serve"
 	"repro/sfa"
 )
+
+// chunkSize is the streaming read granularity: large enough to engage
+// the engines' parallel chunk path, small enough to keep memory flat.
+const chunkSize = 256 << 10
+
+// streamInto copies r into the stream in chunkSize chunks. The src is
+// wrapped to hide *os.File's WriterTo, which io.CopyBuffer would
+// otherwise prefer — streaming at its own smaller granularity and never
+// touching the tuned buffer.
+func streamInto(w io.Writer, r io.Reader) (int64, error) {
+	return io.CopyBuffer(w, struct{ io.Reader }{r}, make([]byte, chunkSize))
+}
 
 func main() {
 	engine := flag.String("engine", "sfa", "engine: sfa, lazy, dfa, spec, nfa")
@@ -47,16 +67,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	var data []byte
-	var err error
+	input := io.Reader(os.Stdin)
 	if flag.NArg() == wantArgs+1 {
-		data, err = os.ReadFile(flag.Arg(wantArgs))
-	} else {
-		data, err = io.ReadAll(os.Stdin)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
-		os.Exit(1)
+		f, err := os.Open(flag.Arg(wantArgs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		input = f
 	}
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
@@ -81,7 +100,7 @@ func main() {
 	opts = append(opts, sfa.WithEngine(eng))
 
 	if *rulesFile != "" {
-		scanRules(*rulesFile, data, opts, *isolated, *shards, *stats)
+		scanRules(*rulesFile, input, opts, *isolated, *shards, *stats)
 		return
 	}
 	pattern := flag.Arg(0)
@@ -92,8 +111,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	var matched bool
+	var n int64
 	start := time.Now()
-	matched := re.Match(data)
+	if st, serr := re.NewStream(); serr == nil {
+		// The default path: chunked streaming, constant memory.
+		if n, err = streamInto(st, input); err != nil {
+			fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+			os.Exit(1)
+		}
+		matched = st.Accepted()
+	} else {
+		// Engines without a carried-mapping protocol buffer the input.
+		data, rerr := io.ReadAll(input)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "sfagrep: %v\n", rerr)
+			os.Exit(1)
+		}
+		n = int64(len(data))
+		matched = re.Match(data)
+	}
 	elapsed := time.Since(start)
 
 	if *stats {
@@ -101,7 +138,7 @@ func main() {
 		fmt.Printf("engine=%s |N|=%d |D|=%d |Sd|=%d classes=%d\n",
 			re.EngineName(), s.NFAStates, s.DFALive, s.SFALive, s.Classes)
 		fmt.Printf("%d bytes in %v (%.3f GB/s)\n",
-			len(data), elapsed, float64(len(data))/elapsed.Seconds()/1e9)
+			n, elapsed, float64(n)/elapsed.Seconds()/1e9)
 	}
 	if matched {
 		fmt.Println("match")
@@ -129,10 +166,17 @@ func parseEngine(name string) (sfa.Engine, error) {
 }
 
 // scanRules is the -f mode: compile the rules file into a RuleSet and
-// report every matching rule. opts carries the shared flags, including
-// the engine choice (non-SFA engines select per-rule matching).
-func scanRules(path string, data []byte, opts []sfa.Option, isolated bool, shards int, stats bool) {
-	defs, err := loadRules(path)
+// report every matching rule, consuming the input in streamed chunks.
+// opts carries the shared flags, including the engine choice (non-SFA
+// engines select per-rule matching and buffer the input instead).
+func scanRules(path string, input io.Reader, opts []sfa.Option, isolated bool, shards int, stats bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+		os.Exit(1)
+	}
+	defs, err := serve.ParseRules(f)
+	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
 		os.Exit(1)
@@ -153,8 +197,24 @@ func scanRules(path string, data []byte, opts []sfa.Option, isolated bool, shard
 	}
 	build := time.Since(buildStart)
 
+	var hits []string
+	var n int64
 	start := time.Now()
-	hits := rs.Scan(data, 0)
+	if st, serr := rs.NewStream(); serr == nil {
+		if n, err = streamInto(st, input); err != nil {
+			fmt.Fprintf(os.Stderr, "sfagrep: %v\n", err)
+			os.Exit(1)
+		}
+		hits = st.Matches()
+	} else {
+		data, rerr := io.ReadAll(input)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "sfagrep: %v\n", rerr)
+			os.Exit(1)
+		}
+		n = int64(len(data))
+		hits = rs.Scan(data, 0)
+	}
 	elapsed := time.Since(start)
 
 	if stats {
@@ -164,7 +224,7 @@ func scanRules(path string, data []byte, opts []sfa.Option, isolated bool, shard
 				i, sh.DFAStates, sh.SFAStates, sh.Layout, sh.TableBytes>>10, len(sh.Rules))
 		}
 		fmt.Printf("%d bytes in %v (%.3f GB/s)\n",
-			len(data), elapsed, float64(len(data))/elapsed.Seconds()/1e9)
+			n, elapsed, float64(n)/elapsed.Seconds()/1e9)
 	}
 	for _, name := range hits {
 		fmt.Println(name)
@@ -172,37 +232,4 @@ func scanRules(path string, data []byte, opts []sfa.Option, isolated bool, shard
 	if len(hits) == 0 {
 		os.Exit(1)
 	}
-}
-
-// loadRules parses a rules file: one rule per line, `name pattern` or a
-// bare pattern (auto-named rNNN by line); blank lines and # comments are
-// skipped.
-func loadRules(path string) ([]sfa.RuleDef, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-
-	var defs []sfa.RuleDef
-	sc := bufio.NewScanner(f)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		name, pattern, ok := strings.Cut(line, " ")
-		if !ok || strings.ContainsAny(name, `\[(.?*+{^$|`) {
-			// No separator, or the "name" looks like regex syntax: the
-			// whole line is the pattern.
-			name, pattern = fmt.Sprintf("r%03d", lineno), line
-		}
-		defs = append(defs, sfa.RuleDef{Name: name, Pattern: strings.TrimSpace(pattern)})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return defs, nil
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/sfa"
+)
+
+// TestServeSmoke boots the real server binary's serve loop on a free
+// port, preloads a tenant from a rules file, scans, hot-reloads under a
+// concurrent scan, and deletes — the `make serve-smoke` CI gate.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte("passwd /etc/passwd\ncmd (cmd|command)\\.exe\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run("127.0.0.1:0", []string{"ids=" + rules}, []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string, want int) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body := readAll(t, resp)
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: %d (want %d): %s", path, resp.StatusCode, want, body)
+		}
+		return body
+	}
+
+	get("/healthz", http.StatusOK)
+
+	// Preloaded tenant answers scans.
+	scan := func(tenant, body string) []string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/tenants/"+tenant+"/scan", "application/octet-stream", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan status %d", resp.StatusCode)
+		}
+		var reply struct {
+			Matches []string `json:"matches"`
+		}
+		if err := json.Unmarshal([]byte(readAll(t, resp)), &reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Matches
+	}
+	if got := scan("ids", "GET /etc/passwd HTTP/1.1"); len(got) != 1 || got[0] != "passwd" {
+		t.Fatalf("scan verdict %v", got)
+	}
+
+	// Hot reload over HTTP while a scan loop runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			scan("ids", "nothing here")
+		}
+	}()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/tenants/ids",
+		strings.NewReader("passwd /etc/passwd\ncmd (cmd|command)\\.exe\nnew xp_cmdshell\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	resp.Body.Close()
+	<-done
+	if got := scan("ids", "EXEC xp_cmdshell 'dir'"); len(got) != 1 || got[0] != "new" {
+		t.Fatalf("post-reload verdict %v", got)
+	}
+
+	// Lifecycle.
+	req, _ = http.NewRequest(http.MethodDelete, base+"/v1/tenants/ids", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v / %v", err, resp)
+	}
+	get("/v1/tenants/ids", http.StatusNotFound)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

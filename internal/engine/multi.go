@@ -28,6 +28,7 @@ type MultiSFA struct {
 	tab     tables
 	spawn   bool
 	pool    *Pool
+	id      uint64    // process-unique build id (see BuildID)
 	ctxs    sync.Pool // of *multiCtx
 }
 
@@ -52,6 +53,7 @@ func NewMultiSFA(s *core.DSFA, masks []uint64, words, threads int, opts ...Optio
 		layout:  resolveLayout(o.layout, s.NumStates),
 		spawn:   o.spawn,
 		pool:    o.pool,
+		id:      buildSeq.Add(1),
 	}
 	switch m.layout {
 	case LayoutU8:
@@ -116,19 +118,7 @@ func (m *MultiSFA) run(text []byte) int32 {
 	}
 	c := m.ctxs.Get().(*multiCtx)
 	c.text = text
-	if m.spawn {
-		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c.runChunk(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		m.pool.Run(c, &c.job, p)
-	}
+	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
 	q := m.finalState(c.locals)
 	c.text = nil
 	m.ctxs.Put(c)

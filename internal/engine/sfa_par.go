@@ -100,21 +100,7 @@ func (m *SFAParallel) Match(text []byte) bool {
 	}
 	c := m.ctxs.Get().(*sfaCtx)
 	c.text = text
-	if m.spawn {
-		// Seed semantics: thread creation is part of the call, as in the
-		// paper's Fig. 10 measurement.
-		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c.runChunk(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		m.pool.Run(c, &c.job, p)
-	}
+	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
 	ok := m.reduce(c.locals, &c.ar)
 	c.text = nil
 	m.ctxs.Put(c)

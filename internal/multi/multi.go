@@ -168,5 +168,7 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	for i, b := range builds {
 		shards[i] = b.sh
 	}
-	return newSet(shards, len(nodes)), nil
+	s := newSet(shards, len(nodes))
+	s.planShards = len(shards)
+	return s, nil
 }

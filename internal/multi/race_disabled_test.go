@@ -1,0 +1,5 @@
+//go:build !race
+
+package multi
+
+const raceEnabled = false

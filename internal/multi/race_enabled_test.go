@@ -1,0 +1,7 @@
+//go:build race
+
+package multi
+
+// raceEnabled gates allocation assertions, which are meaningless under
+// the race detector.
+const raceEnabled = true

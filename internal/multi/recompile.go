@@ -1,0 +1,163 @@
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfa"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
+)
+
+// Hot reload without full recompilation. Combined-set construction is the
+// expensive step of the pipeline (ROADMAP: tens of seconds for large
+// search-bracketed sets), so a serving rule update must not pay it again
+// for rules that did not change. A shard's automaton depends only on the
+// multiset of (pattern, flags) it covers — not on rule names or global
+// indices, which live in the shard's rules[] translation table — so a
+// reload can carry a shard over verbatim whenever that multiset survives
+// in the new rule list, remapping only the translation table.
+
+// Consolidation margin: an incremental Recompile may leave at most
+// consolidateFactor × (last full plan's shard count) + consolidateSlack
+// shards before a full replan is forced.
+const (
+	consolidateFactor = 2
+	consolidateSlack  = 4
+)
+
+// ReuseStats reports what Recompile carried over versus built.
+type ReuseStats struct {
+	Reused  int // shards carried over with their automata intact
+	Rebuilt int // shards built from scratch for new/changed rules
+}
+
+// Recompile builds a Set for nodes like Compile, reusing every shard of
+// prev whose rule membership is unchanged. keys[i] is an opaque identity
+// string for rule i — equal keys must guarantee identical compiled
+// automata (pattern source plus every semantics-affecting flag);
+// prevKeys[i] likewise identifies prev's rule i. prev may be nil, which
+// degenerates to a full Compile.
+//
+// Reused shards keep their engine (and its BuildID) by pointer; only
+// their local-bit → global-rule-index translation is rewritten. Rules not
+// covered by a reusable shard — added rules, edited rules, and former
+// shard-mates of removed rules — go through the ordinary plan/build/merge
+// pipeline among themselves. Options must match the ones prev was built
+// with for the reuse to be sound; ForceShards forces a full rebuild since
+// a forced shard count is a property of the whole plan.
+func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string, o Options) (*Set, ReuseStats, error) {
+	if len(keys) != len(nodes) {
+		return nil, ReuseStats{}, fmt.Errorf("multi: %d keys for %d rules", len(keys), len(nodes))
+	}
+	if prev == nil || o.ForceShards > 0 {
+		set, err := Compile(nodes, o)
+		if err != nil {
+			return nil, ReuseStats{}, err
+		}
+		return set, ReuseStats{Rebuilt: set.NumShards()}, nil
+	}
+	if len(prevKeys) != prev.rules {
+		return nil, ReuseStats{}, fmt.Errorf("multi: %d prev keys for %d prev rules", len(prevKeys), prev.rules)
+	}
+	o = o.withDefaults()
+
+	// Multiset of new rules per key, consumed front-to-back so duplicate
+	// patterns pair up deterministically.
+	newByKey := make(map[string][]int, len(keys))
+	for i, k := range keys {
+		newByKey[k] = append(newByKey[k], i)
+	}
+
+	var stats ReuseStats
+	taken := make([]bool, len(nodes))
+	var shards []*shard
+	for _, sh := range prev.shards {
+		// Feasibility first: every rule of the shard must still exist,
+		// counting multiplicity, before anything is consumed.
+		need := make(map[string]int, len(sh.rules))
+		ok := true
+		for _, r := range sh.rules {
+			k := prevKeys[r]
+			need[k]++
+			if need[k] > len(newByKey[k]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Carry the engine over; local mask bit i keeps meaning "rule i
+		// of this shard", only its global index changes.
+		rules := make([]int, len(sh.rules))
+		for i, r := range sh.rules {
+			k := prevKeys[r]
+			rules[i] = newByKey[k][0]
+			taken[rules[i]] = true
+			newByKey[k] = newByKey[k][1:]
+		}
+		shards = append(shards, &shard{m: sh.m, rules: rules})
+		stats.Reused++
+	}
+
+	// Everything not claimed by a reused shard goes through the ordinary
+	// pipeline, planned and merged among itself only — merging into a
+	// reused shard would rebuild exactly what reuse avoided.
+	var fresh []planRule
+	for i, node := range nodes {
+		if taken[i] {
+			continue
+		}
+		a, err := nfa.Glushkov(node)
+		if err != nil {
+			return nil, ReuseStats{}, fmt.Errorf("multi: rule %d: %w", i, err)
+		}
+		d, err := dfa.Determinize(a, o.PerRuleDFACap)
+		if err != nil {
+			return nil, ReuseStats{}, fmt.Errorf("multi: rule %d: %w", i, err)
+		}
+		m := dfa.Minimize(d)
+		est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
+		fresh = append(fresh, planRule{idx: i, d: m, est: est, sfa: s})
+	}
+	if len(fresh) > 0 {
+		var builds []*shardBuild
+		for _, bin := range plan(fresh, o) {
+			built, err := buildShards(bin, o)
+			if err != nil {
+				return nil, ReuseStats{}, err
+			}
+			builds = append(builds, built...)
+		}
+		if len(builds) > 1 {
+			var err error
+			builds, err = mergeShards(builds, o)
+			if err != nil {
+				return nil, ReuseStats{}, err
+			}
+		}
+		for _, b := range builds {
+			shards = append(shards, b.sh)
+		}
+		stats.Rebuilt = len(builds)
+	}
+	// Incremental reloads only ever add shards (fresh rules are planned
+	// among themselves), so a long-lived set reloaded one rule at a time
+	// would accrete one shard per reload — and every scan pays one pass
+	// per shard. Bound the drift: once the count outgrows the last full
+	// plan by the consolidation margin, pay for one full replan (which
+	// re-merges everything and resets the baseline). Amortized, a full
+	// rebuild happens at most once per ~doubling of the shard count.
+	if len(shards) > consolidateFactor*prev.planShards+consolidateSlack {
+		set, err := Compile(nodes, o)
+		if err != nil {
+			return nil, ReuseStats{}, err
+		}
+		return set, ReuseStats{Rebuilt: set.NumShards()}, nil
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
+	s := newSet(shards, len(nodes))
+	s.planShards = prev.planShards
+	return s, stats, nil
+}

@@ -1,0 +1,278 @@
+package multi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keysFor gives each pattern its own identity key (the sfa layer derives
+// these from pattern + flags; here the pattern string suffices).
+func keysFor(patterns []string) []string {
+	keys := make([]string, len(patterns))
+	copy(keys, patterns)
+	return keys
+}
+
+// buildIDs returns the per-shard construction ids keyed by the sorted
+// rule-index list, so reuse can be asserted across index remapping.
+func buildIDs(s *Set) map[string]uint64 {
+	out := make(map[string]uint64, s.NumShards())
+	for _, info := range s.Shards() {
+		out[fmt.Sprint(info.Rules)] = info.BuildID
+	}
+	return out
+}
+
+func TestRecompileNoChangeReusesEverything(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	keys := keysFor(testPatterns)
+	prev, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, stats, err := Recompile(nodes, keys, prev, keys, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rebuilt != 0 || stats.Reused != prev.NumShards() {
+		t.Fatalf("identical reload: stats %+v, want %d reused / 0 rebuilt", stats, prev.NumShards())
+	}
+	if got, want := buildIDs(next), buildIDs(prev); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("identical reload changed shard build ids: %v vs %v", got, want)
+	}
+	checkAgainstOracle(t, next, oracleDFAs(t, testPatterns), testInputs())
+}
+
+func TestRecompileAddRemoveEdit(t *testing.T) {
+	base := testPatterns
+	nodes := parseAll(t, base)
+	keys := keysFor(base)
+	// Small budget so the set splits into several shards and reuse is
+	// observable per shard.
+	o := Options{Threads: 1, SFABudget: 64}
+	prev, err := Compile(nodes, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.NumShards() < 2 {
+		t.Fatalf("fixture degenerated to %d shard(s)", prev.NumShards())
+	}
+	prevIDs := map[uint64]bool{}
+	for _, info := range prev.Shards() {
+		prevIDs[info.BuildID] = true
+	}
+
+	// One rule edited, one removed, one added; the rest must keep their
+	// automata whenever their shard membership survives.
+	edited := append([]string(nil), base...)
+	edited[1] = `a[ab]*ba`              // edit
+	edited = edited[:len(edited)-1]     // remove x*y*z*
+	edited = append(edited, `(cd|dc)+`) // add
+	newNodes := parseAll(t, edited)
+	newKeys := keysFor(edited)
+
+	next, stats, err := Recompile(newNodes, newKeys, prev, keys, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused == 0 {
+		t.Fatalf("no shard reused across an incremental reload: %+v", stats)
+	}
+	if stats.Rebuilt == 0 {
+		t.Fatalf("edited rules produced no rebuilt shard: %+v", stats)
+	}
+	reused, rebuilt := 0, 0
+	for _, info := range next.Shards() {
+		if prevIDs[info.BuildID] {
+			reused++
+		} else {
+			rebuilt++
+		}
+	}
+	if reused != stats.Reused || rebuilt != stats.Rebuilt {
+		t.Fatalf("build ids say %d reused / %d rebuilt, stats say %+v", reused, rebuilt, stats)
+	}
+	checkAgainstOracle(t, next, oracleDFAs(t, edited), testInputs())
+}
+
+func TestRecompileFromNilIsFullCompile(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	keys := keysFor(testPatterns)
+	set, stats, err := Recompile(nodes, keys, nil, nil, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 || stats.Rebuilt != set.NumShards() {
+		t.Fatalf("nil prev: stats %+v", stats)
+	}
+	checkAgainstOracle(t, set, oracleDFAs(t, testPatterns), testInputs())
+}
+
+func TestRecompileDuplicatePatterns(t *testing.T) {
+	// Two rules sharing one pattern: keys collide, multiplicity must be
+	// respected — each prev instance claims exactly one new instance.
+	patterns := []string{`(ab)*`, `(ab)*`, `a+`}
+	nodes := parseAll(t, patterns)
+	keys := keysFor(patterns)
+	prev, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one duplicate: the surviving instance must still pair up.
+	shrunk := []string{`(ab)*`, `a+`}
+	next, _, err := Recompile(parseAll(t, shrunk), keysFor(shrunk), prev, keys, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, next, oracleDFAs(t, shrunk), testInputs())
+}
+
+func TestRecompileForceShardsRebuildsAll(t *testing.T) {
+	nodes := parseAll(t, testPatterns)
+	keys := keysFor(testPatterns)
+	prev, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, stats, err := Recompile(nodes, keys, prev, keys, Options{Threads: 1, ForceShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 {
+		t.Fatalf("forced shard count must rebuild the whole plan: %+v", stats)
+	}
+	checkAgainstOracle(t, next, oracleDFAs(t, testPatterns), testInputs())
+}
+
+// TestSetStreamAgreesWithScan: the streamed mask after any chunking must
+// equal the one-shot Scan mask, for single- and multi-shard sets.
+func TestSetStreamAgreesWithScan(t *testing.T) {
+	for _, forced := range []int{0, 3} {
+		s, err := Compile(parseAll(t, testPatterns), Options{Threads: 2, ForceShards: forced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]uint64, s.Words())
+		got := make([]uint64, s.Words())
+		for _, in := range testInputs() {
+			want := append([]uint64(nil), s.Scan(in, 0, dst)...)
+			for _, split := range []int{1, 2, 5} {
+				st := s.NewStream()
+				for off := 0; off < len(in); off += split {
+					end := min(off+split, len(in))
+					st.Write(in[off:end])
+				}
+				if mask := st.Mask(got); fmt.Sprint(mask) != fmt.Sprint(want) {
+					t.Fatalf("shards=%d input %q split=%d: streamed %v, one-shot %v",
+						s.NumShards(), in, split, mask, want)
+				}
+				if st.Bytes() != int64(len(in)) {
+					t.Fatalf("Bytes = %d, want %d", st.Bytes(), len(in))
+				}
+			}
+		}
+	}
+}
+
+func TestSetStreamComposeAndReset(t *testing.T) {
+	s, err := Compile(parseAll(t, testPatterns), Options{Threads: 1, ForceShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("abababab")
+	want := fmt.Sprint(s.Scan(in, 0, make([]uint64, s.Words())))
+
+	a, b := s.NewStream(), s.NewStream()
+	b.Write(in[3:]) // segments scanned out of order
+	a.Write(in[:3])
+	if err := a.Compose(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(a.Mask(make([]uint64, s.Words()))); got != want {
+		t.Fatalf("composed mask %s, want %s", got, want)
+	}
+	if a.Bytes() != int64(len(in)) {
+		t.Fatalf("composed Bytes = %d", a.Bytes())
+	}
+
+	a.Reset()
+	if a.Bytes() != 0 {
+		t.Fatal("Reset did not rewind byte count")
+	}
+	empty := fmt.Sprint(s.Scan(nil, 0, make([]uint64, s.Words())))
+	if got := fmt.Sprint(a.Mask(make([]uint64, s.Words()))); got != empty {
+		t.Fatalf("reset stream mask %s, want empty-input mask %s", got, empty)
+	}
+
+	other, err := Compile(parseAll(t, testPatterns), Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Compose(other.NewStream()); err == nil {
+		t.Fatal("cross-set compose should fail")
+	}
+}
+
+// TestScanSequentialZeroAlloc guards the workers=1 form RuleSet.MatchMask
+// rides: multi-shard sets must scan with no per-call heap allocation.
+func TestScanSequentialZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	s, err := Compile(parseAll(t, testPatterns), Options{Threads: 2, ForceShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() < 2 {
+		t.Fatalf("fixture degenerated to %d shard(s)", s.NumShards())
+	}
+	data := []byte("abababab0156xyzz")
+	dst := make([]uint64, s.Words())
+	for i := 0; i < 10; i++ {
+		s.Scan(data, 1, dst)
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.Scan(data, 1, dst) }); avg >= 0.5 {
+		t.Errorf("sequential Scan allocates %.2f allocs/op", avg)
+	}
+}
+
+// TestRecompileConsolidatesShardDrift: reloading one added rule at a
+// time must not accrete one shard per reload forever — once the count
+// outgrows the last full plan's by the consolidation margin, Recompile
+// pays for a full replan and the shard count collapses back.
+func TestRecompileConsolidatesShardDrift(t *testing.T) {
+	patterns := []string{`(ab)*`}
+	o := Options{Threads: 1}
+	set, err := Compile(parseAll(t, patterns), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumShards() != 1 {
+		t.Fatalf("base fixture: %d shards", set.NumShards())
+	}
+	consolidated := false
+	maxSeen := 0
+	for i := 0; i < 12; i++ {
+		patterns = append(patterns, fmt.Sprintf(`x{%d}y`, i+1))
+		nodes := parseAll(t, patterns)
+		next, stats, err := Recompile(nodes, keysFor(patterns), set, keysFor(patterns[:len(patterns)-1]), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := next.NumShards(); n > maxSeen {
+			maxSeen = n
+		}
+		if stats.Reused == 0 && set.NumShards() > 1 {
+			consolidated = true
+		}
+		set = next
+	}
+	// Margin for a 1-shard full plan: 2·1+4 = 6.
+	if maxSeen > 2*1+4+1 {
+		t.Fatalf("shard drift unbounded: reached %d shards", maxSeen)
+	}
+	if !consolidated {
+		t.Fatal("12 single-rule reloads never triggered a consolidation replan")
+	}
+	checkAgainstOracle(t, set, oracleDFAs(t, patterns), testInputs())
+}

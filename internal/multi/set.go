@@ -22,7 +22,11 @@ type Set struct {
 	shards []*shard
 	rules  int
 	words  int // global mask words, maskWords(rules)
-	ctxs   sync.Pool
+	// planShards is the shard count the last *full* plan produced —
+	// Recompile's consolidation baseline: incremental reloads may only
+	// grow the count so far past it before a full replan is forced.
+	planShards int
+	ctxs       sync.Pool
 }
 
 func newSet(shards []*shard, rules int) *Set {
@@ -57,16 +61,20 @@ func (s *Set) Words() int { return s.words }
 // the global bitmask — bit r set iff rule r matches — into dst, which
 // must have Words() capacity; dst[:Words()] is returned. Shards run
 // concurrently, up to `workers` at a time (0 = all); each shard's pass
-// is itself chunk-parallel on the engine pool.
+// is itself chunk-parallel on the engine pool. workers = 1 scans the
+// shards sequentially on the calling goroutine — the zero-allocation
+// form, since the concurrent fan-out spawns one goroutine per worker
+// per call.
 func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 	dst = dst[:s.words]
 	for i := range dst {
 		dst[i] = 0
 	}
-	if len(s.shards) == 1 {
-		sh := s.shards[0]
+	if len(s.shards) == 1 || workers == 1 {
 		c := s.ctxs.Get().(*scanCtx)
-		sh.merge(dst, sh.m.MatchMask(data, c.bufs[0]))
+		for i, sh := range s.shards {
+			sh.merge(dst, sh.m.MatchMask(data, c.bufs[i]))
+		}
 		s.ctxs.Put(c)
 		return dst
 	}
@@ -123,6 +131,7 @@ type ShardInfo struct {
 	SFAStates  int   // combined D-SFA (live states)
 	Layout     string
 	TableBytes int64
+	BuildID    uint64 // engine construction id; stable across shard reuse
 }
 
 // Shards reports per-shard statistics.
@@ -137,6 +146,7 @@ func (s *Set) Shards() []ShardInfo {
 			SFAStates:  sh.m.SFA().LiveSize(),
 			Layout:     sh.m.Layout().String(),
 			TableBytes: sh.m.TableBytes(),
+			BuildID:    sh.m.BuildID(),
 		}
 	}
 	return out

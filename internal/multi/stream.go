@@ -1,0 +1,103 @@
+package multi
+
+import "errors"
+
+// errDifferentSets rejects composing streams of different rule sets.
+var errDifferentSets = errors.New("multi: cannot compose streams of different rule sets")
+
+// SetStream is online matching over a combined rule set: the multi-
+// pattern generalization of the single-pattern stream. Per shard it
+// carries one |D|-sized mapping — the composition of every chunk's
+// transformation under the associative ⊙ — so the state held between
+// Writes is fixed-size regardless of how much input has been consumed,
+// and Theorem 3 makes the verdict split-invariant: any chunking of the
+// input yields exactly the one-shot Scan mask.
+//
+// A SetStream is not safe for concurrent use; Set.NewStream is cheap
+// enough to give each goroutine (or each network request) its own. The
+// per-Write hot path allocates nothing: the carried vectors live in the
+// stream, and each shard's chunk scan reuses the engine's pooled match
+// context.
+type SetStream struct {
+	set   *Set
+	cur   [][]int16 // carried mapping per shard
+	tmp   [][]int16 // ping-pong scratch per shard
+	local []uint64  // shard-local mask scratch for Mask
+	bytes int64
+}
+
+// NewStream starts incremental matching from the empty input.
+func (s *Set) NewStream() *SetStream {
+	st := &SetStream{
+		set: s,
+		cur: make([][]int16, len(s.shards)),
+		tmp: make([][]int16, len(s.shards)),
+	}
+	maxWords := 0
+	for i, sh := range s.shards {
+		n := sh.m.MappingLen()
+		st.cur[i] = make([]int16, n)
+		st.tmp[i] = make([]int16, n)
+		sh.m.InitMapping(st.cur[i])
+		if w := sh.m.Words(); w > maxWords {
+			maxWords = w
+		}
+	}
+	st.local = make([]uint64, maxWords)
+	return st
+}
+
+// Set returns the rule set this stream matches against.
+func (st *SetStream) Set() *Set { return st.set }
+
+// Write consumes the next chunk of input, advancing every shard's carried
+// mapping (each shard's scan is chunk-parallel on the engine pool).
+func (st *SetStream) Write(chunk []byte) {
+	for i, sh := range st.set.shards {
+		st.cur[i], st.tmp[i] = sh.m.ComposeChunk(st.cur[i], st.tmp[i], chunk)
+	}
+	st.bytes += int64(len(chunk))
+}
+
+// Mask writes the global accept bitmask of the input consumed so far —
+// bit r set iff rule r matches — into dst, which must have Words()
+// capacity, and returns dst[:Words()]. It may be called at any point; the
+// stream continues afterwards. Allocation-free with a caller buffer.
+func (st *SetStream) Mask(dst []uint64) []uint64 {
+	dst = dst[:st.set.words]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, sh := range st.set.shards {
+		sh.merge(dst, sh.m.MatchMaskFrom(st.cur[i], st.local))
+	}
+	return dst
+}
+
+// Bytes returns the number of bytes consumed.
+func (st *SetStream) Bytes() int64 { return st.bytes }
+
+// Reset rewinds the stream to the empty input.
+func (st *SetStream) Reset() {
+	for i, sh := range st.set.shards {
+		sh.m.InitMapping(st.cur[i])
+	}
+	st.bytes = 0
+}
+
+// Compose merges another stream's consumed input *after* this one's, as
+// if the two byte sequences had been concatenated: st ← st · t. Both
+// streams must come from the same Set. This is what makes out-of-order
+// segment processing work: scan segments independently (other machines,
+// other goroutines), then fold the carried mappings with ⊙.
+func (st *SetStream) Compose(t *SetStream) error {
+	if t.set != st.set {
+		return errDifferentSets
+	}
+	for i, sh := range st.set.shards {
+		sh.m.ComposeMask(st.tmp[i], st.cur[i], t.cur[i])
+		st.cur[i], st.tmp[i] = st.tmp[i], st.cur[i]
+	}
+	st.bytes += t.bytes
+	return nil
+}

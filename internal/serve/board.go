@@ -1,0 +1,322 @@
+// Package serve is the rule-set serving subsystem: long-lived rule sets
+// under live traffic, with streaming scans, hot reload, and multi-tenant
+// hosting — the deployment shape the paper's SNORT workload implies (one
+// ruleset, heavy packet traffic, rules updated while scanning continues).
+//
+// Three properties carry the design:
+//
+//   - Streaming: scans go through sfa.RuleStream, so request bodies are
+//     matched chunk by chunk with fixed-size carried state (one |D|
+//     mapping per shard) and never need to be buffered whole.
+//   - Hot reload: a Ruleboard keeps the live RuleSet behind an
+//     atomic.Pointer. Reload builds the next generation with
+//     RuleSet.Rebuild — combined shards whose rule membership is
+//     unchanged are carried over by pointer, so the expensive product /
+//     D-SFA construction is paid only for changed rules — then swaps.
+//     In-flight streams stay pinned to the generation they started on
+//     and drain against it; nothing is dropped or corrupted mid-scan.
+//   - Multi-tenancy: a Hub hosts many named Ruleboards. All tenants'
+//     engines dispatch chunk work through the one process-wide
+//     engine.Pool, so the worker count is bounded by GOMAXPROCS no
+//     matter how many tenants are resident.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/sfa"
+)
+
+// generation is one immutable compiled rule set plus the accounting that
+// lets a reload retire it safely: streams pin the generation they were
+// opened against and release it when closed; once a generation is both
+// retired (no longer current) and unpinned, its Drained channel closes.
+type generation struct {
+	seq       uint64
+	defs      []sfa.RuleDef
+	rs        *sfa.RuleSet
+	inflight  atomic.Int64
+	retired   atomic.Bool
+	drainDone sync.Once
+	drained   chan struct{}
+}
+
+func newGeneration(seq uint64, defs []sfa.RuleDef, rs *sfa.RuleSet) *generation {
+	return &generation{seq: seq, defs: defs, rs: rs, drained: make(chan struct{})}
+}
+
+func (g *generation) maybeDrained() {
+	if g.retired.Load() && g.inflight.Load() == 0 {
+		g.drainDone.Do(func() { close(g.drained) })
+	}
+}
+
+func (g *generation) release() {
+	g.inflight.Add(-1)
+	g.maybeDrained()
+}
+
+func (g *generation) retire() {
+	g.retired.Store(true)
+	g.maybeDrained()
+}
+
+// Ruleboard serves one tenant's rule set across hot reloads. All methods
+// are safe for concurrent use; reloads are serialized among themselves
+// but never block scans — readers always see either the old or the new
+// generation, atomically.
+type Ruleboard struct {
+	mu   sync.Mutex // serializes Reload/initial Load
+	gens atomic.Uint64
+	cur  atomic.Pointer[generation]
+}
+
+// NewRuleboard compiles the initial rule set. opts are fixed for the
+// board's lifetime — reuse across generations is only sound when every
+// generation is compiled identically.
+func NewRuleboard(defs []sfa.RuleDef, opts ...sfa.Option) (*Ruleboard, error) {
+	rs, err := sfa.NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	b := &Ruleboard{}
+	b.gens.Store(1)
+	b.cur.Store(newGeneration(1, append([]sfa.RuleDef(nil), defs...), rs))
+	return b, nil
+}
+
+// ReloadResult reports what a Reload did. Drained closes once every
+// stream and scan that was in flight against the replaced generation has
+// finished — observability for shutdown and for the drain tests; nothing
+// waits on it internally. When there was no previous generation (tenant
+// creation), Drained is already closed.
+type ReloadResult struct {
+	sfa.ReloadStats
+	Generation uint64
+	Shards     int // shard count of the generation this result describes
+	Drained    <-chan struct{}
+}
+
+// drainedNow is the pre-closed channel creation-path results carry.
+var drainedNow = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Reload atomically replaces the rule set with one compiled from defs,
+// rebuilding only the combined shards whose rule membership changed. A
+// failed build leaves the current generation serving untouched. Scans
+// that started before the swap drain against their own generation; scans
+// that start after it see the new rules.
+func (b *Ruleboard) Reload(defs []sfa.RuleDef) (ReloadResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.cur.Load()
+	rs, stats, err := old.rs.Rebuild(defs)
+	if err != nil {
+		return ReloadResult{}, err
+	}
+	seq := b.gens.Add(1)
+	b.cur.Store(newGeneration(seq, append([]sfa.RuleDef(nil), defs...), rs))
+	old.retire()
+	return ReloadResult{
+		ReloadStats: stats,
+		Generation:  seq,
+		Shards:      rs.NumShards(),
+		Drained:     old.drained,
+	}, nil
+}
+
+// Generation returns the current generation number (1 = initial load).
+func (b *Ruleboard) Generation() uint64 { return b.cur.Load().seq }
+
+// RuleSet returns the current generation's compiled set — for stats
+// reporting only; scans should go through Scan/NewStream so they pin a
+// generation.
+func (b *Ruleboard) RuleSet() *sfa.RuleSet { return b.cur.Load().rs }
+
+// Snapshot returns the current rule set together with its generation
+// number from one atomic load, so callers reporting both cannot pair one
+// generation's stats with another's number across a concurrent reload.
+func (b *Ruleboard) Snapshot() (*sfa.RuleSet, uint64) {
+	g := b.cur.Load()
+	return g.rs, g.seq
+}
+
+// Defs returns a copy of the current generation's rule definitions.
+func (b *Ruleboard) Defs() []sfa.RuleDef {
+	g := b.cur.Load()
+	return append([]sfa.RuleDef(nil), g.defs...)
+}
+
+// pin loads the current generation and marks one scan in flight on it,
+// retrying across a concurrent swap so the drain accounting never misses
+// a pinned scan: after the increment, either the generation is still
+// current (a later retire will wait for the release), or it was swapped
+// out in between and the pin is retried on the new one.
+func (b *Ruleboard) pin() *generation {
+	for {
+		g := b.cur.Load()
+		g.inflight.Add(1)
+		if b.cur.Load() == g {
+			return g
+		}
+		g.release()
+	}
+}
+
+// Scan matches data against the current generation one-shot and returns
+// the matching rule names.
+func (b *Ruleboard) Scan(data []byte) []string {
+	g := b.pin()
+	defer g.release()
+	return g.rs.Scan(data, 0)
+}
+
+// Stream is a RuleStream pinned to the generation it was opened against:
+// a hot reload mid-scan neither drops nor corrupts it — the stream keeps
+// matching the rules it started with, and the old generation counts it
+// until Close.
+type Stream struct {
+	*sfa.RuleStream
+	gen   *generation
+	close sync.Once
+}
+
+// Generation returns the generation this stream is pinned to.
+func (s *Stream) Generation() uint64 { return s.gen.seq }
+
+// Names resolves the stream's current mask against its own generation's
+// rule names (the pinned set, not whatever is current now).
+func (s *Stream) Names() []string { return s.Matches() }
+
+// Close releases the stream's pin on its generation. It is safe to call
+// more than once; the stream must not be written after Close.
+func (s *Stream) Close() {
+	s.close.Do(s.gen.release)
+}
+
+// NewStream opens a streaming scan against the current generation. The
+// caller must Close it (a deferred Close is the usual shape) so retired
+// generations can report drained.
+func (b *Ruleboard) NewStream() (*Stream, error) {
+	g := b.pin()
+	st, err := g.rs.NewStream()
+	if err != nil {
+		g.release()
+		return nil, err
+	}
+	return &Stream{RuleStream: st, gen: g}, nil
+}
+
+// Hub hosts many named tenants, each an independently reloadable
+// Ruleboard. Every tenant's engines dispatch through the process-wide
+// engine worker pool, so resident tenants share one set of workers.
+type Hub struct {
+	opts    []sfa.Option
+	mu      sync.RWMutex
+	tenants map[string]*Ruleboard
+}
+
+// NewHub creates an empty hub; opts apply to every tenant's rule sets.
+func NewHub(opts ...sfa.Option) *Hub {
+	return &Hub{opts: opts, tenants: make(map[string]*Ruleboard)}
+}
+
+// SetRules creates the named tenant or hot-reloads an existing one.
+// created reports which happened; for a reload, res carries the reuse
+// stats. The returned board is the one the rules were applied to — use
+// it rather than a fresh Tenant lookup, which can observe a concurrent
+// Delete.
+//
+// Compilation runs outside the hub lock — builds can take seconds and
+// must not stall other tenants' lookups — so membership is re-verified
+// under the write lock afterwards: a reload that raced a Delete
+// re-registers its board (the PUT wins — its rules really are live),
+// and a creator or reloader that lost to a concurrent writer retries
+// against the winner instead of reporting success for a dropped update.
+func (h *Hub) SetRules(name string, defs []sfa.RuleDef) (created bool, board *Ruleboard, res ReloadResult, err error) {
+	if name == "" {
+		return false, nil, ReloadResult{}, fmt.Errorf("serve: empty tenant name")
+	}
+	for {
+		h.mu.RLock()
+		b := h.tenants[name]
+		h.mu.RUnlock()
+
+		if b == nil {
+			nb, err := NewRuleboard(defs, h.opts...)
+			if err != nil {
+				return false, nil, ReloadResult{}, err
+			}
+			h.mu.Lock()
+			if h.tenants[name] != nil {
+				// Lost a create race; apply to the winner as a reload.
+				h.mu.Unlock()
+				continue
+			}
+			h.tenants[name] = nb
+			h.mu.Unlock()
+			return true, nb, ReloadResult{
+				Generation: 1,
+				Shards:     nb.RuleSet().NumShards(),
+				Drained:    drainedNow,
+			}, nil
+		}
+
+		res, err := b.Reload(defs)
+		if err != nil {
+			return false, b, ReloadResult{}, err
+		}
+		h.mu.Lock()
+		switch h.tenants[name] {
+		case b:
+			h.mu.Unlock()
+			return false, b, res, nil
+		case nil:
+			// Deleted mid-reload: keep the reloaded board registered.
+			h.tenants[name] = b
+			h.mu.Unlock()
+			return false, b, res, nil
+		default:
+			// Replaced mid-reload by a concurrent creator: retry there.
+			h.mu.Unlock()
+		}
+	}
+}
+
+// Tenant returns the named tenant's board.
+func (h *Hub) Tenant(name string) (*Ruleboard, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	b, ok := h.tenants[name]
+	return b, ok
+}
+
+// Delete removes a tenant. In-flight scans on it drain against their
+// pinned generations; new lookups fail immediately.
+func (h *Hub) Delete(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.tenants[name]; !ok {
+		return false
+	}
+	delete(h.tenants, name)
+	return true
+}
+
+// Names lists the tenants in sorted order.
+func (h *Hub) Names() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.tenants))
+	for name := range h.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

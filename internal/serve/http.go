@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// HTTP front end for a Hub. The API is deliberately small and
+// curl-friendly:
+//
+//	GET    /healthz                   liveness
+//	GET    /v1/tenants                list tenants with stats
+//	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
+//	GET    /v1/tenants/{name}         one tenant's stats
+//	DELETE /v1/tenants/{name}         remove a tenant
+//	POST   /v1/tenants/{name}/scan    scan the request body, streamed
+//
+// Scan reads the request body in fixed chunks straight into a pinned
+// RuleStream — the body is never buffered whole, so arbitrarily large
+// payloads scan in constant memory, and a hot reload issued mid-request
+// does not disturb the scan.
+
+// scanChunkSize is the body read granularity. 64 KiB is large enough for
+// the engine's parallel chunk path and small enough to keep per-request
+// memory trivial.
+const scanChunkSize = 64 << 10
+
+// scanBufs recycles body-read buffers across requests — the streams
+// underneath are zero-alloc per chunk, so the handler should not be the
+// one generating 64 KiB of garbage per request.
+var scanBufs = sync.Pool{New: func() any {
+	b := make([]byte, scanChunkSize)
+	return &b
+}}
+
+// TenantStatus is the stats document for one tenant.
+type TenantStatus struct {
+	Tenant     string      `json:"tenant"`
+	Generation uint64      `json:"generation"`
+	Rules      int         `json:"rules"`
+	Shards     []ShardStat `json:"shards"`
+}
+
+// ShardStat mirrors sfa.ShardInfo for JSON.
+type ShardStat struct {
+	Rules      []string `json:"rules"`
+	DFAStates  int      `json:"dfa_states"`
+	SFAStates  int      `json:"sfa_states"`
+	Layout     string   `json:"layout"`
+	TableBytes int64    `json:"table_bytes"`
+	BuildID    uint64   `json:"build_id"`
+}
+
+// LoadReply answers PUT /v1/tenants/{name}.
+type LoadReply struct {
+	Tenant        string `json:"tenant"`
+	Created       bool   `json:"created"`
+	Generation    uint64 `json:"generation"`
+	Rules         int    `json:"rules"`
+	Shards        int    `json:"shards"`
+	ShardsReused  int    `json:"shards_reused"`
+	ShardsRebuilt int    `json:"shards_rebuilt"`
+	RulesAdded    int    `json:"rules_added"`
+	RulesRemoved  int    `json:"rules_removed"`
+}
+
+// ScanReply answers POST /v1/tenants/{name}/scan.
+type ScanReply struct {
+	Tenant     string   `json:"tenant"`
+	Generation uint64   `json:"generation"`
+	Bytes      int64    `json:"bytes"`
+	Matches    []string `json:"matches"`
+}
+
+// NewHandler builds the HTTP API over a hub.
+func NewHandler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		names := h.Names()
+		out := make([]TenantStatus, 0, len(names))
+		for _, name := range names {
+			if b, ok := h.Tenant(name); ok {
+				out = append(out, status(name, b))
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		defs, err := ParseRules(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		created, _, res, err := h.SetRules(name, defs)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		// Everything in the reply comes from the one ReloadResult, so a
+		// racing reload or delete cannot tear it.
+		writeJSON(w, code, LoadReply{
+			Tenant:        name,
+			Created:       created,
+			Generation:    res.Generation,
+			Rules:         len(defs),
+			Shards:        res.Shards,
+			ShardsReused:  res.ShardsReused,
+			ShardsRebuilt: res.ShardsRebuilt,
+			RulesAdded:    res.RulesAdded,
+			RulesRemoved:  res.RulesRemoved,
+		})
+	})
+	mux.HandleFunc("GET /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		b, ok := h.Tenant(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, status(name, b))
+	})
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		if !h.Delete(name) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	})
+	mux.HandleFunc("POST /v1/tenants/{tenant}/scan", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		b, ok := h.Tenant(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", name))
+			return
+		}
+		st, err := b.NewStream()
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		defer st.Close()
+		bufp := scanBufs.Get().(*[]byte)
+		defer scanBufs.Put(bufp)
+		buf := *bufp
+		for {
+			n, err := r.Body.Read(buf)
+			if n > 0 {
+				st.Write(buf[:n])
+			}
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+					return
+				}
+				break
+			}
+		}
+		matches := st.Names()
+		if matches == nil {
+			matches = []string{}
+		}
+		writeJSON(w, http.StatusOK, ScanReply{
+			Tenant:     name,
+			Generation: st.Generation(),
+			Bytes:      st.Bytes(),
+			Matches:    matches,
+		})
+	})
+	return mux
+}
+
+func status(name string, b *Ruleboard) TenantStatus {
+	rs, gen := b.Snapshot() // one load, so stats and generation agree
+	infos := rs.Shards()
+	shards := make([]ShardStat, len(infos))
+	for i, s := range infos {
+		shards[i] = ShardStat(s)
+	}
+	return TenantStatus{
+		Tenant:     name,
+		Generation: gen,
+		Rules:      rs.Len(),
+		Shards:     shards,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled shrinks fixtures under the race detector's ~10x
+// instrumentation overhead.
+const raceEnabled = true

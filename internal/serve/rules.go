@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/sfa"
+)
+
+// ParseRules reads the rules-file format shared by sfagrep -f and the
+// sfaserve tenant endpoints: one rule per line, either `name pattern` or
+// a bare pattern (auto-named rNNN by line number); blank lines and
+// # comments are skipped. A "name" containing regex metacharacters is
+// treated as part of the pattern, so pasting raw patterns just works.
+//
+// Per-rule flags use the SNORT pcre convention: a pattern written
+// /…/flags — slash-delimited with at least one trailing flag letter —
+// carries i (case-insensitive) and/or s (dot matches newline). A pattern
+// that merely starts with '/' (URI rules like /etc/passwd) is taken
+// literally; only the delimited-with-flags form is special.
+func ParseRules(r io.Reader) ([]sfa.RuleDef, error) {
+	var defs []sfa.RuleDef
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, pattern, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, `\[(.?*+{^$|`) || strings.HasPrefix(name, "/") {
+			// No separator, a "name" that looks like regex syntax, or a
+			// leading slash (a bare URI-style or /…/flags pattern that
+			// happens to contain a space): the whole line is the pattern.
+			name, pattern = fmt.Sprintf("r%03d", lineno), line
+		}
+		pattern = strings.TrimSpace(pattern)
+		flags, bare, delimited := cutDelimited(pattern)
+		if delimited {
+			pattern = bare
+		}
+		defs = append(defs, sfa.RuleDef{Name: name, Pattern: pattern, Flags: flags})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("serve: no rules in input")
+	}
+	return defs, nil
+}
+
+// cutDelimited recognizes the /pattern/flags form. It demands at least
+// one valid flag letter after the closing slash, so URI-shaped literal
+// patterns (leading and trailing slashes but no flags) pass through
+// untouched.
+func cutDelimited(p string) (sfa.Flag, string, bool) {
+	if len(p) < 3 || p[0] != '/' {
+		return 0, "", false
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i == 0 || i == len(p)-1 {
+		return 0, "", false
+	}
+	var fl sfa.Flag
+	for _, c := range p[i+1:] {
+		switch c {
+		case 'i':
+			fl |= sfa.FoldCase
+		case 's':
+			fl |= sfa.DotAll
+		default:
+			return 0, "", false
+		}
+	}
+	return fl, p[1:i], true
+}
+
+// FormatRules renders defs in the wire format ParseRules reads — the
+// client half of the PUT /v1/tenants/{name} protocol. Rules with flags
+// use the delimited /pattern/flags form; a flagless pattern that would
+// itself parse as that form (it starts with '/' and happens to end in
+// /i, /s, or /is) is wrapped in a non-capturing group so it round-trips
+// with identical semantics instead of silently gaining flags. A name the
+// line format cannot carry back (empty, whitespace, regex
+// metacharacters, or a leading '/' or '#') is an error — emitting it
+// would silently rename the rule or corrupt its pattern on the far side.
+func FormatRules(defs []sfa.RuleDef) (string, error) {
+	var b strings.Builder
+	for _, d := range defs {
+		if !nameRoundTrips(d.Name) {
+			return "", fmt.Errorf("serve: rule name %q does not survive the rules-file format", d.Name)
+		}
+		if d.Flags == 0 {
+			pattern := d.Pattern
+			if _, _, ambiguous := cutDelimited(pattern); ambiguous {
+				pattern = "(?:" + pattern + ")"
+			}
+			fmt.Fprintf(&b, "%s %s\n", d.Name, pattern)
+			continue
+		}
+		flags := ""
+		if d.Flags&sfa.FoldCase != 0 {
+			flags += "i"
+		}
+		if d.Flags&sfa.DotAll != 0 {
+			flags += "s"
+		}
+		fmt.Fprintf(&b, "%s /%s/%s\n", d.Name, d.Pattern, flags)
+	}
+	return b.String(), nil
+}
+
+// nameRoundTrips reports whether ParseRules would read a `name pattern`
+// line back with exactly this name.
+func nameRoundTrips(name string) bool {
+	return name != "" &&
+		!strings.ContainsAny(name, "\\[(.?*+{^$| \t") &&
+		!strings.HasPrefix(name, "/") &&
+		!strings.HasPrefix(name, "#")
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/sfa"
+)
+
+func TestParseRules(t *testing.T) {
+	in := strings.Join([]string{
+		"# comment",
+		"",
+		"sql (select|union)",
+		`\d{1,3}\.\d{1,3}`, // bare pattern, auto-named by line
+		"  padded (ab)*  ",
+		`fold /cmd\.exe/i`,          // pcre-delimited with flags
+		`both /a.{1,4}b/is`,         //
+		"passwd /etc/passwd",        // leading slash, no flags: literal
+		"cgi /cgi-bin/[a-z]{2}ok/x", // bogus flag letter: literal
+		`/select union/i`,           // bare delimited pattern with a space
+	}, "\n")
+	defs, err := ParseRules(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sfa.RuleDef{
+		{Name: "sql", Pattern: "(select|union)"},
+		{Name: "r004", Pattern: `\d{1,3}\.\d{1,3}`},
+		{Name: "padded", Pattern: "(ab)*"},
+		{Name: "fold", Pattern: `cmd\.exe`, Flags: sfa.FoldCase},
+		{Name: "both", Pattern: `a.{1,4}b`, Flags: sfa.FoldCase | sfa.DotAll},
+		{Name: "passwd", Pattern: "/etc/passwd"},
+		{Name: "cgi", Pattern: "/cgi-bin/[a-z]{2}ok/x"},
+		{Name: "r010", Pattern: "select union", Flags: sfa.FoldCase},
+	}
+	if !reflect.DeepEqual(defs, want) {
+		t.Fatalf("ParseRules = %+v, want %+v", defs, want)
+	}
+
+	if _, err := ParseRules(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty rule file accepted")
+	}
+}
+
+// TestFormatRulesRoundTrip: FormatRules must be a left inverse of
+// ParseRules, flags included.
+func TestFormatRulesRoundTrip(t *testing.T) {
+	defs := []sfa.RuleDef{
+		{Name: "plain", Pattern: `(ab)*`},
+		{Name: "fold", Pattern: `cmd\.exe`, Flags: sfa.FoldCase},
+		{Name: "both", Pattern: `x.{1,8}y`, Flags: sfa.FoldCase | sfa.DotAll},
+		{Name: "uri", Pattern: `/etc/passwd`},
+	}
+	text, err := FormatRules(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRules(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, defs) {
+		t.Fatalf("round trip %+v, want %+v", got, defs)
+	}
+
+	// Names the line format cannot carry back are rejected up front.
+	for _, bad := range []string{"", "two words", "r.1", "/slash", "#hash"} {
+		if _, err := FormatRules([]sfa.RuleDef{{Name: bad, Pattern: "a+"}}); err == nil {
+			t.Errorf("FormatRules accepted unround-trippable name %q", bad)
+		}
+	}
+}
+
+// TestFormatRulesAmbiguousLiteral: a flagless pattern shaped like the
+// /pattern/flags form must round-trip without gaining flags — the
+// formatter wraps it, and the wrapped pattern compiles to the same
+// language as the original.
+func TestFormatRulesAmbiguousLiteral(t *testing.T) {
+	defs := []sfa.RuleDef{{Name: "block", Pattern: `/admin/s`}}
+	text, err := FormatRules(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRules(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Flags != 0 {
+		t.Fatalf("round trip grew flags: %+v", got)
+	}
+	orig, err := sfa.Compile(defs[0].Pattern, sfa.WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := sfa.Compile(got[0].Pattern, sfa.WithSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"/admin/s", "GET /admin/sessions", "/admin/", "admin s"} {
+		if orig.MatchString(in) != wrapped.MatchString(in) {
+			t.Fatalf("wrapped pattern %q diverges on %q", got[0].Pattern, in)
+		}
+	}
+}

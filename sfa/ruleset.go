@@ -30,6 +30,7 @@ import (
 type RuleSet struct {
 	defs []RuleDef // sorted by name; rule index == reporting position
 	idx  map[string]int
+	keys []string // per-rule compile identity (pattern + effective flags)
 	opts []Option
 
 	set      *multi.Set // combined/sharded engine
@@ -62,8 +63,57 @@ func NewRuleSet(rules map[string]string, opts ...Option) (*RuleSet, error) {
 // per-rule flags. Rules are reported in name order regardless of input
 // order; duplicate names are rejected.
 func NewRuleSetFromDefs(defs []RuleDef, opts ...Option) (*RuleSet, error) {
+	rs, _, err := buildRuleSet(defs, opts, nil)
+	return rs, err
+}
+
+// ReloadStats reports what a Rebuild carried over versus recompiled.
+type ReloadStats struct {
+	ShardsReused  int // combined shards (or per-rule engines) kept by pointer
+	ShardsRebuilt int // shards (or engines) built from scratch
+	RulesAdded    int // rules new in this generation, or with changed pattern/flags
+	RulesRemoved  int // rules gone from this generation, or with changed pattern/flags
+}
+
+// Rebuild compiles a new RuleSet for defs with this set's options,
+// reusing every combined shard whose rule membership is unchanged — the
+// expensive product/D-SFA construction is paid only for added rules,
+// edited rules, and the former shard-mates of removed rules. In isolated
+// mode the per-rule engines are reused the same way. The receiver is not
+// modified; in-flight matching against it stays valid (internal/serve's
+// Ruleboard builds its atomic hot-reload on exactly this).
+func (rs *RuleSet) Rebuild(defs []RuleDef) (*RuleSet, ReloadStats, error) {
+	next, reuse, err := buildRuleSet(defs, rs.opts, rs)
+	if err != nil {
+		return nil, ReloadStats{}, err
+	}
+	stats := ReloadStats{ShardsReused: reuse.Reused, ShardsRebuilt: reuse.Rebuilt}
+	oldKeys := make(map[string]string, len(rs.defs))
+	for i, d := range rs.defs {
+		oldKeys[d.Name] = rs.keys[i]
+	}
+	for i, d := range next.defs {
+		if k, ok := oldKeys[d.Name]; !ok || k != next.keys[i] {
+			stats.RulesAdded++
+		}
+	}
+	newKeys := make(map[string]string, len(next.defs))
+	for i, d := range next.defs {
+		newKeys[d.Name] = next.keys[i]
+	}
+	for name, k := range oldKeys {
+		if nk, ok := newKeys[name]; !ok || nk != k {
+			stats.RulesRemoved++
+		}
+	}
+	return next, stats, nil
+}
+
+// buildRuleSet is the shared constructor; a non-nil prev enables shard
+// (or isolated-engine) reuse across generations.
+func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi.ReuseStats, error) {
 	if len(defs) == 0 {
-		return nil, fmt.Errorf("sfa: empty rule set")
+		return nil, multi.ReuseStats{}, fmt.Errorf("sfa: empty rule set")
 	}
 	cfg := buildConfig(opts)
 
@@ -76,35 +126,61 @@ func NewRuleSetFromDefs(defs []RuleDef, opts ...Option) (*RuleSet, error) {
 	sort.Slice(rs.defs, func(i, j int) bool { return rs.defs[i].Name < rs.defs[j].Name })
 	for i, d := range rs.defs {
 		if _, dup := rs.idx[d.Name]; dup {
-			return nil, fmt.Errorf("sfa: duplicate rule %s", d.Name)
+			return nil, multi.ReuseStats{}, fmt.Errorf("sfa: duplicate rule %s", d.Name)
 		}
 		rs.idx[d.Name] = i
+	}
+	// A rule's compiled automaton is fully determined by its pattern and
+	// effective flags (set-wide options being fixed per set), so this key
+	// is what reuse across generations matches on.
+	rs.keys = make([]string, len(rs.defs))
+	for i, d := range rs.defs {
+		rs.keys[i] = fmt.Sprintf("%02x\x00%s", uint8(cfg.flags|d.Flags), d.Pattern)
 	}
 
 	// The combined automaton is SFA-only: a rule set compiled for any
 	// other engine (lazy, DFA, spec, NFA) keeps the per-rule
 	// architecture those engines imply.
 	if cfg.isolatedRules || cfg.eng != EngineSFA {
+		var pool map[string][]*Regexp
+		if prev != nil && prev.isolated != nil {
+			pool = make(map[string][]*Regexp, len(prev.isolated))
+			for i, re := range prev.isolated {
+				pool[prev.keys[i]] = append(pool[prev.keys[i]], re)
+			}
+		}
 		rs.isolated = make([]*Regexp, len(rs.defs))
+		var stats multi.ReuseStats
 		for i, d := range rs.defs {
+			if q := pool[rs.keys[i]]; len(q) > 0 {
+				rs.isolated[i], pool[rs.keys[i]] = q[0], q[1:]
+				stats.Reused++
+				continue
+			}
 			re, err := rs.compileRule(d)
 			if err != nil {
-				return nil, err
+				return nil, multi.ReuseStats{}, err
 			}
 			rs.isolated[i] = re
+			stats.Rebuilt++
 		}
-		return rs, nil
+		return rs, stats, nil
 	}
 
 	nodes := make([]*syntax.Node, len(rs.defs))
 	for i, d := range rs.defs {
 		node, err := parseRule(d, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sfa: rule %s: %w", d.Name, err)
+			return nil, multi.ReuseStats{}, fmt.Errorf("sfa: rule %s: %w", d.Name, err)
 		}
 		nodes[i] = node
 	}
-	set, err := multi.Compile(nodes, multi.Options{
+	var prevSet *multi.Set
+	var prevKeys []string
+	if prev != nil && prev.set != nil {
+		prevSet, prevKeys = prev.set, prev.keys
+	}
+	set, stats, err := multi.Recompile(nodes, rs.keys, prevSet, prevKeys, multi.Options{
 		SFABudget:     cfg.shardBudget,
 		SFAHardCap:    cfg.sfaCap,
 		ForceShards:   cfg.shards,
@@ -113,10 +189,10 @@ func NewRuleSetFromDefs(defs []RuleDef, opts ...Option) (*RuleSet, error) {
 		Spawn:         cfg.spawn,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sfa: %w", err)
+		return nil, multi.ReuseStats{}, fmt.Errorf("sfa: %w", err)
 	}
 	rs.set = set
-	return rs, nil
+	return rs, stats, nil
 }
 
 // parseRule runs the front end — parse, per-rule flags, search
@@ -180,6 +256,7 @@ type ShardInfo struct {
 	SFAStates  int      // combined D-SFA, live states
 	Layout     string   // resolved transition-table layout
 	TableBytes int64    // resident match-table bytes
+	BuildID    uint64   // construction id; stable when Rebuild reuses the shard
 }
 
 // Shards reports per-shard statistics; in isolated mode every rule is
@@ -210,6 +287,7 @@ func (rs *RuleSet) Shards() []ShardInfo {
 			SFAStates:  info.SFAStates,
 			Layout:     info.Layout,
 			TableBytes: info.TableBytes,
+			BuildID:    info.BuildID,
 		}
 	}
 	return out
@@ -245,16 +323,36 @@ func (rs *RuleSet) Rule(name string) (*Regexp, bool) {
 	return re, true
 }
 
-// Scan matches every rule against data and returns the names of matching
-// rules in the deterministic Names() order. In combined mode this is one
-// pooled pass per shard, with up to `workers` shards scanned concurrently
-// (0 = all); in isolated mode it fans the per-rule engines out over up to
-// `workers` goroutines (0 = all).
-func (rs *RuleSet) Scan(data []byte, workers int) []string {
-	if rs.isolated != nil {
-		return rs.scanIsolated(data, workers)
+// MaskWords returns the rule bitmask width in uint64 words — the
+// capacity MatchMask and RuleStream.Mask require of their buffers.
+func (rs *RuleSet) MaskWords() int { return (len(rs.defs) + 63) / 64 }
+
+// MatchMask scans data once and writes the rule bitmask — bit i set iff
+// rule i (in Names() order) matches — into dst, which must have
+// MaskWords() capacity; dst[:MaskWords()] is returned. In combined mode
+// this is the zero-allocation hot path: shards are scanned sequentially
+// on the calling goroutine (each shard's pass is itself chunk-parallel
+// on the worker pool) into the caller's buffer. Use Scan for the
+// shard-concurrent form.
+func (rs *RuleSet) MatchMask(data []byte, dst []uint64) []uint64 {
+	if rs.isolated == nil {
+		return rs.set.Scan(data, 1, dst)
 	}
-	mask := rs.set.Scan(data, workers, make([]uint64, rs.set.Words()))
+	dst = dst[:rs.MaskWords()]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, hit := range rs.isolatedHits(data, 0) {
+		if hit {
+			dst[i>>6] |= 1 << (i & 63)
+		}
+	}
+	return dst
+}
+
+// MaskNames decodes a rule bitmask (from MatchMask or RuleStream.Mask)
+// into matching rule names, in Names() order.
+func (rs *RuleSet) MaskNames(mask []uint64) []string {
 	var out []string
 	for i := range rs.defs {
 		if mask[i>>6]&(1<<(i&63)) != 0 {
@@ -264,7 +362,28 @@ func (rs *RuleSet) Scan(data []byte, workers int) []string {
 	return out
 }
 
-func (rs *RuleSet) scanIsolated(data []byte, workers int) []string {
+// Scan matches every rule against data and returns the names of matching
+// rules in the deterministic Names() order. In combined mode this is one
+// pooled pass per shard, with up to `workers` shards scanned concurrently
+// (0 = all); in isolated mode it fans the per-rule engines out over up to
+// `workers` goroutines (0 = all).
+func (rs *RuleSet) Scan(data []byte, workers int) []string {
+	if rs.isolated != nil {
+		hits := rs.isolatedHits(data, workers)
+		var out []string
+		for i, h := range hits {
+			if h {
+				out = append(out, rs.defs[i].Name)
+			}
+		}
+		return out
+	}
+	return rs.MaskNames(rs.set.Scan(data, workers, make([]uint64, rs.set.Words())))
+}
+
+// isolatedHits runs the per-rule engines over data, up to `workers` at a
+// time (0 = all), returning one verdict per rule.
+func (rs *RuleSet) isolatedHits(data []byte, workers int) []bool {
 	if workers <= 0 || workers > len(rs.isolated) {
 		workers = len(rs.isolated)
 	}
@@ -281,13 +400,7 @@ func (rs *RuleSet) scanIsolated(data []byte, workers int) []string {
 		}(i)
 	}
 	wg.Wait()
-	var out []string
-	for i, h := range hits {
-		if h {
-			out = append(out, rs.defs[i].Name)
-		}
-	}
-	return out
+	return hits
 }
 
 // Any reports whether at least one rule matches. Combined shards carry

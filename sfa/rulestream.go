@@ -1,0 +1,144 @@
+package sfa
+
+import (
+	"fmt"
+
+	"repro/internal/multi"
+)
+
+// RuleStream is Stream for a whole RuleSet: online multi-pattern matching
+// over input that arrives in pieces. In combined mode it carries one
+// |D|-sized mapping per shard — the ⊙-fold of every chunk's
+// transformation of the combined DFA's state set — so the state held
+// between Writes is fixed-size regardless of input length, and the
+// verdict after any chunking equals the one-shot MatchMask on the
+// concatenated input (Theorem 3). In isolated mode (WithIsolatedRules, or
+// a non-SFA engine) it carries one single-pattern Stream per rule.
+//
+// The Write hot path allocates nothing in steady state: carried mappings
+// live in the stream and every shard's chunk scan reuses the engine's
+// pooled match context on the persistent worker pool. Mask with a
+// caller-provided buffer is allocation-free too.
+//
+// A RuleStream is not safe for concurrent use; RuleSet.NewStream is cheap
+// enough to give each goroutine (or each network request) its own.
+type RuleStream struct {
+	rs    *RuleSet
+	st    *multi.SetStream // combined mode
+	iso   []*Stream        // isolated mode
+	bytes int64
+}
+
+// NewStream starts incremental matching from the empty input. In isolated
+// mode every rule engine must support streaming (EngineSFA); a rule set
+// compiled for another engine returns an error identifying the first rule
+// that cannot stream.
+func (rs *RuleSet) NewStream() (*RuleStream, error) {
+	if rs.isolated == nil {
+		return &RuleStream{rs: rs, st: rs.set.NewStream()}, nil
+	}
+	iso := make([]*Stream, len(rs.isolated))
+	for i, re := range rs.isolated {
+		s, err := re.NewStream()
+		if err != nil {
+			return nil, fmt.Errorf("sfa: rule %s: %w", rs.defs[i].Name, err)
+		}
+		iso[i] = s
+	}
+	return &RuleStream{rs: rs, iso: iso}, nil
+}
+
+// RuleSet returns the set this stream matches against.
+func (s *RuleStream) RuleSet() *RuleSet { return s.rs }
+
+// Write consumes the next chunk of input. It never fails; the error
+// return satisfies io.Writer so a RuleStream can terminate io.Copy
+// pipelines.
+func (s *RuleStream) Write(chunk []byte) (int, error) {
+	if s.st != nil {
+		s.st.Write(chunk)
+	} else {
+		for _, is := range s.iso {
+			is.Write(chunk)
+		}
+	}
+	s.bytes += int64(len(chunk))
+	return len(chunk), nil
+}
+
+// Mask writes the rule bitmask of the input consumed so far — bit i set
+// iff rule i (in Names() order) matches — into dst, which must have
+// MaskWords() capacity, and returns dst[:MaskWords()]. It may be called
+// at any point; the stream continues afterwards.
+func (s *RuleStream) Mask(dst []uint64) []uint64 {
+	if s.st != nil {
+		return s.st.Mask(dst)
+	}
+	dst = dst[:s.rs.MaskWords()]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, is := range s.iso {
+		if is.Accepted() {
+			dst[i>>6] |= 1 << (i & 63)
+		}
+	}
+	return dst
+}
+
+// Matches returns the names of the rules matching the input consumed so
+// far, in Names() order.
+func (s *RuleStream) Matches() []string {
+	return s.rs.MaskNames(s.Mask(make([]uint64, s.rs.MaskWords())))
+}
+
+// Any reports whether at least one rule matches the input consumed so
+// far. It allocates; use Mask with a reused buffer on hot paths.
+func (s *RuleStream) Any() bool {
+	for _, w := range s.Mask(make([]uint64, s.rs.MaskWords())) {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the number of bytes consumed.
+func (s *RuleStream) Bytes() int64 { return s.bytes }
+
+// Reset rewinds the stream to the empty input.
+func (s *RuleStream) Reset() {
+	if s.st != nil {
+		s.st.Reset()
+	} else {
+		for _, is := range s.iso {
+			is.Reset()
+		}
+	}
+	s.bytes = 0
+}
+
+// Compose merges another stream's consumed input *after* this one's, as
+// if the two byte sequences had been concatenated: s ← s · t. Both
+// streams must come from the same RuleSet (the same instance — two sets
+// compiled from the same rules shard independently). Out-of-order
+// segments can thus be scanned on different goroutines or machines and
+// folded afterwards.
+func (s *RuleStream) Compose(t *RuleStream) error {
+	if t.rs != s.rs {
+		return fmt.Errorf("sfa: cannot compose streams of different rule sets")
+	}
+	if s.st != nil {
+		if err := s.st.Compose(t.st); err != nil {
+			return err
+		}
+	} else {
+		for i, is := range s.iso {
+			if err := is.Compose(t.iso[i]); err != nil {
+				return err
+			}
+		}
+	}
+	s.bytes += t.bytes
+	return nil
+}

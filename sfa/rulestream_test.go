@@ -1,0 +1,344 @@
+package sfa
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/snort"
+)
+
+// streamFixtureDefs is a small mixed rule sample: realistic snort-shaped
+// patterns the traffic generator actually triggers.
+func streamFixtureDefs(t *testing.T) []RuleDef {
+	t.Helper()
+	n := 10
+	if raceEnabled {
+		n = 6
+	}
+	defs := snortDefs(snort.ScanSample(n))
+	if len(defs) < n {
+		t.Fatalf("scan sample too small: %d rules", len(defs))
+	}
+	return defs
+}
+
+// chunkings splits text pseudo-randomly, mixing empty, single-byte, and
+// large chunks — the satellite's randomized chunk-split oracle.
+func chunkings(r *rand.Rand, text []byte) [][]byte {
+	var chunks [][]byte
+	for off := 0; off < len(text); {
+		var sz int
+		switch r.Intn(4) {
+		case 0:
+			sz = 0 // empty write
+		case 1:
+			sz = 1 // single byte
+		default:
+			sz = 1 + r.Intn(5000)
+		}
+		if off+sz > len(text) {
+			sz = len(text) - off
+		}
+		chunks = append(chunks, text[off:off+sz])
+		off += sz
+	}
+	return append(chunks, nil) // trailing empty write
+}
+
+// TestRuleStreamMatchesOneShot is the core acceptance oracle: for every
+// architecture (combined single-shard, forced 2/4 shards, isolated), the
+// streamed mask after a random chunking must equal both the one-shot
+// MatchMask of the same set and the isolated oracle's verdict.
+func TestRuleStreamMatchesOneShot(t *testing.T) {
+	defs := streamFixtureDefs(t)
+	base := []Option{WithSearch(), WithThreads(2), WithShardStateBudget(8192)}
+	modes := map[string][]Option{
+		"combined":  base,
+		"sharded-2": append([]Option{WithShards(2)}, base...),
+		"sharded-4": append([]Option{WithShards(4)}, base...),
+		"isolated":  append([]Option{WithIsolatedRules()}, base...),
+	}
+	sets := make(map[string]*RuleSet, len(modes))
+	for name, opts := range modes {
+		rs, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sets[name] = rs
+	}
+
+	inputs := oracleInputs(t)
+	r := rand.New(rand.NewSource(99))
+	matched := 0
+	for _, in := range inputs {
+		oracle := sets["isolated"].Scan(in, 0)
+		matched += len(oracle)
+		for name, rs := range sets {
+			oneShot := rs.MatchMask(in, make([]uint64, rs.MaskWords()))
+			if got := rs.MaskNames(oneShot); !reflect.DeepEqual(got, oracle) {
+				t.Fatalf("%s one-shot input %q: %v, oracle %v", name, in, got, oracle)
+			}
+			st, err := rs.NewStream()
+			if err != nil {
+				t.Fatalf("%s: NewStream: %v", name, err)
+			}
+			for _, chunk := range chunkings(r, in) {
+				n, err := st.Write(chunk)
+				if err != nil || n != len(chunk) {
+					t.Fatalf("Write = %d, %v", n, err)
+				}
+			}
+			if got := st.Mask(make([]uint64, rs.MaskWords())); !reflect.DeepEqual(got, oneShot) {
+				t.Fatalf("%s streamed input %q: mask %v, one-shot %v", name, in, got, oneShot)
+			}
+			if st.Bytes() != int64(len(in)) {
+				t.Fatalf("Bytes = %d, want %d", st.Bytes(), len(in))
+			}
+			if got := st.Matches(); !reflect.DeepEqual(got, oracle) {
+				t.Fatalf("%s Matches() %v, oracle %v", name, got, oracle)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("oracle never fired — fixture rules don't match the traffic")
+	}
+}
+
+// TestRuleStreamComposeOutOfOrder: segments scanned on independent
+// streams and folded with Compose must equal the in-order scan — in both
+// combined and isolated modes, including composing after a rule has
+// already accepted.
+func TestRuleStreamComposeOutOfOrder(t *testing.T) {
+	defs := []RuleDef{
+		{Name: "ab", Pattern: `(ab)*`},
+		{Name: "xp", Pattern: `xp_cmdshell`, Flags: FoldCase},
+	}
+	for _, opts := range [][]Option{
+		{WithThreads(2)},
+		{WithThreads(2), WithIsolatedRules()},
+	} {
+		rs, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := []byte(strings.Repeat("ab", 30_001))
+		half := len(text)/2 + 1 // odd cut splits an "ab" pair
+		s1, _ := rs.NewStream()
+		s2, _ := rs.NewStream()
+		s2.Write(text[half:]) // second half first
+		s1.Write(text[:half])
+		if err := s1.Compose(s2); err != nil {
+			t.Fatal(err)
+		}
+		if got := s1.Matches(); !reflect.DeepEqual(got, []string{"ab"}) {
+			t.Fatalf("composed verdict %v", got)
+		}
+		if s1.Bytes() != int64(len(text)) {
+			t.Fatalf("composed Bytes = %d", s1.Bytes())
+		}
+
+		// Compose after accept: s1 already accepts (ab)*; appending a
+		// segment that breaks the parity must flip the verdict off, and
+		// appending a repairing segment must flip it back on.
+		s3, _ := rs.NewStream()
+		s3.Write([]byte("a"))
+		if err := s1.Compose(s3); err != nil {
+			t.Fatal(err)
+		}
+		if s1.Any() {
+			t.Fatal("verdict survived a composed trailing 'a'")
+		}
+		s4, _ := rs.NewStream()
+		s4.Write([]byte("b"))
+		if err := s1.Compose(s4); err != nil {
+			t.Fatal(err)
+		}
+		if got := s1.Matches(); !reflect.DeepEqual(got, []string{"ab"}) {
+			t.Fatalf("verdict after repairing compose: %v", got)
+		}
+
+		// Cross-set compose is rejected even for identical rules.
+		other, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, _ := other.NewStream()
+		if err := s1.Compose(so); err == nil {
+			t.Fatal("cross-set compose should fail")
+		}
+	}
+}
+
+// TestRuleStreamResetAndReuse: Reset rewinds to the empty input; a reused
+// stream must behave like a fresh one.
+func TestRuleStreamResetAndReuse(t *testing.T) {
+	rs, err := NewRuleSet(map[string]string{"ab": `(ab)*`, "ax": `a+x`}, WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rs.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Matches(); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Fatalf("empty input: %v (ε ∈ L((ab)*))", got)
+	}
+	st.Write([]byte("aaax"))
+	if got := st.Matches(); !reflect.DeepEqual(got, []string{"ax"}) {
+		t.Fatalf("aaax: %v", got)
+	}
+	st.Reset()
+	if st.Bytes() != 0 {
+		t.Fatal("Reset kept byte count")
+	}
+	st.Write([]byte("ab"))
+	if got := st.Matches(); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Fatalf("after reset, ab: %v", got)
+	}
+}
+
+// TestRuleStreamIsWriter: io.Copy pipelines terminate at a RuleStream.
+func TestRuleStreamIsWriter(t *testing.T) {
+	rs, err := NewRuleSet(map[string]string{"ab": `(ab)*`}, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rs.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(st, strings.NewReader(strings.Repeat("ab", 100_000)))
+	if err != nil || n != 200_000 {
+		t.Fatalf("io.Copy = %d, %v", n, err)
+	}
+	if !st.Any() {
+		t.Fatal("(ab)^100000 rejected")
+	}
+}
+
+// TestRuleStreamNonSFAEngineFails: isolated rule sets on engines without
+// streaming support must fail NewStream with the offending rule named.
+func TestRuleStreamNonSFAEngineFails(t *testing.T) {
+	rs, err := NewRuleSet(map[string]string{"ab": `(ab)*`}, WithEngine(EngineDFA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.NewStream(); err == nil {
+		t.Fatal("streaming on EngineDFA should fail")
+	} else if !strings.Contains(err.Error(), "ab") {
+		t.Fatalf("error does not name the rule: %v", err)
+	}
+}
+
+// TestRuleSetRebuild: the sfa-level hot-reload contract — verdicts match
+// a from-scratch build, untouched shards keep their build ids, and the
+// stats book-keep adds/removes.
+func TestRuleSetRebuild(t *testing.T) {
+	defs := streamFixtureDefs(t)
+	rs, err := NewRuleSetFromDefs(defs, WithSearch(), WithThreads(1), WithShardStateBudget(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIDs := map[uint64][]string{}
+	for _, sh := range rs.Shards() {
+		oldIDs[sh.BuildID] = sh.Rules
+	}
+
+	// Drop one rule, add one, keep the rest.
+	next := append([]RuleDef(nil), defs[1:]...)
+	next = append(next, RuleDef{Name: "zz-new", Pattern: `union[ -]select`, Flags: FoldCase})
+	rebuilt, stats, err := rs.Rebuild(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RulesAdded != 1 || stats.RulesRemoved != 1 {
+		t.Fatalf("diff stats %+v, want 1 added / 1 removed", stats)
+	}
+	if stats.ShardsReused == 0 && rs.NumShards() > 1 {
+		t.Fatalf("no shard survived a one-rule change: %+v", stats)
+	}
+	reused := 0
+	for _, sh := range rebuilt.Shards() {
+		if old, ok := oldIDs[sh.BuildID]; ok {
+			reused++
+			if !reflect.DeepEqual(old, sh.Rules) {
+				t.Fatalf("reused shard %d changed rules: %v → %v", sh.BuildID, old, sh.Rules)
+			}
+		}
+	}
+	if reused != stats.ShardsReused {
+		t.Fatalf("%d shards share old build ids, stats say %d", reused, stats.ShardsReused)
+	}
+
+	// Semantics: the rebuilt set must agree with a from-scratch build.
+	scratch, err := NewRuleSetFromDefs(next, WithSearch(), WithThreads(1), WithShardStateBudget(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range oracleInputs(t) {
+		if got, want := rebuilt.Scan(in, 0), scratch.Scan(in, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("input %q: rebuilt %v, scratch %v", in, got, want)
+		}
+	}
+
+	// The old generation must stay fully usable (serving relies on it).
+	if got, want := rs.Scan([]byte("nothing here"), 0), ([]string)(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("old generation corrupted: %v", got)
+	}
+}
+
+// TestRuleSetRebuildIsolated: per-rule engines are reused by pointer in
+// isolated mode.
+func TestRuleSetRebuildIsolated(t *testing.T) {
+	defs := []RuleDef{
+		{Name: "a", Pattern: `a+`},
+		{Name: "b", Pattern: `b+`},
+	}
+	rs, err := NewRuleSetFromDefs(defs, WithIsolatedRules(), WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := append([]RuleDef(nil), defs...)
+	next = append(next, RuleDef{Name: "c", Pattern: `c+`})
+	rebuilt, stats, err := rs.Rebuild(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsReused != 2 || stats.ShardsRebuilt != 1 {
+		t.Fatalf("isolated reuse stats %+v", stats)
+	}
+	for i, name := range []string{"a", "b"} {
+		old, _ := rs.Rule(name)
+		now, _ := rebuilt.Rule(name)
+		if old != now {
+			t.Fatalf("rule %s (index %d) engine not reused by pointer", name, i)
+		}
+	}
+	if got := rebuilt.Scan([]byte("ccc"), 0); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("added rule not matching: %v", got)
+	}
+}
+
+// TestMatchMaskIsolatedAgreesWithScan closes the mask API over both
+// architectures.
+func TestMatchMaskIsolatedAgreesWithScan(t *testing.T) {
+	defs := []RuleDef{
+		{Name: "ab", Pattern: `(ab)*`},
+		{Name: "ax", Pattern: `a+x`},
+	}
+	for _, opts := range [][]Option{{WithThreads(1)}, {WithThreads(1), WithIsolatedRules()}} {
+		rs, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range [][]byte{nil, []byte("ab"), []byte("ax"), []byte("q")} {
+			mask := rs.MatchMask(in, make([]uint64, rs.MaskWords()))
+			if got, want := rs.MaskNames(mask), rs.Scan(in, 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("input %q: mask names %v, Scan %v", in, got, want)
+			}
+		}
+	}
+}

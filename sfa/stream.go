@@ -2,9 +2,9 @@ package sfa
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Stream matches input that arrives in pieces — files read in blocks,
@@ -16,14 +16,18 @@ import (
 // been consumed. Chunks of any size may be fed in any number of calls;
 // Theorem 3 guarantees the verdict is split-invariant.
 //
+// Chunk scans dispatch through the engine's persistent worker pool and
+// reuse its pooled match contexts, so a steady-state Write performs no
+// heap allocation and creates no goroutines.
+//
 // A Stream is not safe for concurrent use; each goroutine should own one
 // (Regexp.NewStream is cheap).
 type Stream struct {
-	re      *Regexp
-	threads int
-	cur     []int16 // running transformation (starts at identity)
-	tmp     []int16
-	bytes   int64
+	re    *Regexp
+	eng   *engine.SFAParallel
+	cur   []int16 // running transformation (starts at identity)
+	tmp   []int16
+	bytes int64
 }
 
 // NewStream starts incremental matching. Only patterns compiled with
@@ -32,49 +36,17 @@ func (re *Regexp) NewStream() (*Stream, error) {
 	if re.dsfa == nil {
 		return nil, fmt.Errorf("sfa: streaming needs EngineSFA, have %s", re.EngineName())
 	}
-	n := re.dfa.NumStates
-	s := &Stream{re: re, threads: re.cfg.threads, cur: make([]int16, n), tmp: make([]int16, n)}
-	copy(s.cur, re.dsfa.Map(re.dsfa.Start))
+	eng := re.matcher.(*engine.SFAParallel) // invariant: dsfa != nil ⇒ SFA engine
+	n := eng.MappingLen()
+	s := &Stream{re: re, eng: eng, cur: make([]int16, n), tmp: make([]int16, n)}
+	eng.InitMapping(s.cur)
 	return s, nil
 }
 
 // Write consumes the next chunk of input. It never fails; the error
 // return satisfies io.Writer so a Stream can terminate io.Copy pipelines.
 func (s *Stream) Write(chunk []byte) (int, error) {
-	ds := s.re.dsfa
-	p := s.threads
-	if len(chunk) < 4096 || p < 2 {
-		// Small chunk: sequential run from the identity would waste the
-		// fork; instead advance the running mapping directly by walking
-		// the SFA from the state *equal to* the current composition...
-		// which may not be materialized. Run the chunk from identity
-		// sequentially and compose.
-		f := ds.Run(ds.Start, chunk)
-		core.ComposeVec(s.tmp, s.cur, ds.Map(f))
-		s.cur, s.tmp = s.tmp, s.cur
-		s.bytes += int64(len(chunk))
-		return len(chunk), nil
-	}
-	// Parallel scan of this chunk (Algorithm 5 on the chunk).
-	locals := make([]int32, p)
-	var wg sync.WaitGroup
-	size := len(chunk) / p
-	for i := 0; i < p; i++ {
-		lo, hi := i*size, (i+1)*size
-		if i == p-1 {
-			hi = len(chunk)
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			locals[i] = ds.Run(ds.Start, chunk[lo:hi])
-		}(i, lo, hi)
-	}
-	wg.Wait()
-	for _, f := range locals {
-		core.ComposeVec(s.tmp, s.cur, ds.Map(f))
-		s.cur, s.tmp = s.tmp, s.cur
-	}
+	s.cur, s.tmp = s.eng.ComposeChunk(s.cur, s.tmp, chunk)
 	s.bytes += int64(len(chunk))
 	return len(chunk), nil
 }
@@ -82,8 +54,7 @@ func (s *Stream) Write(chunk []byte) (int, error) {
 // Accepted reports whether the input consumed so far is accepted. It may
 // be called at any point; the stream continues afterwards.
 func (s *Stream) Accepted() bool {
-	d := s.re.dfa
-	return d.Accept[s.cur[d.Start]]
+	return s.eng.AcceptedFrom(s.cur)
 }
 
 // Bytes returns the number of bytes consumed.
@@ -91,8 +62,7 @@ func (s *Stream) Bytes() int64 { return s.bytes }
 
 // Reset rewinds the stream to the identity mapping (no input consumed).
 func (s *Stream) Reset() {
-	ds := s.re.dsfa
-	copy(s.cur, ds.Map(ds.Start))
+	s.eng.InitMapping(s.cur)
 	s.bytes = 0
 }
 

@@ -134,3 +134,81 @@ func TestStreamLargeParallelChunks(t *testing.T) {
 		t.Error("trailing byte must flip the verdict")
 	}
 }
+
+// TestStreamEdgeChunks: empty and single-byte writes interleaved with
+// normal ones must not disturb the carried mapping.
+func TestStreamEdgeChunks(t *testing.T) {
+	re := MustCompile("(ab)*", WithThreads(2))
+	s, err := re.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range [][]byte{nil, {}, []byte("a"), nil, []byte("b"), {}, []byte("ab")} {
+		if n, err := s.Write(chunk); err != nil || n != len(chunk) {
+			t.Fatalf("Write = %d, %v", n, err)
+		}
+	}
+	if !s.Accepted() || s.Bytes() != 4 {
+		t.Fatalf("Accepted=%v Bytes=%d after abab via edge chunks", s.Accepted(), s.Bytes())
+	}
+}
+
+// TestStreamComposeAfterAccept: composing more input onto an accepting
+// stream must re-evaluate, not latch — and compose back to accept again.
+func TestStreamComposeAfterAccept(t *testing.T) {
+	re := MustCompile("(ab)*")
+	s, _ := re.NewStream()
+	s.Write([]byte("abab"))
+	if !s.Accepted() {
+		t.Fatal("abab rejected")
+	}
+	breaker, _ := re.NewStream()
+	breaker.Write([]byte("a"))
+	if err := s.Compose(breaker); err != nil {
+		t.Fatal(err)
+	}
+	if s.Accepted() {
+		t.Error("verdict latched across a composed trailing 'a'")
+	}
+	repair, _ := re.NewStream()
+	repair.Write([]byte("b"))
+	if err := s.Compose(repair); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Accepted() || s.Bytes() != 6 {
+		t.Fatalf("Accepted=%v Bytes=%d after repairing compose", s.Accepted(), s.Bytes())
+	}
+}
+
+// TestStreamComposeThenReset: a composed-into stream must reset cleanly.
+func TestStreamComposeThenReset(t *testing.T) {
+	re := MustCompile("(ab)*")
+	s, _ := re.NewStream()
+	u, _ := re.NewStream()
+	u.Write([]byte("a"))
+	s.Compose(u)
+	s.Reset()
+	if !s.Accepted() || s.Bytes() != 0 {
+		t.Fatal("Reset after Compose did not restore the identity")
+	}
+}
+
+// TestStreamWriteZeroAllocSteadyState guards the pooled streaming hot
+// path at the public API level.
+func TestStreamWriteZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	re := MustCompile("(([02468][13579]){5})*", WithThreads(4))
+	s, err := re.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := bytes.Repeat([]byte("0123456789"), 6400) // 64 KB, parallel path
+	for i := 0; i < 10; i++ {
+		s.Write(chunk)
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.Write(chunk) }); avg >= 0.5 {
+		t.Errorf("Stream.Write allocates %.2f allocs/op in steady state", avg)
+	}
+}
