@@ -1,14 +1,17 @@
 # CI entry points. `make ci` is the gate: vet + build + race tests +
-# a fuzz smoke run + the sfaserve serving smoke (server boot, rule load,
-# hot reload under concurrent streamed scans) + a short benchmark smoke
-# run proving the hot paths still report 0 allocs/op. `make bench-json`
-# captures the benchmark trajectory snapshot (BENCH_3.json) that CI
-# uploads as an artifact and gates on.
+# fuzz smoke runs (the multi-pattern match oracle and the snapshot
+# decoder) + the sfaserve serving smoke (server boot, rule load, hot
+# reload under concurrent streamed scans) + the snapshot smoke (save →
+# reload → verify verdicts, warm-restart sfaserve over a state dir,
+# shard-cache reuse) + a short benchmark smoke run proving the hot paths
+# still report 0 allocs/op. `make bench-json` captures the benchmark
+# trajectory snapshot (BENCH_4.json) that CI uploads as an artifact and
+# gates on.
 
 GO ?= go
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
-.PHONY: build vet test race fuzz-smoke serve-smoke bench-smoke bench-json ci
+.PHONY: build vet test race fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -22,10 +25,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Exercise the sfa fuzz corpus for a few seconds so the oracle
-# cross-checks in fuzz_test.go actually run somewhere.
+# Exercise the fuzz corpora for a few seconds so the oracle cross-checks
+# actually run somewhere: FuzzMatch (combined vs isolated vs derivative
+# oracle) and FuzzLoadRuleSet (malformed snapshots must error, never
+# panic or over-allocate).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./sfa
+	$(GO) test -fuzz=FuzzLoadRuleSet -fuzztime=10s -run '^$$' ./sfa
 
 # Serving subsystem smoke: boot the real sfaserve loop, load rules over
 # HTTP, hot-reload under concurrent streamed scans, assert shard reuse —
@@ -33,20 +39,28 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -race -run 'TestServeSmoke|TestServeEndToEnd|TestRuleboardConcurrentScansAndReloads' ./cmd/sfaserve ./internal/serve
 
+# Snapshot subsystem smoke: rule-set save → reload → byte-identical
+# verdicts (vs the isolated oracle), warm-restart the real sfaserve over
+# a state directory twice asserting stable persisted BuildIDs, and the
+# content-addressed store's concurrency/eviction behaviour — under -race.
+snapshot-smoke:
+	$(GO) test -race -run 'TestRuleSetSnapshotRoundTrip|TestLoadRuleSetRejectsCorruption|TestShardCacheWarmsRepeatedBuilds|TestWarmRestartSmoke|TestStatePersistAndWarmRestore|TestStoreConcurrent|TestStoreEviction' ./sfa ./cmd/sfaserve ./internal/serve ./internal/snapshot
+
 # Keep the smoke run small: 1 MiB inputs, 2 iterations per benchmark.
 # 'Hotpath' also selects the StreamHotpath carried-mapping writes.
 bench-smoke:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_' -benchtime 2x .
 
 # Benchmark-trajectory snapshot: hot path + layouts + the multi-pattern
-# RuleSet engines + the streaming writes, emitted as name → {ns/op, MB/s,
-# allocs/op}. benchjson doubles as the allocation gate: the pooled match
-# hot path and the streaming chunk hot path must stay at 0 allocs/op,
-# each armed by its own pattern.
+# RuleSet engines + the streaming writes + the cold-vs-warm rule-set
+# load pair, emitted as name → {ns/op, MB/s, allocs/op}. benchjson
+# doubles as the allocation gate: the pooled match hot path and the
+# streaming chunk hot path must stay at 0 allocs/op, each armed by its
+# own pattern.
 bench-json:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_|RuleSet_' -benchtime 2x -benchmem . > bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) \
 		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
 
-ci: vet build race fuzz-smoke serve-smoke bench-smoke
+ci: vet build race fuzz-smoke serve-smoke snapshot-smoke bench-smoke

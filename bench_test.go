@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -465,6 +466,50 @@ func BenchmarkRuleSet_Sharded4_p1(b *testing.B) {
 
 func BenchmarkRuleSet_Isolated_p1(b *testing.B) {
 	benchRuleSet(b, rulesetFixture(b, "isolated", sfa.WithIsolatedRules()))
+}
+
+// The cold-vs-warm pair quantifies the snapshot subsystem: ColdBuild is
+// the full compile of the curated snort sample (parse → product DFA →
+// mask-aware minimization → D-SFA, per shard); WarmLoad replaces all of
+// it with a decode+validate pass over the snapshot bytes. BENCH_4.json
+// records both, so the warm-restart win is tracked release over release.
+func snapshotBenchDefs() []sfa.RuleDef {
+	rules := snort.ScanSample(12)
+	defs := make([]sfa.RuleDef, len(rules))
+	for i, r := range rules {
+		defs[i] = sfa.RuleDef{Name: fmt.Sprintf("r%03d", r.ID), Pattern: r.Pattern, Flags: harness.SFAFlags(r.Flags)}
+	}
+	return defs
+}
+
+func BenchmarkRuleSet_SnapshotColdBuild(b *testing.B) {
+	defs := snapshotBenchDefs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfa.NewRuleSetFromDefs(defs, sfa.WithSearch(), sfa.WithThreads(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleSet_SnapshotWarmLoad(b *testing.B) {
+	rs, err := sfa.NewRuleSetFromDefs(snapshotBenchDefs(), sfa.WithSearch(), sfa.WithThreads(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	snap := buf.Bytes()
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfa.LoadRuleSet(bytes.NewReader(snap), sfa.WithThreads(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblation_Chunking compares p chunks on p goroutines against

@@ -1,84 +1,205 @@
-// Command sfacache compiles a pattern to a serialized D-SFA file and
-// matches inputs against such files without recompiling — the deployment
-// answer to Table III, where D-SFA construction (seconds for 10⁴–10⁶
-// states) dominates start-up.
+// Command sfacache compiles patterns and rule sets to serialized
+// automaton files and matches inputs against them without recompiling —
+// the deployment answer to Table III, where D-SFA construction (seconds
+// for 10⁴–10⁶ states) dominates start-up.
 //
-// Usage:
+// Single patterns (the original mode):
 //
 //	sfacache -compile '([0-4]{50}[5-9]{50})*' -o r50.sfa
 //	sfacache -load r50.sfa -match input.bin [-p 4]
 //	sfacache -load r50.sfa -info
+//
+// Rule sets (combined multi-pattern snapshots, sfagrep -f format):
+//
+//	sfacache -rules rules.txt -o rules.rsnap [-cache dir] [-whole]
+//	sfacache -load rules.rsnap -info
+//	sfacache -load rules.rsnap -match input.bin
+//
+// -load sniffs the file type from its magic, so one flag serves both
+// formats. -cache points the compiler at a content-addressed shard
+// cache directory: recompiling the same rules (or a rule file sharing
+// shards with one compiled before) loads the hit shards from disk and
+// builds only the misses. -info on a rule-set snapshot prints per-shard
+// and per-rule statistics, including the persisted stable BuildID.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/engine"
+	"repro/internal/serve"
 	"repro/internal/syntax"
+	"repro/sfa"
 )
+
+// snapshotMagicLen is how many bytes the rule-set sniff needs.
+const snapshotMagicLen = 8
 
 func main() {
 	compile := flag.String("compile", "", "pattern to compile")
-	out := flag.String("o", "pattern.sfa", "output file for -compile")
-	load := flag.String("load", "", "serialized D-SFA file to load")
+	rules := flag.String("rules", "", "rules file to compile into a rule-set snapshot")
+	out := flag.String("o", "", "output file (-compile default pattern.sfa, -rules default rules.rsnap)")
+	load := flag.String("load", "", "serialized automaton or rule-set snapshot to load")
 	match := flag.String("match", "", "input file to match (with -load)")
 	info := flag.Bool("info", false, "print automaton info (with -load)")
 	threads := flag.Int("p", 2, "threads for matching")
+	cacheDir := flag.String("cache", "", "content-addressed shard cache directory (with -rules)")
+	whole := flag.Bool("whole", false, "with -rules: whole-input acceptance instead of substring search")
 	flag.Parse()
 
 	switch {
 	case *compile != "":
-		node, err := syntax.Parse(*compile, 0)
-		fail(err)
-		start := time.Now()
-		d, err := dfa.Compile(node, 0)
-		fail(err)
-		s, err := core.BuildDSFA(d, 0)
-		fail(err)
-		build := time.Since(start)
-		f, err := os.Create(*out)
-		fail(err)
-		n, err := s.WriteTo(f)
-		fail(err)
-		fail(f.Close())
-		fmt.Printf("compiled %q: |D|=%d |Sd|=%d in %v, wrote %d bytes to %s\n",
-			*compile, d.LiveSize(), s.LiveSize(), build, n, *out)
-
+		compilePattern(*compile, orDefault(*out, "pattern.sfa"))
+	case *rules != "":
+		compileRules(*rules, orDefault(*out, "rules.rsnap"), *cacheDir, *whole, *threads)
 	case *load != "":
-		f, err := os.Open(*load)
-		fail(err)
-		start := time.Now()
-		s, err := core.ReadDSFA(f)
-		fail(err)
-		fail(f.Close())
-		fmt.Printf("loaded %s: |D|=%d |Sd|=%d in %v\n",
-			*load, s.D.LiveSize(), s.LiveSize(), time.Since(start))
-		if *info {
-			fmt.Printf("classes=%d memory=%d KiB accept-states=%d\n",
-				s.D.BC.Count, s.MemoryBytes()>>10, countTrue(s.Accept))
-		}
-		if *match != "" {
-			data, err := os.ReadFile(*match)
-			fail(err)
-			m := engine.NewSFAParallel(s, *threads, engine.ReduceSequential)
-			start = time.Now()
-			ok := m.Match(data)
-			dur := time.Since(start)
-			fmt.Printf("match=%v %d bytes in %v (%.3f GB/s, p=%d)\n",
-				ok, len(data), dur, float64(len(data))/dur.Seconds()/1e9, *threads)
-			if !ok {
-				os.Exit(1)
-			}
-		}
-
+		loadFile(*load, *match, *info, *threads)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: sfacache -compile PATTERN -o FILE | -load FILE [-match INPUT] [-info]")
+		fmt.Fprintln(os.Stderr, "usage: sfacache -compile PATTERN -o FILE | -rules FILE -o FILE [-cache DIR] | -load FILE [-match INPUT] [-info]")
 		os.Exit(2)
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// compilePattern is the original single-pattern mode.
+func compilePattern(pattern, out string) {
+	node, err := syntax.Parse(pattern, 0)
+	fail(err)
+	start := time.Now()
+	d, err := dfa.Compile(node, 0)
+	fail(err)
+	s, err := core.BuildDSFA(d, 0)
+	fail(err)
+	build := time.Since(start)
+	f, err := os.Create(out)
+	fail(err)
+	n, err := s.WriteTo(f)
+	fail(err)
+	fail(f.Close())
+	fmt.Printf("compiled %q: |D|=%d |Sd|=%d in %v, wrote %d bytes to %s\n",
+		pattern, d.LiveSize(), s.LiveSize(), build, n, out)
+}
+
+// compileRules builds a combined rule set (optionally warming from /
+// filling a shard cache) and writes its snapshot.
+func compileRules(path, out, cacheDir string, whole bool, threads int) {
+	f, err := os.Open(path)
+	fail(err)
+	defs, err := serve.ParseRules(f)
+	f.Close()
+	fail(err)
+
+	opts := []sfa.Option{sfa.WithThreads(threads)}
+	if !whole {
+		opts = append(opts, sfa.WithSearch())
+	}
+	if cacheDir != "" {
+		opts = append(opts, sfa.WithShardCache(cacheDir))
+	}
+	start := time.Now()
+	rs, err := sfa.NewRuleSetFromDefs(defs, opts...)
+	fail(err)
+	build := time.Since(start)
+
+	of, err := os.Create(out)
+	fail(err)
+	bw := bufio.NewWriter(of)
+	fail(rs.Save(bw))
+	fail(bw.Flush())
+	fail(of.Close())
+	st, err := os.Stat(out)
+	fail(err)
+	warm := 0
+	for _, sh := range rs.Shards() {
+		if sh.BuildID&(1<<63) != 0 {
+			warm++
+		}
+	}
+	fmt.Printf("compiled %d rules into %d shard(s) in %v (%d from cache), wrote %d KiB to %s\n",
+		rs.Len(), rs.NumShards(), build, warm, st.Size()>>10, out)
+}
+
+// loadFile sniffs the file type and dispatches.
+func loadFile(path, match string, info bool, threads int) {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(snapshotMagicLen)
+	if err == nil && sfa.SniffRuleSetSnapshot(magic) {
+		loadRuleSet(path, br, match, info, threads)
+		return
+	}
+	loadPattern(path, br, match, info, threads)
+}
+
+// loadPattern handles the original single-pattern D-SFA files.
+func loadPattern(path string, r *bufio.Reader, match string, info bool, threads int) {
+	start := time.Now()
+	s, err := core.ReadDSFA(r)
+	fail(err)
+	fmt.Printf("loaded %s: |D|=%d |Sd|=%d in %v\n",
+		path, s.D.LiveSize(), s.LiveSize(), time.Since(start))
+	if info {
+		fmt.Printf("classes=%d memory=%d KiB accept-states=%d\n",
+			s.D.BC.Count, s.MemoryBytes()>>10, countTrue(s.Accept))
+	}
+	if match != "" {
+		data, err := os.ReadFile(match)
+		fail(err)
+		m := engine.NewSFAParallel(s, threads, engine.ReduceSequential)
+		start = time.Now()
+		ok := m.Match(data)
+		dur := time.Since(start)
+		fmt.Printf("match=%v %d bytes in %v (%.3f GB/s, p=%d)\n",
+			ok, len(data), dur, float64(len(data))/dur.Seconds()/1e9, threads)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// loadRuleSet handles rule-set snapshots.
+func loadRuleSet(path string, r *bufio.Reader, match string, info bool, threads int) {
+	start := time.Now()
+	rs, err := sfa.LoadRuleSet(r, sfa.WithThreads(threads))
+	fail(err)
+	fmt.Printf("loaded %s: %d rules in %d shard(s) in %v\n",
+		path, rs.Len(), rs.NumShards(), time.Since(start))
+	if info {
+		for i, sh := range rs.Shards() {
+			fmt.Printf("  shard %d: |D|=%-6d |Sd|=%-7d layout=%-5s table %6d KiB  build=%016x  %d rule(s): %s\n",
+				i, sh.DFAStates, sh.SFAStates, sh.Layout, sh.TableBytes>>10, sh.BuildID,
+				len(sh.Rules), strings.Join(sh.Rules, " "))
+		}
+	}
+	if match != "" {
+		data, err := os.ReadFile(match)
+		fail(err)
+		start = time.Now()
+		hits := rs.Scan(data, 0)
+		dur := time.Since(start)
+		fmt.Printf("%d bytes in %v (%.3f GB/s): %d rule(s) match\n",
+			len(data), dur, float64(len(data))/dur.Seconds()/1e9, len(hits))
+		for _, name := range hits {
+			fmt.Println(name)
+		}
+		if len(hits) == 0 {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -20,7 +20,12 @@
 // Usage:
 //
 //	sfagrep [-engine sfa|lazy|dfa|spec|nfa] [-p N] [-whole] pattern [file]
-//	sfagrep -f rules [-isolated] [-shards K] [file]
+//	sfagrep -f rules [-isolated] [-shards K] [-cache dir] [file]
+//
+// -cache points the combined compiler at a content-addressed shard
+// cache directory: the first run stores every compiled shard, repeated
+// runs over the same rules load them instead of rebuilding (-stats shows
+// the build time collapse).
 package main
 
 import (
@@ -56,6 +61,7 @@ func main() {
 	rulesFile := flag.String("f", "", "rules file: one `name pattern` (or bare pattern) per line")
 	isolated := flag.Bool("isolated", false, "with -f: one engine per rule instead of the combined automaton")
 	shards := flag.Int("shards", 0, "with -f: force K combined shards (0 = automatic)")
+	cacheDir := flag.String("cache", "", "with -f: content-addressed shard cache directory (repeated runs skip construction)")
 	flag.Parse()
 
 	wantArgs := 1
@@ -100,6 +106,9 @@ func main() {
 	opts = append(opts, sfa.WithEngine(eng))
 
 	if *rulesFile != "" {
+		if *cacheDir != "" {
+			opts = append(opts, sfa.WithShardCache(*cacheDir))
+		}
 		scanRules(*rulesFile, input, opts, *isolated, *shards, *stats)
 		return
 	}

@@ -5,13 +5,24 @@
 //
 // Usage:
 //
-//	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N] [tenant=rulesfile ...]
+//	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N]
+//	         [-state-dir DIR] [-pprof] [tenant=rulesfile ...]
+//
+// With -state-dir the server persists every tenant's rule text and
+// compiled snapshot (plus a content-addressed shard cache) through each
+// reload, and a restarted server restores its tenants warm — decoded
+// automata instead of recompiled ones, observable through the stable
+// top-bit ShardInfo.BuildIDs in tenant stats. On SIGINT/SIGTERM it
+// stops accepting, drains in-flight streamed scans via Ruleboard
+// generation pinning, re-persists state, and exits 0.
 //
 // Each positional argument preloads a tenant from a rules file (same
 // format as sfagrep -f: one `name pattern` or bare pattern per line,
 // # comments). The HTTP API:
 //
 //	GET    /healthz                   liveness
+//	GET    /metrics                   JSON counters (scans, reloads, snapshots)
+//	GET    /debug/pprof/*             Go profiling (opt-in via -pprof)
 //	GET    /v1/tenants                list tenants with shard stats
 //	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
 //	GET    /v1/tenants/{name}         one tenant's stats
@@ -20,29 +31,48 @@
 //
 // Example session:
 //
-//	sfaserve &
+//	sfaserve -state-dir /var/lib/sfaserve &
 //	curl -X PUT --data-binary @rules.txt localhost:8261/v1/tenants/ids
 //	curl -X POST --data-binary @payload.bin localhost:8261/v1/tenants/ids/scan
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/serve"
 	"repro/sfa"
 )
+
+// drainTimeout bounds how long shutdown waits for in-flight scans.
+const drainTimeout = 30 * time.Second
+
+// serverConfig is everything run needs; the tests drive run directly
+// with a synthetic shutdown channel instead of signals.
+type serverConfig struct {
+	addr     string
+	stateDir string
+	pprof    bool
+	preloads []string
+	opts     []sfa.Option
+}
 
 func main() {
 	addr := flag.String("addr", ":8261", "listen address")
 	threads := flag.Int("p", 0, "chunk parallelism per scan (0 = GOMAXPROCS)")
 	whole := flag.Bool("whole", false, "whole-input acceptance instead of substring search")
 	budget := flag.Int("shard-budget", 0, "per-shard D-SFA state budget (0 = default)")
+	stateDir := flag.String("state-dir", "", "persist tenants (rules + compiled snapshots) here; warm-restores them on boot")
+	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof/* (profiles expose resident rules/payloads — enable only on trusted networks)")
 	flag.Parse()
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
@@ -53,18 +83,38 @@ func main() {
 		opts = append(opts, sfa.WithShardStateBudget(*budget))
 	}
 
-	if err := run(*addr, flag.Args(), opts, nil); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := serverConfig{addr: *addr, stateDir: *stateDir, pprof: *pprofFlag, preloads: flag.Args(), opts: opts}
+	if err := run(cfg, nil, ctx.Done()); err != nil {
 		fmt.Fprintf(os.Stderr, "sfaserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run builds the hub, preloads tenants, and serves until the listener
-// fails. ready, if non-nil, receives the bound address once the server
-// is listening (the smoke test uses it with addr ":0").
-func run(addr string, preloads []string, opts []sfa.Option, ready chan<- string) error {
-	hub := serve.NewHub(opts...)
-	for _, spec := range preloads {
+// run builds the hub (restoring persisted tenants when a state dir is
+// configured), preloads tenants, and serves until the listener fails or
+// shutdown closes. ready, if non-nil, receives the bound address once
+// the server is listening. A shutdown-initiated exit returns nil after
+// the graceful sequence: stop accepting → drain pinned scans → persist.
+func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error {
+	hub := serve.NewHub(cfg.opts...)
+	if cfg.stateDir != "" {
+		st, err := serve.OpenState(cfg.stateDir)
+		if err != nil {
+			return err
+		}
+		hub.SetState(st)
+		stats, err := hub.Restore()
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", cfg.stateDir, err)
+		}
+		if stats.Tenants > 0 || len(stats.Failed) > 0 {
+			log.Printf("state %s: restored %d tenant(s) (%d warm, %d rebuilt, %d cold), %d failed",
+				cfg.stateDir, stats.Tenants, stats.Warm, stats.Rebuilt, stats.Cold, len(stats.Failed))
+		}
+	}
+	for _, spec := range cfg.preloads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("bad preload %q (want tenant=rulesfile)", spec)
@@ -85,13 +135,42 @@ func run(addr string, preloads []string, opts []sfa.Option, ready chan<- string)
 		log.Printf("tenant %s: %d rules in %d shard(s)", name, b.RuleSet().Len(), b.RuleSet().NumShards())
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (%d tenants preloaded)", ln.Addr(), len(preloads))
+	log.Printf("listening on %s (%d tenants)", ln.Addr(), len(hub.Names()))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	return http.Serve(ln, serve.NewHandler(hub))
+	var hopts []serve.HandlerOption
+	if cfg.pprof {
+		hopts = append(hopts, serve.WithProfiling())
+	}
+	srv := &http.Server{Handler: serve.NewHandler(hub, hopts...)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-shutdown:
+	}
+
+	// Graceful sequence: Shutdown stops the listener and waits for
+	// in-flight handlers; Drain double-checks via generation pinning
+	// that no streamed scan is still writing; then state is mirrored
+	// one last time and the process exits 0.
+	log.Printf("shutting down: draining in-flight scans")
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := hub.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	hub.PersistAll()
+	log.Printf("bye")
+	return nil
 }

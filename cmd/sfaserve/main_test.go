@@ -26,7 +26,12 @@ func TestServeSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run("127.0.0.1:0", []string{"ids=" + rules}, []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)}, ready)
+		cfg := serverConfig{
+			addr:     "127.0.0.1:0",
+			preloads: []string{"ids=" + rules},
+			opts:     []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)},
+		}
+		errc <- run(cfg, ready, nil)
 	}()
 	var base string
 	select {
@@ -118,4 +123,162 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// shardStat mirrors the tenant-status JSON the warm-restart test reads.
+type shardStat struct {
+	BuildID uint64 `json:"build_id"`
+}
+
+// bootState starts a server over stateDir and returns its base URL plus
+// a clean shutdown function that waits for graceful exit.
+func bootState(t *testing.T, stateDir string, preloads ...string) (string, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	shutdown := make(chan struct{})
+	go func() {
+		cfg := serverConfig{
+			addr:     "127.0.0.1:0",
+			stateDir: stateDir,
+			preloads: preloads,
+			opts:     []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)},
+		}
+		errc <- run(cfg, ready, shutdown)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return base, func() {
+		close(shutdown)
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("graceful shutdown returned %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}
+}
+
+// tenantBuildIDs fetches a tenant's shard BuildIDs.
+func tenantBuildIDs(t *testing.T, base, tenant string) []uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/tenants/" + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant status %d: %s", resp.StatusCode, body)
+	}
+	var status struct {
+		Shards []shardStat `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(status.Shards))
+	for i, s := range status.Shards {
+		ids[i] = s.BuildID
+	}
+	return ids
+}
+
+// TestWarmRestartSmoke is the `make snapshot-smoke` server half: boot
+// with -state-dir, load rules, shut down gracefully, boot again — the
+// restarted server must serve its first scan from restored (not
+// recompiled) automata, observable through stable top-bit BuildIDs that
+// survive a third boot unchanged.
+func TestWarmRestartSmoke(t *testing.T) {
+	dir := t.TempDir()
+	stateDir := filepath.Join(dir, "state")
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte("passwd /etc/passwd\ncmd (cmd|command)\\.exe\nnum [0-9]{6,}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scan := func(base, tenant, body string) []string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/tenants/"+tenant+"/scan", "application/octet-stream", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan status %d: %s", resp.StatusCode, raw)
+		}
+		var reply struct {
+			Matches []string `json:"matches"`
+		}
+		if err := json.Unmarshal([]byte(raw), &reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Matches
+	}
+
+	// Boot 1: cold build from the preload, persisted via the state dir.
+	base, stop := bootState(t, stateDir, "ids="+rules)
+	if got := scan(base, "ids", "GET /etc/passwd HTTP/1.1"); len(got) != 1 || got[0] != "passwd" {
+		t.Fatalf("boot1 verdict %v", got)
+	}
+	stop()
+
+	// Boot 2: no preloads — the tenant must come back from the state
+	// dir, warm, and answer its first scan identically.
+	base, stop = bootState(t, stateDir)
+	if got := scan(base, "ids", "GET /etc/passwd HTTP/1.1"); len(got) != 1 || got[0] != "passwd" {
+		t.Fatalf("boot2 first scan verdict %v", got)
+	}
+	ids2 := tenantBuildIDs(t, base, "ids")
+	if len(ids2) == 0 {
+		t.Fatal("boot2: no shards reported")
+	}
+	for i, id := range ids2 {
+		if id&(1<<63) == 0 {
+			t.Fatalf("boot2 shard %d has sequential build id %d — it was recompiled, not restored", i, id)
+		}
+	}
+	// /metrics must report the warm restore.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := readAll(t, resp)
+	resp.Body.Close()
+	var metrics struct {
+		Snapshot struct {
+			WarmLoads int64 `json:"warm_loads"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal([]byte(metricsBody), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Snapshot.WarmLoads != 1 {
+		t.Fatalf("boot2 warm_loads = %d, want 1 (%s)", metrics.Snapshot.WarmLoads, metricsBody)
+	}
+	stop()
+
+	// Boot 3: the persisted ids are content-derived, so an unchanged
+	// tenant reports the identical BuildIDs again.
+	base, stop = bootState(t, stateDir)
+	defer stop()
+	ids3 := tenantBuildIDs(t, base, "ids")
+	if len(ids3) != len(ids2) {
+		t.Fatalf("boot3 has %d shards, boot2 had %d", len(ids3), len(ids2))
+	}
+	for i := range ids3 {
+		if ids3[i] != ids2[i] {
+			t.Fatalf("boot3 shard %d build id %d != boot2's %d", i, ids3[i], ids2[i])
+		}
+	}
 }

@@ -1,0 +1,162 @@
+// Package binio holds the small binary-stream helpers shared by the
+// automaton codecs (internal/dfa, internal/core, internal/multi) and the
+// rule-set snapshot layer (package sfa).
+//
+// The one rule every reader here obeys: never allocate more than the
+// stream has actually delivered. Snapshot and cache files are parsed
+// from untrusted bytes (FuzzLoadRuleSet feeds the decoders arbitrary
+// mutations), so a length field is a *claim*, not a fact — ReadExact
+// grows its buffer chunk by chunk as data arrives, which turns a lying
+// multi-gigabyte length prefix into a prompt io.ErrUnexpectedEOF instead
+// of a huge up-front make().
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// readChunk bounds the per-step allocation of ReadExact. 1 MiB keeps the
+// copy overhead invisible next to automaton construction while capping
+// what a truncated stream can cost.
+const readChunk = 1 << 20
+
+// ReadExact reads exactly n bytes from r, growing the result as data
+// arrives so the allocation is always proportional to the bytes actually
+// present. n < 0 is an error.
+func ReadExact(r io.Reader, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("binio: negative length %d", n)
+	}
+	cap0 := n
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	buf := make([]byte, 0, cap0)
+	for len(buf) < n {
+		k := n - len(buf)
+		if k > readChunk {
+			k = readChunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// WriteUvarint writes v in the standard varint encoding.
+func WriteUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// ReadUvarint reads a varint from a plain io.Reader, one byte at a time
+// (the codec readers are not io.ByteReaders).
+func ReadUvarint(r io.Reader) (uint64, error) {
+	var x uint64
+	var shift uint
+	var b [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		c := b[0]
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, fmt.Errorf("binio: varint overflows 64 bits")
+			}
+			return x | uint64(c)<<shift, nil
+		}
+		x |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("binio: varint overflows 64 bits")
+}
+
+// ReadCount reads a varint and validates it against an inclusive upper
+// bound, the shape every "how many follow" field of the codecs takes.
+func ReadCount(r io.Reader, max uint64, what string) (int, error) {
+	v, err := ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("binio: reading %s count: %w", what, err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("binio: implausible %s count %d (max %d)", what, v, max)
+	}
+	return int(v), nil
+}
+
+// WriteBytes writes a varint length prefix followed by b.
+func WriteBytes(w io.Writer, b []byte) error {
+	if err := WriteUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadBytes reads a length-prefixed byte string written by WriteBytes,
+// rejecting declared lengths over max before any proportional read.
+func ReadBytes(r io.Reader, max uint64, what string) ([]byte, error) {
+	n, err := ReadCount(r, max, what)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ReadExact(r, n)
+	if err != nil {
+		return nil, fmt.Errorf("binio: reading %s (%d bytes): %w", what, n, err)
+	}
+	return b, nil
+}
+
+// WriteString is WriteBytes for strings.
+func WriteString(w io.Writer, s string) error { return WriteBytes(w, []byte(s)) }
+
+// ReadString is ReadBytes for strings.
+func ReadString(r io.Reader, max uint64, what string) (string, error) {
+	b, err := ReadBytes(r, max, what)
+	return string(b), err
+}
+
+// CRC-32C (Castagnoli) framing shared by the shard, set, and snapshot
+// codecs: writers tee through NewCRC32C, readers through a CRCReader,
+// and the 4-byte little-endian trailer is compared at the end.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// NewCRC32C returns a running CRC-32C for the writer side of a frame.
+func NewCRC32C() hash.Hash32 { return crc32.New(castagnoli) }
+
+// CRCReader hashes everything read through it.
+type CRCReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+// NewCRCReader wraps r with a running CRC-32C.
+func NewCRCReader(r io.Reader) *CRCReader {
+	return &CRCReader{r: r, h: crc32.New(castagnoli)}
+}
+
+func (c *CRCReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+// Sum32 returns the CRC of everything read so far.
+func (c *CRCReader) Sum32() uint32 { return c.h.Sum32() }

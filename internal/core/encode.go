@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/binio"
 	"repro/internal/dfa"
 )
 
@@ -94,20 +95,27 @@ func ReadDSFA(r io.Reader) (*DSFA, error) {
 	if s.Start < 0 || int(s.Start) >= s.NumStates {
 		return nil, fmt.Errorf("core: start %d out of range", s.Start)
 	}
-	accept := make([]byte, (s.NumStates+7)/8)
-	if _, err := io.ReadFull(br, accept); err != nil {
+	// Read every variable section before allocating the automaton's
+	// tables, so a lying header costs at most the bytes actually present
+	// (binio.ReadExact grows with the stream).
+	nc := d.BC.Count
+	accept, err := binio.ReadExact(br, (s.NumStates+7)/8)
+	if err != nil {
 		return nil, fmt.Errorf("core: reading accept: %w", err)
+	}
+	buf, err := binio.ReadExact(br, 4*s.NumStates*nc)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading transitions: %w", err)
+	}
+	mbuf, err := binio.ReadExact(br, 2*s.NumStates*s.n)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading mappings: %w", err)
 	}
 	s.Accept = make([]bool, s.NumStates)
 	for q := 0; q < s.NumStates; q++ {
 		s.Accept[q] = accept[q>>3]&(1<<(q&7)) != 0
 	}
-	nc := d.BC.Count
 	s.NextC = make([]int32, s.NumStates*nc)
-	buf := make([]byte, 4*len(s.NextC))
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("core: reading transitions: %w", err)
-	}
 	for i := range s.NextC {
 		to := int32(binary.LittleEndian.Uint32(buf[i*4:]))
 		if to < 0 || int(to) >= s.NumStates {
@@ -116,10 +124,6 @@ func ReadDSFA(r io.Reader) (*DSFA, error) {
 		s.NextC[i] = to
 	}
 	s.maps = make([]int16, s.NumStates*s.n)
-	mbuf := make([]byte, 2*len(s.maps))
-	if _, err := io.ReadFull(br, mbuf); err != nil {
-		return nil, fmt.Errorf("core: reading mappings: %w", err)
-	}
 	for i := range s.maps {
 		x := int16(binary.LittleEndian.Uint16(mbuf[i*2:]))
 		if x < 0 || int(x) >= d.NumStates {
@@ -134,4 +138,61 @@ func ReadDSFA(r io.Reader) (*DSFA, error) {
 		s.ids[h] = append(s.ids[h], id)
 	}
 	return s, nil
+}
+
+// Per-state accept-bitmask tables (the multi-pattern engines' per-rule
+// verdict storage: one row of `words` uint64 words per combined-DFA
+// state). Serialized little-endian with a varint length prefix so the
+// rule-set codec in internal/multi can frame them.
+
+// WriteMaskTable serializes a mask table of stride `words`.
+func WriteMaskTable(w io.Writer, masks []uint64) error {
+	if err := binio.WriteUvarint(w, uint64(len(masks))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(masks))
+	for i, m := range masks {
+		binary.LittleEndian.PutUint64(buf[i*8:], m)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMaskTable reads a mask table written by WriteMaskTable and
+// validates its shape: exactly states×words entries, and in every row
+// no bit at or above ruleBits set (mask rows describe ruleBits rules;
+// stray high bits mean corruption).
+func ReadMaskTable(r io.Reader, states, words, ruleBits int) ([]uint64, error) {
+	n, err := binio.ReadCount(r, uint64(states)*uint64(words), "mask table")
+	if err != nil {
+		return nil, err
+	}
+	if n != states*words {
+		return nil, fmt.Errorf("core: mask table %d entries, want %d states × %d words", n, states, words)
+	}
+	buf, err := binio.ReadExact(r, 8*n)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading mask table: %w", err)
+	}
+	masks := make([]uint64, n)
+	for i := range masks {
+		masks[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	for q := 0; q < states; q++ {
+		row := masks[q*words : (q+1)*words]
+		for wi, m := range row {
+			lo := wi * 64
+			var allowed uint64
+			switch {
+			case ruleBits >= lo+64:
+				allowed = ^uint64(0)
+			case ruleBits > lo:
+				allowed = (uint64(1) << (ruleBits - lo)) - 1
+			}
+			if m&^allowed != 0 {
+				return nil, fmt.Errorf("core: mask table state %d has bits beyond %d rules", q, ruleBits)
+			}
+		}
+	}
+	return masks, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/binio"
 	"repro/internal/nfa"
 )
 
@@ -99,19 +100,21 @@ func ReadDFA(r io.Reader) (*DFA, error) {
 		}
 	}
 
+	// Read both variable sections before allocating the automaton, so a
+	// lying header costs at most the bytes actually present (binio).
+	accept, err := binio.ReadExact(br, (numStates+7)/8)
+	if err != nil {
+		return nil, fmt.Errorf("dfa: reading accept: %w", err)
+	}
+	buf, err := binio.ReadExact(br, 4*numStates*classes)
+	if err != nil {
+		return nil, fmt.Errorf("dfa: reading transitions: %w", err)
+	}
 	d := New(numStates, bc)
 	d.Start = start
 	d.Dead = dead
-	accept := make([]byte, (numStates+7)/8)
-	if _, err := io.ReadFull(br, accept); err != nil {
-		return nil, fmt.Errorf("dfa: reading accept: %w", err)
-	}
 	for q := 0; q < numStates; q++ {
 		d.Accept[q] = accept[q>>3]&(1<<(q&7)) != 0
-	}
-	buf := make([]byte, 4*len(d.NextC))
-	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("dfa: reading transitions: %w", err)
 	}
 	for i := range d.NextC {
 		d.NextC[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))

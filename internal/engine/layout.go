@@ -88,9 +88,10 @@ func resolveLayout(l TableLayout, n int) TableLayout {
 // engineOpts collects the construction options shared by the parallel
 // engines.
 type engineOpts struct {
-	layout TableLayout
-	spawn  bool
-	pool   *Pool
+	layout  TableLayout
+	spawn   bool
+	pool    *Pool
+	buildID uint64
 }
 
 // Option configures a parallel engine at construction.
@@ -116,6 +117,14 @@ func WithSpawn() Option { return func(o *engineOpts) { o.spawn = true } }
 // WithPool runs matches on the given persistent pool instead of the
 // process-wide DefaultPool.
 func WithPool(p *Pool) Option { return func(o *engineOpts) { o.pool = p } }
+
+// WithBuildID overrides the engine's construction id (normally a small
+// process-sequential number issued by buildSeq). Snapshot warm loads use
+// it to adopt the persisted content-derived id — which always carries the
+// top bit, so adopted ids can never collide with sequential ones — making
+// "this automaton was decoded from disk, not rebuilt" observable through
+// ShardInfo.BuildID across process restarts. 0 keeps the sequential id.
+func WithBuildID(id uint64) Option { return func(o *engineOpts) { o.buildID = id } }
 
 func buildOpts(opts []Option) engineOpts {
 	var o engineOpts

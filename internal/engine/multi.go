@@ -45,6 +45,10 @@ func NewMultiSFA(s *core.DSFA, masks []uint64, words, threads int, opts ...Optio
 			len(masks), s.D.NumStates, words))
 	}
 	o := buildOpts(opts)
+	id := o.buildID
+	if id == 0 {
+		id = buildSeq.Add(1)
+	}
 	m := &MultiSFA{
 		s:       s,
 		words:   words,
@@ -53,7 +57,7 @@ func NewMultiSFA(s *core.DSFA, masks []uint64, words, threads int, opts ...Optio
 		layout:  resolveLayout(o.layout, s.NumStates),
 		spawn:   o.spawn,
 		pool:    o.pool,
-		id:      buildSeq.Add(1),
+		id:      id,
 	}
 	switch m.layout {
 	case LayoutU8:
@@ -146,6 +150,11 @@ func (m *MultiSFA) Match(text []byte) bool {
 
 // Words returns the mask width in uint64 words.
 func (m *MultiSFA) Words() int { return m.words }
+
+// Masks exposes the combined-DFA-state-indexed accept bitmask table
+// (stride Words()) so the rule-set codec can serialize it. The slice
+// aliases internal storage and must not be modified.
+func (m *MultiSFA) Masks() []uint64 { return m.masks }
 
 // SFA exposes the combined automaton (stats reporting).
 func (m *MultiSFA) SFA() *core.DSFA { return m.s }

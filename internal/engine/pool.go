@@ -109,6 +109,23 @@ func DefaultPool() *Pool {
 	return defaultPool
 }
 
+// funcTask adapts a plain closure to the chunkTask interface so callers
+// outside the match hot path (e.g. multi's concurrent shard builds) can
+// fan work out over the pool without implementing the unexported
+// interface themselves.
+type funcTask struct{ f func(int) }
+
+func (t funcTask) runChunk(i int) { t.f(i) }
+
+// Map executes f(i) for every i in [0, n) on the pool and returns when
+// all calls have completed. Unlike the match path it allocates (one task
+// box and one jobState per call) — it is the construction-time fan-out,
+// not a hot path. f must be safe for concurrent invocation.
+func (p *Pool) Map(n int, f func(int)) {
+	var j jobState
+	p.Run(funcTask{f: f}, &j, n)
+}
+
 // Run executes t.runChunk(i) for every i in [0, n) and returns when all
 // have completed. Chunk 0 always runs on the calling goroutine (the
 // caller would otherwise just block); chunks the queue cannot absorb run

@@ -1,0 +1,256 @@
+package multi
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// codecPatterns are small enough to build fast and varied enough to
+// shard when forced.
+var codecPatterns = []string{
+	`(ab)*c?`,
+	`[a-c]{1,4}`,
+	`x[0-9]+y`,
+	`(foo|bar)+`,
+}
+
+func codecKeys(patterns []string) []string {
+	keys := make([]string, len(patterns))
+	for i, p := range patterns {
+		keys[i] = "00\x00" + p
+	}
+	return keys
+}
+
+func parseAllCodec(t *testing.T, patterns []string) []*syntax.Node {
+	t.Helper()
+	nodes := make([]*syntax.Node, len(patterns))
+	for i, p := range patterns {
+		n, err := syntax.Parse(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	return nodes
+}
+
+// TestSetEncodeDecodeRoundTrip: the decoded set must agree Scan-for-Scan
+// with the original across shard shapes.
+func TestSetEncodeDecodeRoundTrip(t *testing.T) {
+	keys := codecKeys(codecPatterns)
+	nodes := parseAllCodec(t, codecPatterns)
+	inputs := [][]byte{nil, []byte("abc"), []byte("x12y"), []byte("foobar"), []byte("abababc"), []byte("zzzz")}
+	for _, force := range []int{0, 2, 4} {
+		s, err := Compile(nodes, Options{Threads: 2, ForceShards: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf, keys); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSet(bytes.NewReader(buf.Bytes()), keys, Options{Threads: 2})
+		if err != nil {
+			t.Fatalf("force=%d: %v", force, err)
+		}
+		if got.NumShards() != s.NumShards() || got.NumRules() != s.NumRules() {
+			t.Fatalf("force=%d: decoded %d shards/%d rules, want %d/%d",
+				force, got.NumShards(), got.NumRules(), s.NumShards(), s.NumRules())
+		}
+		wdst := make([]uint64, s.Words())
+		gdst := make([]uint64, got.Words())
+		for _, in := range inputs {
+			w := s.Scan(in, 1, wdst)
+			g := got.Scan(in, 1, gdst)
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("force=%d input %q: %x != %x", force, in, w, g)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeSetRejectsWrongRules: a snapshot loaded against a different
+// rule list must error, not silently mis-map verdict bits.
+func TestDecodeSetRejectsWrongRules(t *testing.T) {
+	keys := codecKeys(codecPatterns)
+	nodes := parseAllCodec(t, codecPatterns)
+	s, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different pattern key in position 0.
+	wrong := append([]string(nil), keys...)
+	wrong[0] = "00\x00something-else"
+	if _, err := DecodeSet(bytes.NewReader(buf.Bytes()), wrong, Options{}); err == nil {
+		t.Fatal("decode against wrong keys succeeded")
+	}
+	// Wrong count.
+	if _, err := DecodeSet(bytes.NewReader(buf.Bytes()), keys[:3], Options{}); err == nil {
+		t.Fatal("decode against fewer rules succeeded")
+	}
+}
+
+// TestDecodeShardCRC: any single-byte corruption of a shard blob must be
+// rejected by the CRC (or by validation before it).
+func TestDecodeShardCRC(t *testing.T) {
+	keys := codecKeys(codecPatterns[:2])
+	nodes := parseAllCodec(t, codecPatterns[:2])
+	s, err := Compile(nodes, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	local := make([]string, len(s.shards[0].rules))
+	for i, r := range s.shards[0].rules {
+		local[i] = keys[r]
+	}
+	if err := encodeShard(&buf, s.shards[0].m, local); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if _, err := DecodeShard(bytes.NewReader(blob), Options{}); err != nil {
+		t.Fatalf("clean blob rejected: %v", err)
+	}
+	for pos := 0; pos < len(blob); pos += 97 {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0x20
+		if _, err := DecodeShard(bytes.NewReader(mut), Options{}); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+	for _, cut := range []int{0, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeShard(bytes.NewReader(blob[:cut]), Options{}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestShardKeyOrderInsensitive: membership is a multiset.
+func TestShardKeyOrderInsensitive(t *testing.T) {
+	a := ShardKey([]string{"k1", "k2", "k2"})
+	b := ShardKey([]string{"k2", "k1", "k2"})
+	if a != b {
+		t.Fatal("shard key depends on order")
+	}
+	if a == ShardKey([]string{"k1", "k2"}) {
+		t.Fatal("multiplicity ignored")
+	}
+	if a == ShardKey([]string{"k1", "k2", "k3"}) {
+		t.Fatal("distinct membership collides")
+	}
+	// Length-prefixing must prevent concatenation ambiguity.
+	if ShardKey([]string{"ab", "c"}) == ShardKey([]string{"a", "bc"}) {
+		t.Fatal("concatenation ambiguity")
+	}
+}
+
+// memCache is an in-memory ShardCache for instrumented tests. Like any
+// ShardCache implementation it must be safe for concurrent use — the
+// build path probes it from pool workers.
+type memCache struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	loads int
+	hits  int
+}
+
+func newMemCache() *memCache { return &memCache{blobs: map[string][]byte{}} }
+
+func (c *memCache) Load(key string) (io.ReadCloser, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loads++
+	b, ok := c.blobs[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	return io.NopCloser(bytes.NewReader(b)), true
+}
+
+func (c *memCache) Store(key string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blobs[key] = buf.Bytes()
+	return nil
+}
+
+// TestCompileWithCache: a second compile of the same rules must be
+// served from the cache and still agree verdict-for-verdict; a corrupt
+// cache entry silently falls back to building.
+func TestCompileWithCache(t *testing.T) {
+	keys := codecKeys(codecPatterns)
+	nodes := parseAllCodec(t, codecPatterns)
+	cache := newMemCache()
+	o := Options{Threads: 2, Keys: keys, Cache: cache}
+
+	first, err := Compile(nodes, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.blobs) == 0 {
+		t.Fatal("compile stored nothing")
+	}
+	second, err := Compile(nodes, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits == 0 {
+		t.Fatal("second compile hit nothing")
+	}
+	for i, info := range second.Shards() {
+		if info.BuildID&(1<<63) == 0 {
+			t.Fatalf("shard %d of cached compile has sequential id %d", i, info.BuildID)
+		}
+	}
+	in := []byte("x123y foobar abc")
+	w := first.Scan(in, 1, make([]uint64, first.Words()))
+	g := second.Scan(in, 1, make([]uint64, second.Words()))
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("cached compile verdicts differ: %x != %x", w, g)
+		}
+	}
+
+	// Corrupt every entry: the build must quietly fall back.
+	for k, b := range cache.blobs {
+		if len(b) > 10 {
+			b[len(b)/2] ^= 0xff
+		}
+		cache.blobs[k] = b
+	}
+	third, err := Compile(nodes, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = third.Scan(in, 1, make([]uint64, third.Words()))
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("fallback verdicts differ: %x != %x", w, g)
+		}
+	}
+}
+
+// TestCompileKeysMismatch: Keys of the wrong length is an error.
+func TestCompileKeysMismatch(t *testing.T) {
+	nodes := parseAllCodec(t, codecPatterns)
+	if _, err := Compile(nodes, Options{Keys: []string{"only-one"}}); err == nil {
+		t.Fatal("mismatched Keys accepted")
+	}
+}

@@ -31,9 +31,7 @@ import (
 	"runtime"
 	"sort"
 
-	"repro/internal/dfa"
 	"repro/internal/engine"
-	"repro/internal/nfa"
 	"repro/internal/syntax"
 )
 
@@ -74,6 +72,17 @@ type Options struct {
 	// Spawn restores spawn-per-match goroutine creation (Fig. 10
 	// semantics) instead of the persistent pool.
 	Spawn bool
+	// Keys are opaque per-rule identity strings — Keys[i] identifies
+	// nodes[i] by pattern source plus every semantics-affecting flag,
+	// the same contract Recompile's reuse matches on. They enable the
+	// content-addressed shard cache; nil leaves caching off.
+	Keys []string
+	// Cache is the content-addressed shard store consulted before each
+	// shard build and filled after it (internal/snapshot.Store on disk).
+	// Requires Keys. Entries are keyed by rule membership only, so a
+	// cache directory must not be shared between builds with different
+	// state budgets or layouts. nil disables caching.
+	Cache ShardCache
 }
 
 // defaultDFABudget bounds the per-shard product DFA. core.BuildDSFA
@@ -125,34 +134,27 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("multi: empty rule set")
 	}
+	if o.Keys != nil && len(o.Keys) != len(nodes) {
+		return nil, fmt.Errorf("multi: %d keys for %d rules", len(o.Keys), len(nodes))
+	}
 	o = o.withDefaults()
 
 	// Per-rule components: the minimal DFA is both the product-
 	// construction input and, via a budget-capped D-SFA dry run, the
-	// planner's size estimate.
-	rules := make([]planRule, len(nodes))
-	for i, node := range nodes {
-		a, err := nfa.Glushkov(node)
-		if err != nil {
-			return nil, fmt.Errorf("multi: rule %d: %w", i, err)
-		}
-		d, err := dfa.Determinize(a, o.PerRuleDFACap)
-		if err != nil {
-			return nil, fmt.Errorf("multi: rule %d: %w", i, err)
-		}
-		m := dfa.Minimize(d)
-		est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
-		rules[i] = planRule{idx: i, d: m, est: est, sfa: s}
+	// planner's size estimate. Prepared concurrently over the pool —
+	// the per-rule dry runs are independent.
+	idxs := make([]int, len(nodes))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rules, err := prepRules(nodes, idxs, o)
+	if err != nil {
+		return nil, err
 	}
 
-	bins := plan(rules, o)
-	var builds []*shardBuild
-	for _, bin := range bins {
-		built, err := buildShards(bin, o)
-		if err != nil {
-			return nil, err
-		}
-		builds = append(builds, built...)
+	builds, err := buildBins(plan(rules, o), o)
+	if err != nil {
+		return nil, err
 	}
 	if o.ForceShards == 0 && len(builds) > 1 {
 		// The packing is pessimistic on purpose; recover over-sharding

@@ -3,12 +3,16 @@ package multi
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/engine"
+	"repro/internal/nfa"
+	"repro/internal/syntax"
 )
 
 // logEst is a rule's packing weight under the product bound.
@@ -20,14 +24,147 @@ func logEst(r planRule) float64 {
 }
 
 // planRule is one rule as the planner sees it: its global index, its
-// minimal component DFA, and an estimated automaton size. sfa holds the
-// estimation dry run's D-SFA when it fit the budget, so a rule that ends
-// up in a shard of its own is never built twice.
+// identity key (empty when caching is off), its (possibly lazy) minimal
+// component DFA, and an estimated automaton size. sfa holds the
+// estimation dry run's D-SFA when it fit the budget, so a rule that
+// ends up in a shard of its own is never built twice.
 type planRule struct {
-	idx int
-	d   *dfa.DFA
-	est int
-	sfa *core.DSFA
+	idx    int
+	key    string
+	d      *lazyDFA
+	states int // minimal component DFA size (plan's side constraint)
+	est    int
+	fits   bool // a capped dry run succeeded (this process or cached)
+	sfa    *core.DSFA
+}
+
+// lazyDFA defers a rule's component-DFA construction until a shard
+// build actually needs it: on a fully warm build (cached estimates +
+// cached shards) no component DFA is ever constructed. The pointer is
+// shared by every planRule copy, so the build happens at most once even
+// across concurrent bins.
+type lazyDFA struct {
+	node *syntax.Node
+	cap  int
+	once sync.Once
+	d    *dfa.DFA
+	err  error
+}
+
+func (l *lazyDFA) get() (*dfa.DFA, error) {
+	l.once.Do(func() {
+		if l.d != nil {
+			return
+		}
+		a, err := nfa.Glushkov(l.node)
+		if err != nil {
+			l.err = err
+			return
+		}
+		d, err := dfa.Determinize(a, l.cap)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.d = dfa.Minimize(d)
+	})
+	return l.d, l.err
+}
+
+// prepRules compiles the listed rules' component DFAs and size
+// estimates, fanned out over the worker pool — the per-rule dry runs
+// are independent, and construction latency is exactly what the
+// snapshot subsystem exists to hide. idxs selects which global rules of
+// nodes to prepare (Recompile preps only the fresh subset).
+func prepRules(nodes []*syntax.Node, idxs []int, o Options) ([]planRule, error) {
+	rules := make([]planRule, len(idxs))
+	errs := make([]error, len(idxs))
+	buildPool().Map(len(idxs), func(j int) {
+		i := idxs[j]
+		key := ""
+		if o.Keys != nil {
+			key = o.Keys[i]
+		}
+		rules[j], errs[j] = prepRule(nodes[i], i, key, o)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+func prepRule(node *syntax.Node, idx int, key string, o Options) (planRule, error) {
+	// On a warm build the per-rule constructions — the component DFA and
+	// the estimation dry run — ARE the remaining cold cost (the shards
+	// themselves load from disk). Both the estimate and the DFA's size
+	// are pure functions of rule identity and budget, so they are cached
+	// as a tiny sibling entry, and a warm plan constructs nothing: the
+	// component DFA stays lazy, materialized only if a shard build
+	// actually misses.
+	if o.Cache != nil && key != "" {
+		if est, states, fits, ok := loadCachedEst(key, o); ok {
+			// The stored est is used verbatim — including the cap+1 form
+			// a clipped-cap failure produces — so a warm plan packs the
+			// exact bins the cold plan did and every shard key matches.
+			return planRule{
+				idx: idx, key: key,
+				d:      &lazyDFA{node: node, cap: o.PerRuleDFACap},
+				states: states,
+				est:    est,
+				fits:   fits,
+			}, nil
+		}
+	}
+	l := &lazyDFA{node: node, cap: o.PerRuleDFACap}
+	m, err := l.get()
+	if err != nil {
+		return planRule{}, fmt.Errorf("multi: rule %d: %w", idx, err)
+	}
+	est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
+	if o.Cache != nil && key != "" {
+		storeCachedEst(key, est, m.NumStates, s != nil, o)
+	}
+	return planRule{idx: idx, key: key, d: l, states: m.NumStates, est: est, fits: s != nil, sfa: s}, nil
+}
+
+// constructionPool is the dedicated worker pool for build-time fan-out
+// (per-rule preparation, per-bin shard builds). It is deliberately NOT
+// the match pool: Pool.Run's help-while-waiting protocol lets a waiter
+// pop any queued chunk, so multi-second shard-build chunks on the match
+// pool would stall concurrent scans (a serving hot reload must never
+// freeze another tenant's millisecond Match). Workers park on a channel
+// when idle, so the extra pool costs nothing between builds.
+var (
+	constructionPoolOnce sync.Once
+	constructionPool     *engine.Pool
+)
+
+// buildPool returns the pool construction work fans out on.
+func buildPool() *engine.Pool {
+	constructionPoolOnce.Do(func() { constructionPool = engine.NewPool(0) })
+	return constructionPool
+}
+
+// buildBins materializes every planned bin, bins in parallel over the
+// pool (each bin's recursive split-and-retry stays sequential within its
+// task). Results keep bin order, so the final shard order is as
+// deterministic as the sequential build's was.
+func buildBins(bins [][]planRule, o Options) ([]*shardBuild, error) {
+	perBin := make([][]*shardBuild, len(bins))
+	errs := make([]error, len(bins))
+	buildPool().Map(len(bins), func(i int) {
+		perBin[i], errs[i] = buildShards(bins[i], o)
+	})
+	var builds []*shardBuild
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, perBin[i]...)
+	}
+	return builds, nil
 }
 
 // estimateSFA sizes a rule for greedy shard assignment by dry-running
@@ -88,10 +225,10 @@ func plan(rules []planRule, o Options) [][]planRule {
 		for _, r := range sorted {
 			placed := false
 			for b := range bins {
-				if estLoad[b]+logEst(r) <= budget && dfaLoad[b]+r.d.NumStates <= o.DFABudget {
+				if estLoad[b]+logEst(r) <= budget && dfaLoad[b]+r.states <= o.DFABudget {
 					bins[b] = append(bins[b], r)
 					estLoad[b] += logEst(r)
-					dfaLoad[b] += r.d.NumStates
+					dfaLoad[b] += r.states
 					placed = true
 					break
 				}
@@ -99,7 +236,7 @@ func plan(rules []planRule, o Options) [][]planRule {
 			if !placed {
 				bins = append(bins, []planRule{r})
 				estLoad = append(estLoad, logEst(r))
-				dfaLoad = append(dfaLoad, r.d.NumStates)
+				dfaLoad = append(dfaLoad, r.states)
 			}
 		}
 	}
@@ -158,15 +295,42 @@ func buildShards(bin []planRule, o Options) ([]*shardBuild, error) {
 		}
 	}
 	if len(bin) == 1 {
+		// A cached copy still beats wrapping the estimation dry run: the
+		// adopted stable BuildID keeps warm shards observable, and the
+		// decode skips the mask/table materialization path below.
+		if key := binCacheKey(bin, o); key != "" {
+			if sh := loadCachedShard(key, bin, o); sh != nil {
+				return []*shardBuild{{bin: bin, sh: sh}}, nil
+			}
+		}
 		// Reuse the estimation dry run's D-SFA when it fit the budget —
 		// the shard-of-one build would reproduce it exactly.
 		if r := bin[0]; r.sfa != nil {
-			return []*shardBuild{{bin: bin, sh: singleRuleShard(r, o)}}, nil
+			sh := singleRuleShard(r, o)
+			storeShard(binCacheKey(bin, o), sh, bin, o)
+			return []*shardBuild{{bin: bin, sh: sh}}, nil
+		}
+		// A cached estimate said a capped build succeeds but supplied no
+		// dry-run automaton (and the shard-cache probe above missed):
+		// rebuild it capped like any in-budget shard. A dry run that
+		// failed *this process* (sfa == nil, fits == false) skips this —
+		// re-running the identical capped attempt would just re-pay the
+		// failure the estimate already measured.
+		// probe=false: the single-rule probe above already missed.
+		if r := bin[0]; r.fits {
+			s, err := buildShard(bin, o, true, false)
+			if err == nil {
+				return []*shardBuild{{bin: bin, sh: s}}, nil
+			}
+			if !isBudgetErr(err) {
+				return nil, err
+			}
+			// Stale estimate; fall through to the uncapped fallback.
 		}
 		// The max(est) lower bound says a capped attempt cannot succeed;
 		// go straight to the uncapped isolated-equivalent build. Freeze
 		// the result: no merge can fit an over-budget component.
-		s, err := buildShard(bin, o, false)
+		s, err := buildShard(bin, o, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("multi: rule %d alone exceeds construction limits: %w", bin[0].idx, err)
 		}
@@ -175,7 +339,7 @@ func buildShards(bin []planRule, o Options) ([]*shardBuild, error) {
 	// Multi-rule bin: attempt only when the lower bound fits (forced
 	// plans can pack over-budget rules together); otherwise split.
 	if maxEst <= o.SFABudget {
-		s, err := buildShard(bin, o, true)
+		s, err := buildShard(bin, o, true, true)
 		if err == nil {
 			return []*shardBuild{{bin: bin, sh: s}}, nil
 		}
@@ -231,7 +395,7 @@ func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
 		bin := make([]planRule, 0, len(a.bin)+len(b.bin))
 		bin = append(append(bin, a.bin...), b.bin...)
 		sort.Slice(bin, func(i, j int) bool { return bin[i].idx < bin[j].idx })
-		merged, err := buildShard(bin, o, true)
+		merged, err := buildShard(bin, o, true, true)
 		if err != nil {
 			if !isBudgetErr(err) {
 				return nil, err
@@ -252,10 +416,12 @@ func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
 }
 
 // singleRuleShard wraps a rule's own estimation D-SFA as a one-rule
-// shard: the mask table is just the DFA's accept vector on bit 0.
+// shard: the mask table is just the DFA's accept vector on bit 0. Only
+// called when r.sfa is set, which implies the component DFA was built.
 func singleRuleShard(r planRule, o Options) *shard {
-	masks := make([]uint64, r.d.NumStates)
-	for q, acc := range r.d.Accept {
+	d, _ := r.d.get()
+	masks := make([]uint64, d.NumStates)
+	for q, acc := range d.Accept {
 		if acc {
 			masks[q] = 1
 		}
@@ -264,14 +430,117 @@ func singleRuleShard(r planRule, o Options) *shard {
 	return &shard{m: m, rules: []int{r.idx}}
 }
 
+// binCacheKey returns the bin's content-address, or "" when caching is
+// off or any rule lacks an identity key.
+func binCacheKey(bin []planRule, o Options) string {
+	if o.Cache == nil {
+		return ""
+	}
+	keys := make([]string, len(bin))
+	for i, r := range bin {
+		if r.key == "" {
+			return ""
+		}
+		keys[i] = r.key
+	}
+	return ShardKey(keys)
+}
+
+// loadCachedShard probes the content-addressed cache for a prebuilt
+// shard covering exactly bin's rule membership. Any failure — missing
+// entry, corrupt blob, membership mismatch — reports a miss and falls
+// back to building; the cache can never make a build wrong, only fast.
+func loadCachedShard(key string, bin []planRule, o Options) *shard {
+	rc, ok := o.Cache.Load(key)
+	if !ok {
+		return nil
+	}
+	defer rc.Close()
+	ds, err := DecodeShard(rc, o)
+	if err != nil {
+		return nil
+	}
+	rules, ok := matchShardKeys(ds.Keys, bin)
+	if !ok {
+		return nil
+	}
+	return &shard{m: ds.m, rules: rules}
+}
+
+// matchShardKeys maps a decoded shard's local-bit keys onto bin's global
+// rule indices (multiset matching; duplicates pair front-to-back).
+func matchShardKeys(local []string, bin []planRule) ([]int, bool) {
+	if len(local) != len(bin) {
+		return nil, false
+	}
+	byKey := make(map[string][]int, len(bin))
+	for _, r := range bin {
+		byKey[r.key] = append(byKey[r.key], r.idx)
+	}
+	rules := make([]int, len(local))
+	for i, k := range local {
+		q := byKey[k]
+		if len(q) == 0 {
+			return nil, false
+		}
+		rules[i], byKey[k] = q[0], q[1:]
+	}
+	return rules, true
+}
+
+// storeShard writes a freshly built shard to the cache, best-effort: a
+// full disk or racing writer never fails the build.
+func storeShard(key string, sh *shard, bin []planRule, o Options) {
+	if key == "" {
+		return
+	}
+	local := make([]string, len(bin))
+	for i, r := range bin {
+		local[i] = r.key
+	}
+	_ = o.Cache.Store(key, func(w io.Writer) error {
+		return encodeShard(w, sh.m, local)
+	})
+}
+
 // buildShard runs the combined pipeline — product DFA, mask-aware
-// minimization, D-SFA — for one bin. capped=false lifts the budgets to
-// the construction's hard limits (the single-rule fallback).
-func buildShard(bin []planRule, o Options, capped bool) (*shard, error) {
+// minimization, D-SFA — for one bin, after probing the shard cache:
+// a content hit skips construction entirely and adopts the persisted
+// automaton (and its stable BuildID). capped=false lifts the budgets to
+// the construction's hard limits (the single-rule fallback); note cache
+// entries are keyed by rule membership alone, so a hit bypasses the
+// current budget options (see Options.Cache).
+func buildShard(bin []planRule, o Options, capped, probe bool) (*shard, error) {
+	cacheKey := binCacheKey(bin, o)
+	if cacheKey != "" {
+		if probe {
+			if sh := loadCachedShard(cacheKey, bin, o); sh != nil {
+				return sh, nil
+			}
+		}
+		// A recorded budget failure for this membership under these
+		// budgets short-circuits the doomed capped attempt (the merge
+		// pass re-discovers the same failures on every cold start
+		// otherwise — each costing a full construction attempt).
+		if capped && hasFailMarker(cacheKey, o) {
+			return nil, fmt.Errorf("%w (cached failure for this membership)", ErrBudget)
+		}
+	}
+	// markBudgetErr records capped budget failures for the next build.
+	markBudgetErr := func(err error) error {
+		if capped && cacheKey != "" && isBudgetErr(err) {
+			storeFailMarker(cacheKey, o)
+		}
+		return err
+	}
 	ds := make([]*dfa.DFA, len(bin))
 	rules := make([]int, len(bin))
 	for i, r := range bin {
-		ds[i] = r.d
+		d, err := r.d.get()
+		if err != nil {
+			return nil, fmt.Errorf("multi: rule %d: %w", r.idx, err)
+		}
+		ds[i] = d
 		rules[i] = r.idx
 	}
 	dfaBudget := 0
@@ -280,7 +549,7 @@ func buildShard(bin []planRule, o Options, capped bool) (*shard, error) {
 	}
 	d, masks, err := productDFA(ds, dfaBudget)
 	if err != nil {
-		return nil, err
+		return nil, markBudgetErr(err)
 	}
 	words := maskWords(len(bin))
 	d, masks = minimizeMasked(d, masks, words)
@@ -290,8 +559,10 @@ func buildShard(bin []planRule, o Options, capped bool) (*shard, error) {
 	}
 	s, err := core.BuildDSFA(d, sfaCap)
 	if err != nil {
-		return nil, err
+		return nil, markBudgetErr(err)
 	}
 	m := engine.NewMultiSFA(s, masks, words, o.Threads, o.engineOpts()...)
-	return &shard{m: m, rules: rules}, nil
+	sh := &shard{m: m, rules: rules}
+	storeShard(cacheKey, sh, bin, o)
+	return sh, nil
 }

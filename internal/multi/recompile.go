@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/dfa"
-	"repro/internal/nfa"
 	"repro/internal/syntax"
 )
 
@@ -50,6 +48,10 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 	if len(keys) != len(nodes) {
 		return nil, ReuseStats{}, fmt.Errorf("multi: %d keys for %d rules", len(keys), len(nodes))
 	}
+	// The reload keys are the per-rule identity the shard cache is
+	// addressed by too, so full rebuilds and fresh-rule builds below can
+	// hit disk for shards this process never built.
+	o.Keys = keys
 	if prev == nil || o.ForceShards > 0 {
 		set, err := Compile(nodes, o)
 		if err != nil {
@@ -104,31 +106,20 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 	// Everything not claimed by a reused shard goes through the ordinary
 	// pipeline, planned and merged among itself only — merging into a
 	// reused shard would rebuild exactly what reuse avoided.
-	var fresh []planRule
-	for i, node := range nodes {
-		if taken[i] {
-			continue
+	var freshIdx []int
+	for i := range nodes {
+		if !taken[i] {
+			freshIdx = append(freshIdx, i)
 		}
-		a, err := nfa.Glushkov(node)
-		if err != nil {
-			return nil, ReuseStats{}, fmt.Errorf("multi: rule %d: %w", i, err)
-		}
-		d, err := dfa.Determinize(a, o.PerRuleDFACap)
-		if err != nil {
-			return nil, ReuseStats{}, fmt.Errorf("multi: rule %d: %w", i, err)
-		}
-		m := dfa.Minimize(d)
-		est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
-		fresh = append(fresh, planRule{idx: i, d: m, est: est, sfa: s})
 	}
-	if len(fresh) > 0 {
-		var builds []*shardBuild
-		for _, bin := range plan(fresh, o) {
-			built, err := buildShards(bin, o)
-			if err != nil {
-				return nil, ReuseStats{}, err
-			}
-			builds = append(builds, built...)
+	if len(freshIdx) > 0 {
+		fresh, err := prepRules(nodes, freshIdx, o)
+		if err != nil {
+			return nil, ReuseStats{}, err
+		}
+		builds, err := buildBins(plan(fresh, o), o)
+		if err != nil {
+			return nil, ReuseStats{}, err
 		}
 		if len(builds) > 1 {
 			var err error

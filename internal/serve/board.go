@@ -22,6 +22,8 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -86,6 +88,35 @@ func NewRuleboard(defs []sfa.RuleDef, opts ...sfa.Option) (*Ruleboard, error) {
 	b.gens.Store(1)
 	b.cur.Store(newGeneration(1, append([]sfa.RuleDef(nil), defs...), rs))
 	return b, nil
+}
+
+// NewRuleboardFromSet wraps an already-compiled rule set — typically one
+// reconstructed from a snapshot by sfa.LoadRuleSet — as generation 1 of
+// a fresh board: the warm-restart path pays no compilation at all.
+func NewRuleboardFromSet(rs *sfa.RuleSet) *Ruleboard {
+	b := &Ruleboard{}
+	b.gens.Store(1)
+	b.cur.Store(newGeneration(1, rs.Defs(), rs))
+	return b
+}
+
+// current returns the current generation's definitions and rule set from
+// one atomic load (persistence must not pair one generation's defs with
+// another's automata).
+func (b *Ruleboard) current() ([]sfa.RuleDef, *sfa.RuleSet) {
+	g := b.cur.Load()
+	return g.defs, g.rs
+}
+
+// DrainCurrent marks the current generation retired without replacing
+// it and returns its drained channel, which closes once every stream
+// and scan in flight against it has finished. Shutdown-only: scans that
+// start afterwards still serve correctly, but are no longer counted
+// toward the returned channel.
+func (b *Ruleboard) DrainCurrent() <-chan struct{} {
+	g := b.cur.Load()
+	g.retire()
+	return g.drained
 }
 
 // ReloadResult reports what a Reload did. Drained closes once every
@@ -218,13 +249,164 @@ func (b *Ruleboard) NewStream() (*Stream, error) {
 // engine worker pool, so resident tenants share one set of workers.
 type Hub struct {
 	opts    []sfa.Option
+	metrics *Metrics
+	state   *State // nil = no persistence
 	mu      sync.RWMutex
 	tenants map[string]*Ruleboard
 }
 
 // NewHub creates an empty hub; opts apply to every tenant's rule sets.
 func NewHub(opts ...sfa.Option) *Hub {
-	return &Hub{opts: opts, tenants: make(map[string]*Ruleboard)}
+	return &Hub{opts: opts, metrics: newMetrics(), tenants: make(map[string]*Ruleboard)}
+}
+
+// Metrics returns the hub's counters (the /metrics endpoint's source).
+func (h *Hub) Metrics() *Metrics { return h.metrics }
+
+// State returns the hub's persistence root, nil when none is set.
+func (h *Hub) State() *State { return h.state }
+
+// SetState wires a persistence directory into the hub: every successful
+// SetRules/Delete is mirrored there, and the state's shard cache is
+// appended to the compile options so even rebuilt shards warm from disk.
+// Call before any tenant exists (boards compiled without the cache
+// option could not be reused across a Reload with it).
+func (h *Hub) SetState(st *State) {
+	h.state = st
+	h.opts = append(h.opts, sfa.WithShardCache(st.Cache().Dir()))
+}
+
+// persistTenant mirrors a board's current generation to the state
+// directory, best-effort: serving stays up even if the disk does not.
+//
+// Persistence runs outside h.mu (builds and disk writes must not stall
+// other tenants' lookups), so it re-verifies under the state lock that
+// b is still the registered board: a SetRules whose persist raced a
+// Delete (or a replacing creator) must not resurrect files the winner
+// removed — whoever owns the registration owns the files. Delete's file
+// removal re-checks symmetrically, so every file operation reflects the
+// registration map as of its own critical section.
+func (h *Hub) persistTenant(name string, b *Ruleboard) {
+	st := h.state
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	h.mu.RLock()
+	cur := h.tenants[name]
+	h.mu.RUnlock()
+	if cur != b {
+		return
+	}
+	defs, rs := b.current()
+	if err := st.saveTenantLocked(name, defs, rs); err != nil {
+		h.metrics.persistErrors.Add(1)
+	}
+}
+
+// PersistAll re-mirrors every resident tenant (the shutdown path's final
+// sync; each SetRules already persisted on its way in).
+func (h *Hub) PersistAll() {
+	h.mu.RLock()
+	boards := make(map[string]*Ruleboard, len(h.tenants))
+	for name, b := range h.tenants {
+		boards[name] = b
+	}
+	h.mu.RUnlock()
+	for name, b := range boards {
+		h.persistTenant(name, b)
+	}
+}
+
+// Restore loads every tenant persisted in the hub's state directory,
+// preferring the snapshot (warm: no compilation), falling back to a
+// Rebuild from the snapshot when the rules file was edited offline
+// (partial warm: shard reuse + shard cache), and to a cold compile of
+// the rules text when no snapshot survives. Call once, before serving.
+func (h *Hub) Restore() (RestoreStats, error) {
+	var stats RestoreStats
+	if h.state == nil {
+		return stats, nil
+	}
+	names, err := h.state.Tenants()
+	if err != nil {
+		return stats, err
+	}
+	for _, name := range names {
+		fileDefs, snap := h.state.LoadTenant(name)
+		board := h.restoreBoard(fileDefs, snap, &stats)
+		if board == nil {
+			stats.Failed = append(stats.Failed, name)
+			continue
+		}
+		h.mu.Lock()
+		if h.tenants[name] == nil {
+			h.tenants[name] = board
+			stats.Tenants++
+		}
+		h.mu.Unlock()
+	}
+	return stats, nil
+}
+
+// restoreBoard materializes one tenant from its persisted artifacts.
+func (h *Hub) restoreBoard(fileDefs []sfa.RuleDef, snap []byte, stats *RestoreStats) *Ruleboard {
+	if snap != nil {
+		rs, err := sfa.LoadRuleSet(bytes.NewReader(snap), h.opts...)
+		if err == nil {
+			if fileDefs == nil || defsEqual(fileDefs, rs.Defs()) {
+				h.metrics.warmLoads.Add(1)
+				stats.Warm++
+				return NewRuleboardFromSet(rs)
+			}
+			// Rules text edited while the server was down: treat it as a
+			// hot reload against the snapshot generation.
+			if next, _, err := rs.Rebuild(fileDefs); err == nil {
+				h.metrics.rebuiltLoads.Add(1)
+				stats.Rebuilt++
+				return NewRuleboardFromSet(next)
+			}
+		}
+	}
+	if fileDefs != nil {
+		if b, err := NewRuleboard(fileDefs, h.opts...); err == nil {
+			h.metrics.coldBuilds.Add(1)
+			stats.Cold++
+			return b
+		}
+	}
+	return nil
+}
+
+// RestoreStats reports what Restore did.
+type RestoreStats struct {
+	Tenants int      // boards registered
+	Warm    int      // restored whole from snapshot, zero compilation
+	Rebuilt int      // snapshot + Rebuild (rules file drifted)
+	Cold    int      // compiled from rules text
+	Failed  []string // tenants with no usable artifacts
+}
+
+// Drain retires every tenant's current generation and waits (bounded by
+// ctx) until all in-flight streamed scans against them have finished —
+// the generation-pinning half of graceful shutdown; stop the listener
+// first so no new scans arrive.
+func (h *Hub) Drain(ctx context.Context) error {
+	h.mu.RLock()
+	boards := make([]*Ruleboard, 0, len(h.tenants))
+	for _, b := range h.tenants {
+		boards = append(boards, b)
+	}
+	h.mu.RUnlock()
+	for _, b := range boards {
+		select {
+		case <-b.DrainCurrent():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // SetRules creates the named tenant or hot-reloads an existing one.
@@ -261,6 +443,7 @@ func (h *Hub) SetRules(name string, defs []sfa.RuleDef) (created bool, board *Ru
 			}
 			h.tenants[name] = nb
 			h.mu.Unlock()
+			h.persistTenant(name, nb)
 			return true, nb, ReloadResult{
 				Generation: 1,
 				Shards:     nb.RuleSet().NumShards(),
@@ -272,15 +455,21 @@ func (h *Hub) SetRules(name string, defs []sfa.RuleDef) (created bool, board *Ru
 		if err != nil {
 			return false, b, ReloadResult{}, err
 		}
+		tm := h.metrics.Tenant(name)
+		tm.Reloads.Add(1)
+		tm.ShardsReused.Add(int64(res.ShardsReused))
+		tm.ShardsRebuilt.Add(int64(res.ShardsRebuilt))
 		h.mu.Lock()
 		switch h.tenants[name] {
 		case b:
 			h.mu.Unlock()
+			h.persistTenant(name, b)
 			return false, b, res, nil
 		case nil:
 			// Deleted mid-reload: keep the reloaded board registered.
 			h.tenants[name] = b
 			h.mu.Unlock()
+			h.persistTenant(name, b)
 			return false, b, res, nil
 		default:
 			// Replaced mid-reload by a concurrent creator: retry there.
@@ -297,15 +486,30 @@ func (h *Hub) Tenant(name string) (*Ruleboard, bool) {
 	return b, ok
 }
 
-// Delete removes a tenant. In-flight scans on it drain against their
-// pinned generations; new lookups fail immediately.
+// Delete removes a tenant (and its persisted state). In-flight scans on
+// it drain against their pinned generations; new lookups fail
+// immediately.
 func (h *Hub) Delete(name string) bool {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if _, ok := h.tenants[name]; !ok {
+		h.mu.Unlock()
 		return false
 	}
 	delete(h.tenants, name)
+	h.mu.Unlock()
+	if st := h.state; st != nil {
+		st.mu.Lock()
+		h.mu.RLock()
+		_, reregistered := h.tenants[name]
+		h.mu.RUnlock()
+		if !reregistered {
+			// Only remove files while the name is actually unregistered;
+			// a concurrent creator that re-registered in the window owns
+			// them now (see persistTenant).
+			st.deleteTenantLocked(name)
+		}
+		st.mu.Unlock()
+	}
 	return true
 }
 

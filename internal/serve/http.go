@@ -6,13 +6,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"time"
+
+	"repro/internal/snapshot"
 )
 
 // HTTP front end for a Hub. The API is deliberately small and
 // curl-friendly:
 //
 //	GET    /healthz                   liveness
+//	GET    /metrics                   JSON counters (scans, reloads, snapshots)
+//	GET    /debug/pprof/*             Go profiling (only with WithProfiling)
 //	GET    /v1/tenants                list tenants with stats
 //	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
 //	GET    /v1/tenants/{name}         one tenant's stats
@@ -76,12 +82,122 @@ type ScanReply struct {
 	Matches    []string `json:"matches"`
 }
 
+// MetricsReply is the /metrics document.
+type MetricsReply struct {
+	UptimeSeconds float64                 `json:"uptime_s"`
+	Tenants       map[string]TenantCounts `json:"tenants"`
+	Snapshot      SnapshotMetrics         `json:"snapshot"`
+}
+
+// TenantCounts is one tenant's /metrics entry. Resident is false for a
+// deleted tenant whose traffic history is still reported.
+type TenantCounts struct {
+	Resident      bool   `json:"resident"`
+	Generation    uint64 `json:"generation,omitempty"`
+	Rules         int    `json:"rules,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	Scans         int64  `json:"scans"`
+	ScanBytes     int64  `json:"scan_bytes"`
+	Reloads       int64  `json:"reloads"`
+	ShardsReused  int64  `json:"shards_reused"`
+	ShardsRebuilt int64  `json:"shards_rebuilt"`
+}
+
+// SnapshotMetrics reports the persistence subsystem's counters: how
+// tenants were restored at boot, state-write failures, and the shard
+// store's hit/miss numbers.
+type SnapshotMetrics struct {
+	WarmLoads     int64           `json:"warm_loads"`
+	RebuiltLoads  int64           `json:"rebuilt_loads"`
+	ColdBuilds    int64           `json:"cold_builds"`
+	PersistErrors int64           `json:"persist_errors"`
+	Store         *snapshot.Stats `json:"store,omitempty"`
+}
+
+// metricsReply assembles the /metrics document from the hub's counters.
+func metricsReply(h *Hub) MetricsReply {
+	m := h.Metrics()
+	reply := MetricsReply{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Tenants:       map[string]TenantCounts{},
+		Snapshot: SnapshotMetrics{
+			WarmLoads:     m.warmLoads.Load(),
+			RebuiltLoads:  m.rebuiltLoads.Load(),
+			ColdBuilds:    m.coldBuilds.Load(),
+			PersistErrors: m.persistErrors.Load(),
+		},
+	}
+	if st := h.State(); st != nil {
+		stats := st.Cache().Stats()
+		reply.Snapshot.Store = &stats
+	}
+	// Union of resident tenants and tenants with traffic history: a
+	// just-created (or just-restored) tenant must appear before its
+	// first scan, and a deleted one keeps its counters.
+	names := map[string]bool{}
+	for _, name := range h.Names() {
+		names[name] = true
+	}
+	for _, name := range m.tenantNames() {
+		names[name] = true
+	}
+	for name := range names {
+		tm := m.Tenant(name)
+		tc := TenantCounts{
+			Scans:         tm.Scans.Load(),
+			ScanBytes:     tm.ScanBytes.Load(),
+			Reloads:       tm.Reloads.Load(),
+			ShardsReused:  tm.ShardsReused.Load(),
+			ShardsRebuilt: tm.ShardsRebuilt.Load(),
+		}
+		if b, ok := h.Tenant(name); ok {
+			rs, gen := b.Snapshot()
+			tc.Resident = true
+			tc.Generation = gen
+			tc.Rules = rs.Len()
+			tc.Shards = rs.NumShards()
+		}
+		reply.Tenants[name] = tc
+	}
+	return reply
+}
+
+// HandlerOption configures NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	profiling bool
+}
+
+// WithProfiling mounts the Go /debug/pprof/* endpoints on the handler.
+// Off by default: profiles can burn CPU on demand and heap dumps expose
+// resident tenant rules and payload fragments, so on a multi-tenant
+// server they belong behind an operator flag (sfaserve -pprof) or a
+// separate private listener, never on the public scan API unasked.
+func WithProfiling() HandlerOption {
+	return func(c *handlerConfig) { c.profiling = true }
+}
+
 // NewHandler builds the HTTP API over a hub.
-func NewHandler(h *Hub) http.Handler {
+func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metricsReply(h))
+	})
+	if cfg.profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
 		names := h.Names()
 		out := make([]TenantStatus, 0, len(names))
@@ -172,6 +288,9 @@ func NewHandler(h *Hub) http.Handler {
 		if matches == nil {
 			matches = []string{}
 		}
+		tm := h.Metrics().Tenant(name)
+		tm.Scans.Add(1)
+		tm.ScanBytes.Add(st.Bytes())
 		writeJSON(w, http.StatusOK, ScanReply{
 			Tenant:     name,
 			Generation: st.Generation(),

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the hub's observability state, served as JSON by the
+// /metrics endpoint: per-tenant traffic and reload counters plus the
+// snapshot subsystem's warm/cold restore and shard-cache numbers.
+// Counters are monotonic since process start; per-tenant entries persist
+// across tenant deletion (traffic history outlives the rules).
+type Metrics struct {
+	start time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*TenantMetrics
+
+	warmLoads     atomic.Int64 // tenants restored whole from snapshot
+	rebuiltLoads  atomic.Int64 // restored via Rebuild (rule text drifted)
+	coldBuilds    atomic.Int64 // restored by compiling rule text
+	persistErrors atomic.Int64 // failed state-directory writes
+}
+
+// TenantMetrics is one tenant's counters.
+type TenantMetrics struct {
+	Scans         atomic.Int64
+	ScanBytes     atomic.Int64
+	Reloads       atomic.Int64
+	ShardsReused  atomic.Int64
+	ShardsRebuilt atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), tenants: make(map[string]*TenantMetrics)}
+}
+
+// Tenant returns (creating if needed) the named tenant's counters.
+func (m *Metrics) Tenant(name string) *TenantMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm := m.tenants[name]
+	if tm == nil {
+		tm = &TenantMetrics{}
+		m.tenants[name] = tm
+	}
+	return tm
+}
+
+// tenantNames lists tenants that have counters.
+func (m *Metrics) tenantNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package snapshot is the persistence subsystem for compiled rule sets:
+// a content-addressed on-disk cache of combined-automaton shards, plus
+// the storage conventions the rule-set snapshot files (sfa.(*RuleSet).Save)
+// and the serving state directory (internal/serve.State) build on.
+//
+// The paper's Table III shows D-SFA construction dominates start-up —
+// seconds for 10⁴–10⁶ states — and combined multi-pattern builds pay it
+// once per shard. The Store turns that into an idempotent cost: a shard
+// is addressed by the SHA-256 of its rule-membership multiset
+// (multi.ShardKey), so no process ever needs to build the same shard
+// twice — not this process (multi.Recompile's in-memory reuse), and not
+// the next one (this package).
+//
+// See README.md in this directory for the wire format and versioning
+// rules of the blobs the store holds.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardExt is the filename extension of cache entries. The name before
+// it is the content key (64 hex characters for multi.ShardKey).
+const shardExt = ".shard"
+
+// DefaultMaxBytes bounds a store's on-disk footprint unless SetMaxBytes
+// says otherwise: 1 GiB holds hundreds of production-sized shards.
+const DefaultMaxBytes int64 = 1 << 30
+
+// Store is a content-addressed blob cache rooted at one directory.
+// Writes are atomic (temp file + rename), so concurrent processes can
+// share a store; reads hand out plain *os.File readers. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir      string
+	mu       sync.Mutex // serializes Store/evict scans
+	maxBytes atomic.Int64
+
+	hits, misses, stores, evictions, errors atomic.Int64
+}
+
+// stores memoizes OpenStore per cleaned path, so every opener of one
+// directory shares one Store and its counters (the /metrics endpoint
+// reads the same hit/miss numbers the builds bump).
+var (
+	storesMu sync.Mutex
+	stores   = map[string]*Store{}
+)
+
+// OpenStore opens (creating if needed) the content-addressed store at
+// dir. Opening the same directory again returns the same *Store.
+func OpenStore(dir string) (*Store, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	storesMu.Lock()
+	defer storesMu.Unlock()
+	if st, ok := stores[abs]; ok {
+		return st, nil
+	}
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	st := &Store{dir: abs}
+	st.maxBytes.Store(DefaultMaxBytes)
+	stores[abs] = st
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SetMaxBytes bounds the store's on-disk footprint; the oldest entries
+// (by access time, best-effort) are evicted when a Store overflows it.
+// n <= 0 restores DefaultMaxBytes.
+func (st *Store) SetMaxBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBytes
+	}
+	st.maxBytes.Store(n)
+}
+
+// validKey gatekeeps key-derived filenames: content keys are lowercase
+// hex, and nothing else may reach the filesystem layer (a crafted key
+// must not escape the store directory).
+func validKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key+shardExt)
+}
+
+// Load opens the blob stored for key. A hit refreshes the entry's
+// timestamp (the eviction order), best-effort.
+func (st *Store) Load(key string) (io.ReadCloser, bool) {
+	if !validKey(key) {
+		st.misses.Add(1)
+		return nil, false
+	}
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.hits.Add(1)
+	now := time.Now()
+	_ = os.Chtimes(st.path(key), now, now)
+	return f, true
+}
+
+// Store writes the blob produced by write under key, atomically: the
+// content goes to a temp file in the store directory and is renamed into
+// place only after write returns and the file is synced. An existing
+// entry short-circuits — content addressing makes rewrites pointless.
+func (st *Store) Store(key string, write func(io.Writer) error) error {
+	if !validKey(key) {
+		st.errors.Add(1)
+		return fmt.Errorf("snapshot: invalid content key %q", key)
+	}
+	if _, err := os.Stat(st.path(key)); err == nil {
+		return nil // already present; same key ⇒ interchangeable content
+	}
+	err := func() error {
+		f, err := os.CreateTemp(st.dir, "put-*"+shardExt+".tmp")
+		if err != nil {
+			return err
+		}
+		tmp := f.Name()
+		defer os.Remove(tmp) // no-op after a successful rename
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, st.path(key))
+	}()
+	if err != nil {
+		st.errors.Add(1)
+		return fmt.Errorf("snapshot: storing %s: %w", key, err)
+	}
+	st.stores.Add(1)
+	st.evict()
+	return nil
+}
+
+// Delete removes the entry for key, if present (corrupt-entry cleanup).
+func (st *Store) Delete(key string) {
+	if validKey(key) {
+		_ = os.Remove(st.path(key))
+	}
+}
+
+// evict trims the store to maxBytes, oldest timestamp first.
+func (st *Store) evict() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	entries, total := st.scan()
+	max := st.maxBytes.Load()
+	if total <= max {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	for _, e := range entries {
+		if total <= max {
+			break
+		}
+		if os.Remove(filepath.Join(st.dir, e.name)) == nil {
+			total -= e.size
+			st.evictions.Add(1)
+		}
+	}
+}
+
+type storeEntry struct {
+	name  string
+	size  int64
+	mtime int64
+}
+
+// scan lists the store's entries with their sizes and timestamps.
+func (st *Store) scan() ([]storeEntry, int64) {
+	des, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, 0
+	}
+	var entries []storeEntry
+	var total int64
+	for _, de := range des {
+		name := de.Name()
+		if filepath.Ext(name) != shardExt {
+			continue // temp files and strangers don't count or get evicted
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, storeEntry{name: name, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	return entries, total
+}
+
+// Stats is the store's observable state — the snapshot hit/miss counters
+// the serving /metrics endpoint reports.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Errors    int64 `json:"errors"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Stats reports counters since process start plus the current on-disk
+// footprint.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	entries, total := st.scan()
+	st.mu.Unlock()
+	return Stats{
+		Hits:      st.hits.Load(),
+		Misses:    st.misses.Load(),
+		Stores:    st.stores.Load(),
+		Evictions: st.evictions.Load(),
+		Errors:    st.errors.Load(),
+		Entries:   len(entries),
+		Bytes:     total,
+	}
+}

@@ -1,0 +1,199 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testKey builds a valid-looking content key.
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func put(t *testing.T, st *Store, key, content string) {
+	t.Helper()
+	if err := st.Store(key, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, st *Store, key string) (string, bool) {
+	t.Helper()
+	rc, ok := st.Load(key)
+	if !ok {
+		return "", false
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), true
+}
+
+func TestStoreHitMiss(t *testing.T) {
+	st := openTestStore(t)
+	if _, ok := get(t, st, testKey(0)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	put(t, st, testKey(0), "hello")
+	if got, ok := get(t, st, testKey(0)); !ok || got != "hello" {
+		t.Fatalf("load = %q, %v", got, ok)
+	}
+	stats := st.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Stores != 1 || stats.Entries != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestStoreRejectsHostileKeys(t *testing.T) {
+	st := openTestStore(t)
+	for _, key := range []string{"", "short", "../../../../etc/passwd", strings.Repeat("a", 20) + "/x", strings.Repeat("A", 64), "0123456789abcdeg" + strings.Repeat("0", 48)} {
+		if err := st.Store(key, func(w io.Writer) error { return nil }); err == nil {
+			t.Fatalf("store accepted key %q", key)
+		}
+		if _, ok := st.Load(key); ok {
+			t.Fatalf("load accepted key %q", key)
+		}
+	}
+}
+
+// TestStoreSameDirSharesInstance: counters must be shared across all
+// openers of one directory (the /metrics endpoint reads what builds bump).
+func TestStoreSameDirSharesInstance(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two opens of one dir returned distinct stores")
+	}
+}
+
+// TestStoreIdempotentPut: re-storing an existing key is a no-op (content
+// addressing), not an error or a rewrite.
+func TestStoreIdempotentPut(t *testing.T) {
+	st := openTestStore(t)
+	put(t, st, testKey(1), "first")
+	put(t, st, testKey(1), "second-should-be-ignored")
+	if got, _ := get(t, st, testKey(1)); got != "first" {
+		t.Fatalf("content rewritten to %q", got)
+	}
+	if s := st.Stats(); s.Stores != 1 {
+		t.Fatalf("stores = %d, want 1", s.Stores)
+	}
+}
+
+// TestStoreFailedWriteLeavesNothing: a writer error must not leave a
+// partial entry (or a stray temp file that Load could see).
+func TestStoreFailedWriteLeavesNothing(t *testing.T) {
+	st := openTestStore(t)
+	err := st.Store(testKey(2), func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return fmt.Errorf("disk on fire")
+	})
+	if err == nil {
+		t.Fatal("failed write reported success")
+	}
+	if _, ok := st.Load(testKey(2)); ok {
+		t.Fatal("partial entry visible")
+	}
+	des, _ := os.ReadDir(st.Dir())
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", de.Name())
+		}
+	}
+}
+
+// TestStoreEviction: overflowing maxBytes evicts oldest-first down to
+// the cap; recently loaded entries survive.
+func TestStoreEviction(t *testing.T) {
+	st := openTestStore(t)
+	st.SetMaxBytes(250)
+	content := strings.Repeat("x", 100)
+	for i := 0; i < 2; i++ {
+		put(t, st, testKey(i), content)
+		// Distinct mtimes so eviction order is deterministic.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		os.Chtimes(filepath.Join(st.Dir(), testKey(i)+shardExt), old, old)
+	}
+	// Touch key 0 so key 1 is the eviction victim.
+	if _, ok := get(t, st, testKey(0)); !ok {
+		t.Fatal("miss before eviction")
+	}
+	put(t, st, testKey(2), content) // 300 bytes > 250 → evict oldest
+	if _, ok := st.Load(testKey(1)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := st.Load(testKey(0)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := st.Load(testKey(2)); !ok {
+		t.Fatal("fresh entry evicted")
+	}
+	if s := st.Stats(); s.Evictions == 0 || s.Bytes > 250 {
+		t.Fatalf("stats after eviction: %+v", s)
+	}
+}
+
+// TestStoreConcurrent hammers one store from many goroutines (run under
+// -race via `make race`): concurrent Stores of the same and different
+// keys plus concurrent Loads must stay consistent — every successful
+// Load returns the full content for its key.
+func TestStoreConcurrent(t *testing.T) {
+	st := openTestStore(t)
+	const keys = 8
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (w + i) % keys
+				key := testKey(k)
+				want := fmt.Sprintf("content-%03d", k)
+				switch i % 3 {
+				case 0:
+					st.Store(key, func(wr io.Writer) error {
+						_, err := io.WriteString(wr, want)
+						return err
+					})
+				default:
+					if got, ok := get(t, st, key); ok && got != want {
+						t.Errorf("key %d: read %q", k, got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := st.Stats(); s.Errors != 0 {
+		t.Fatalf("store errors under concurrency: %+v", s)
+	}
+}

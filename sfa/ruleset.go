@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/multi"
+	"repro/internal/snapshot"
 	"repro/internal/syntax"
 )
 
@@ -123,7 +124,7 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 		idx:  make(map[string]int, len(defs)),
 	}
 	// Deterministic order for reporting.
-	sort.Slice(rs.defs, func(i, j int) bool { return rs.defs[i].Name < rs.defs[j].Name })
+	sortDefs(rs.defs)
 	for i, d := range rs.defs {
 		if _, dup := rs.idx[d.Name]; dup {
 			return nil, multi.ReuseStats{}, fmt.Errorf("sfa: duplicate rule %s", d.Name)
@@ -132,10 +133,11 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 	}
 	// A rule's compiled automaton is fully determined by its pattern and
 	// effective flags (set-wide options being fixed per set), so this key
-	// is what reuse across generations matches on.
+	// is what reuse across generations — and the content-addressed shard
+	// cache — matches on.
 	rs.keys = make([]string, len(rs.defs))
 	for i, d := range rs.defs {
-		rs.keys[i] = fmt.Sprintf("%02x\x00%s", uint8(cfg.flags|d.Flags), d.Pattern)
+		rs.keys[i] = ruleKey(cfg.flags, cfg.search, d)
 	}
 
 	// The combined automaton is SFA-only: a rule set compiled for any
@@ -180,19 +182,47 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 	if prev != nil && prev.set != nil {
 		prevSet, prevKeys = prev.set, prev.keys
 	}
-	set, stats, err := multi.Recompile(nodes, rs.keys, prevSet, prevKeys, multi.Options{
+	mo := multi.Options{
 		SFABudget:     cfg.shardBudget,
 		SFAHardCap:    cfg.sfaCap,
 		ForceShards:   cfg.shards,
 		PerRuleDFACap: cfg.dfaCap,
 		Threads:       cfg.threads,
 		Spawn:         cfg.spawn,
-	})
+	}
+	if cfg.cacheDir != "" {
+		st, err := snapshot.OpenStore(cfg.cacheDir)
+		if err != nil {
+			return nil, multi.ReuseStats{}, fmt.Errorf("sfa: shard cache: %w", err)
+		}
+		mo.Cache = st
+	}
+	set, stats, err := multi.Recompile(nodes, rs.keys, prevSet, prevKeys, mo)
 	if err != nil {
 		return nil, multi.ReuseStats{}, fmt.Errorf("sfa: %w", err)
 	}
 	rs.set = set
 	return rs, stats, nil
+}
+
+// sortDefs puts rule definitions in reporting order (by name).
+func sortDefs(defs []RuleDef) {
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+}
+
+// ruleKey is a rule's compile-identity string: pattern source plus every
+// semantics-affecting input — flags AND the search/whole matching mode,
+// which changes the compiled automaton via search bracketing. Equal keys
+// guarantee identical compiled automata — the contract behind hot-reload
+// shard reuse and the content-addressed shard cache alike (a key that
+// omitted the mode would let a -whole build load a search-bracketed
+// shard from a shared cache directory and return substring verdicts).
+func ruleKey(setFlags Flag, search bool, d RuleDef) string {
+	mode := byte('w')
+	if search {
+		mode = 's'
+	}
+	return fmt.Sprintf("%02x%c\x00%s", uint8(setFlags|d.Flags), mode, d.Pattern)
 }
 
 // parseRule runs the front end — parse, per-rule flags, search
@@ -229,6 +259,13 @@ func (rs *RuleSet) compileRule(d RuleDef) (*Regexp, error) {
 
 // Len returns the number of rules.
 func (rs *RuleSet) Len() int { return len(rs.defs) }
+
+// Defs returns a copy of the rule definitions in reporting (Names)
+// order — what a caller persisting or mirroring the set (internal/serve's
+// state directory) round-trips through NewRuleSetFromDefs.
+func (rs *RuleSet) Defs() []RuleDef {
+	return append([]RuleDef(nil), rs.defs...)
+}
 
 // Names returns the rule names in the order Scan reports them.
 func (rs *RuleSet) Names() []string {

@@ -94,6 +94,7 @@ type config struct {
 	isolatedRules bool
 	shards        int
 	shardBudget   int
+	cacheDir      string
 }
 
 // buildConfig folds the options and resolves defaults.
@@ -162,6 +163,17 @@ func WithShards(k int) Option { return func(c *config) { c.shards = k } }
 // estimated automaton size. 0 uses the default budget (32 768 states,
 // the u16-layout ceiling). Compile ignores this option.
 func WithShardStateBudget(n int) Option { return func(c *config) { c.shardBudget = n } }
+
+// WithShardCache points NewRuleSet's combined compiler at a
+// content-addressed on-disk shard cache rooted at dir (created if
+// absent): every combined shard is looked up by the hash of its rule
+// membership before being built and stored after, so repeated builds of
+// the same rules — across processes and restarts — skip construction for
+// every shard some earlier build already produced. Entries are keyed by
+// rule membership alone; do not share one directory between builds with
+// different state budgets or layouts. Compile and isolated-mode rule
+// sets ignore this option.
+func WithShardCache(dir string) Option { return func(c *config) { c.cacheDir = dir } }
 
 // Regexp is a compiled pattern. It is safe for concurrent use.
 type Regexp struct {

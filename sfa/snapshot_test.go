@@ -1,0 +1,319 @@
+package sfa
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/snort"
+)
+
+// snapshotDefs is a small mixed-flag rule set for codec tests.
+func snapshotDefs() []RuleDef {
+	return []RuleDef{
+		{Name: "passwd", Pattern: `/etc/passwd`},
+		{Name: "cmd", Pattern: `(cmd|command)\.exe`, Flags: FoldCase},
+		{Name: "digits", Pattern: `[0-9]{6,}`},
+		{Name: "dup-a", Pattern: `select.+from`, Flags: FoldCase},
+		{Name: "dup-b", Pattern: `select.+from`, Flags: FoldCase},
+	}
+}
+
+// maskEqual compares two rule bitmasks.
+func maskEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertSameVerdicts checks byte-identical MatchMask output across rule
+// sets over the oracle inputs.
+func assertSameVerdicts(t *testing.T, want, got *RuleSet, label string, inputs [][]byte) {
+	t.Helper()
+	wdst := make([]uint64, want.MaskWords())
+	gdst := make([]uint64, got.MaskWords())
+	for _, in := range inputs {
+		w := want.MatchMask(in, wdst)
+		g := got.MatchMask(in, gdst)
+		if !maskEqual(w, g) {
+			t.Fatalf("%s: verdict mismatch on %d-byte input %.40q: want %x got %x",
+				label, len(in), in, w, g)
+		}
+	}
+}
+
+// TestRuleSetSnapshotRoundTrip is the codec oracle: combined and sharded
+// sets saved and reloaded must produce byte-identical MatchMask verdicts
+// to the freshly built set — and to the isolated per-rule oracle.
+func TestRuleSetSnapshotRoundTrip(t *testing.T) {
+	defs := snapshotDefs()
+	inputs := oracleInputs(t)
+	base := []Option{WithSearch(), WithThreads(2)}
+
+	isolated, err := NewRuleSetFromDefs(defs, append(base, WithIsolatedRules())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 2, 3} {
+		opts := base
+		if shards > 0 {
+			opts = append(opts, WithShards(shards))
+		}
+		fresh, err := NewRuleSetFromDefs(defs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fresh.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadRuleSet(bytes.NewReader(buf.Bytes()), WithThreads(3))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		label := fmt.Sprintf("shards=%d", shards)
+		if loaded.Len() != fresh.Len() || loaded.NumShards() != fresh.NumShards() {
+			t.Fatalf("%s: loaded %d rules %d shards, want %d/%d",
+				label, loaded.Len(), loaded.NumShards(), fresh.Len(), fresh.NumShards())
+		}
+		assertSameVerdicts(t, fresh, loaded, label+" vs fresh", inputs)
+		assertSameVerdicts(t, isolated, loaded, label+" vs isolated", inputs)
+
+		// Loaded shards carry the persisted content-derived BuildID (top
+		// bit set) — the observable proof nothing was recompiled.
+		for i, sh := range loaded.Shards() {
+			if sh.BuildID&(1<<63) == 0 {
+				t.Fatalf("%s: loaded shard %d has sequential build id %d (recompiled?)", label, i, sh.BuildID)
+			}
+		}
+		// Streaming over a loaded set must agree with one-shot matching.
+		st, err := loaded.NewStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := inputs[1]
+		for i := 0; i < len(data); i += 100 {
+			end := i + 100
+			if end > len(data) {
+				end = len(data)
+			}
+			st.Write(data[i:end])
+		}
+		sm := st.Mask(make([]uint64, loaded.MaskWords()))
+		om := fresh.MatchMask(data, make([]uint64, fresh.MaskWords()))
+		if !maskEqual(sm, om) {
+			t.Fatalf("%s: stream mask %x != one-shot %x", label, sm, om)
+		}
+	}
+}
+
+// TestSnapshotSaveNeedsCombined: isolated and non-SFA rule sets carry no
+// combined tables; Save must refuse rather than write a partial file.
+func TestSnapshotSaveNeedsCombined(t *testing.T) {
+	rs, err := NewRuleSetFromDefs(snapshotDefs(), WithSearch(), WithIsolatedRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save on an isolated rule set succeeded")
+	}
+}
+
+// TestLoadRuleSetRejectsCorruption: every truncation must error, and
+// random single-bit flips must either error or (never) change verdicts —
+// the CRCs make silent acceptance effectively impossible, and nothing
+// may panic.
+func TestLoadRuleSetRejectsCorruption(t *testing.T) {
+	rs, err := NewRuleSetFromDefs(snapshotDefs(), WithSearch(), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	for _, cut := range []int{0, 1, 7, 8, 9, 15, len(snap) / 3, len(snap) / 2, len(snap) - 5, len(snap) - 1} {
+		if cut >= len(snap) {
+			continue
+		}
+		if _, err := LoadRuleSet(bytes.NewReader(snap[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(snap))
+		}
+	}
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), snap...)
+		pos := r.Intn(len(mut))
+		mut[pos] ^= 1 << r.Intn(8)
+		got, err := LoadRuleSet(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		// A flip that decodes (e.g. in a rule name before the CRC was
+		// introduced) would be a silent corruption; with the trailer CRC
+		// this should be unreachable.
+		t.Fatalf("bit flip at byte %d accepted (loaded %d rules)", pos, got.Len())
+	}
+}
+
+// TestShardCacheWarmsRepeatedBuilds: a second cold build over the same
+// rules with the same cache directory must come entirely from disk —
+// observable through the stable (top-bit) BuildIDs — and agree verdict
+// for verdict with the first.
+func TestShardCacheWarmsRepeatedBuilds(t *testing.T) {
+	dir := t.TempDir()
+	defs := snapshotDefs()
+	opts := []Option{WithSearch(), WithThreads(2), WithShardCache(dir)}
+
+	first, err := NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range second.Shards() {
+		if sh.BuildID&(1<<63) == 0 {
+			t.Fatalf("second build shard %d has sequential build id %d — cache missed", i, sh.BuildID)
+		}
+	}
+	assertSameVerdicts(t, first, second, "cached rebuild", oracleInputs(t))
+
+	// A cache hit must survive a rule-set edit when shard memberships
+	// are stable: with forced per-rule shards, adding a rule leaves
+	// every other shard's membership (and so its content key) intact.
+	perRule := append(append([]Option(nil), opts...), WithShards(len(defs)))
+	if _, err := NewRuleSetFromDefs(defs, perRule...); err != nil {
+		t.Fatal(err)
+	}
+	edited := append(append([]RuleDef(nil), defs...), RuleDef{Name: "extra", Pattern: `xp_cmdshell`})
+	third, err := NewRuleSetFromDefs(edited, append(opts, WithShards(len(edited)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for _, sh := range third.Shards() {
+		if sh.BuildID&(1<<63) != 0 {
+			warm++
+		}
+	}
+	if warm < len(defs) {
+		t.Fatalf("edited per-rule set reused %d cached shards, want ≥%d", warm, len(defs))
+	}
+}
+
+// TestShardCacheSearchModeIsolation: rule keys include the search/whole
+// matching mode, so a shared cache directory can never serve a
+// search-bracketed shard to a whole-input build (which would silently
+// turn whole-input acceptance into substring search).
+func TestShardCacheSearchModeIsolation(t *testing.T) {
+	dir := t.TempDir()
+	defs := []RuleDef{{Name: "abc", Pattern: `abc`}}
+	searchSet, err := NewRuleSetFromDefs(defs, WithSearch(), WithShardCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeSet, err := NewRuleSetFromDefs(defs, WithShardCache(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte("xxabcxx")
+	if got := searchSet.Scan(in, 0); len(got) != 1 {
+		t.Fatalf("search set missed substring: %v", got)
+	}
+	if got := wholeSet.Scan(in, 0); len(got) != 0 {
+		t.Fatalf("whole-input set matched a substring — cache served the search-mode shard: %v", got)
+	}
+	if got := wholeSet.Scan([]byte("abc"), 0); len(got) != 1 {
+		t.Fatalf("whole-input set missed exact input: %v", got)
+	}
+}
+
+// TestLoadedRuleSetRebuild: a loaded set supports hot reload with shard
+// reuse, exactly like a freshly built one.
+func TestLoadedRuleSetRebuild(t *testing.T) {
+	defs := snapshotDefs()
+	rs, err := NewRuleSetFromDefs(defs, WithSearch(), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRuleSet(bytes.NewReader(buf.Bytes()), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loaded.Shards()
+	edited := append(append([]RuleDef(nil), defs...), RuleDef{Name: "extra", Pattern: `xp_cmdshell`})
+	next, stats, err := loaded.Rebuild(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsReused == 0 {
+		t.Fatalf("rebuild of a loaded set reused nothing: %+v", stats)
+	}
+	after := map[uint64]bool{}
+	for _, sh := range next.Shards() {
+		after[sh.BuildID] = true
+	}
+	kept := 0
+	for _, sh := range before {
+		if after[sh.BuildID] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("no loaded shard survived the rebuild by BuildID")
+	}
+}
+
+// TestSnapshotWarmLoadSnort is the acceptance gate: over the curated
+// snort sample, a full warm load must beat the cold build by ≥10× and
+// produce byte-identical MatchMask verdicts.
+func TestSnapshotWarmLoadSnort(t *testing.T) {
+	n := 16
+	if raceEnabled {
+		n = 8
+	}
+	defs := snortDefs(snort.ScanSample(n))
+	opts := []Option{WithSearch(), WithThreads(2)}
+
+	coldStart := time.Now()
+	cold, err := NewRuleSetFromDefs(defs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(coldStart)
+
+	var buf bytes.Buffer
+	if err := cold.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warmStart := time.Now()
+	warm, err := LoadRuleSet(bytes.NewReader(buf.Bytes()), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(warmStart)
+
+	t.Logf("cold build %v, warm load %v (%.1f×), snapshot %d KiB",
+		coldDur, warmDur, float64(coldDur)/float64(warmDur), buf.Len()>>10)
+	if warmDur*10 > coldDur {
+		t.Errorf("warm load %v is not ≥10× faster than cold build %v", warmDur, coldDur)
+	}
+	assertSameVerdicts(t, cold, warm, "snort warm load", oracleInputs(t))
+}
