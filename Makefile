@@ -5,11 +5,12 @@
 # reload → verify verdicts, warm-restart sfaserve over a state dir,
 # shard-cache reuse) + a short benchmark smoke run proving the hot paths
 # still report 0 allocs/op. `make bench-json` captures the benchmark
-# trajectory snapshot (BENCH_4.json) that CI uploads as an artifact and
-# gates on.
+# trajectory snapshot (BENCH_5.json) that CI uploads as an artifact and
+# gates on; the RuleSet_ColdBuild_{Tuple,Vector} pair in it tracks the
+# tuple-interned construction speedup.
 
 GO ?= go
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 
 .PHONY: build vet test race fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 

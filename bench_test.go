@@ -468,11 +468,11 @@ func BenchmarkRuleSet_Isolated_p1(b *testing.B) {
 	benchRuleSet(b, rulesetFixture(b, "isolated", sfa.WithIsolatedRules()))
 }
 
-// The cold-vs-warm pair quantifies the snapshot subsystem: ColdBuild is
-// the full compile of the curated snort sample (parse → product DFA →
+// The cold-vs-warm pair quantifies the snapshot subsystem: ColdBuild_*
+// is the full compile of the curated snort sample (parse → product DFA →
 // mask-aware minimization → D-SFA, per shard); WarmLoad replaces all of
-// it with a decode+validate pass over the snapshot bytes. BENCH_4.json
-// records both, so the warm-restart win is tracked release over release.
+// it with a decode+validate pass over the snapshot bytes. BENCH_5.json
+// records them, so the warm-restart win is tracked release over release.
 func snapshotBenchDefs() []sfa.RuleDef {
 	rules := snort.ScanSample(12)
 	defs := make([]sfa.RuleDef, len(rules))
@@ -482,11 +482,30 @@ func snapshotBenchDefs() []sfa.RuleDef {
 	return defs
 }
 
-func BenchmarkRuleSet_SnapshotColdBuild(b *testing.B) {
+// The ColdBuild pair A/Bs the two combined-construction strategies on
+// the identical rule set: Tuple is the default tuple-interned builder
+// (intern k-tuples of component D-SFA states, materialize each mapping
+// vector once per state), Vector the legacy path (hash a full |D|-long
+// vector per candidate state). Verdicts are byte-identical by contract
+// (oracle-gated in internal/multi); the ns/op ratio is the construction
+// speedup BENCH_5.json tracks. ColdBuild_Tuple is the successor of
+// BENCH_4's RuleSet_SnapshotColdBuild (same defs, same options, default
+// path) — compare against WarmLoad below for the snapshot win.
+func BenchmarkRuleSet_ColdBuild_Tuple(b *testing.B) {
 	defs := snapshotBenchDefs()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sfa.NewRuleSetFromDefs(defs, sfa.WithSearch(), sfa.WithThreads(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleSet_ColdBuild_Vector(b *testing.B) {
+	defs := snapshotBenchDefs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfa.NewRuleSetFromDefs(defs, sfa.WithSearch(), sfa.WithThreads(1), sfa.WithVectorInterning()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N]
-//	         [-state-dir DIR] [-pprof] [tenant=rulesfile ...]
+//	         [-state-dir DIR] [-pprof] [-max-rule-bytes N] [-max-scan-bytes N]
+//	         [tenant=rulesfile ...]
+//
+// Request bodies are hard-capped: rule uploads at -max-rule-bytes
+// (default 8 MiB — rule files are parsed into memory) and scan payloads
+// at -max-scan-bytes (default 4 GiB — scans stream in constant memory,
+// the cap only bounds abuse). Oversized bodies get 413.
 //
 // With -state-dir the server persists every tenant's rule text and
 // compiled snapshot (plus a content-addressed shard cache) through each
@@ -59,11 +65,13 @@ const drainTimeout = 30 * time.Second
 // serverConfig is everything run needs; the tests drive run directly
 // with a synthetic shutdown channel instead of signals.
 type serverConfig struct {
-	addr     string
-	stateDir string
-	pprof    bool
-	preloads []string
-	opts     []sfa.Option
+	addr         string
+	stateDir     string
+	pprof        bool
+	maxRuleBytes int64
+	maxScanBytes int64
+	preloads     []string
+	opts         []sfa.Option
 }
 
 func main() {
@@ -73,6 +81,8 @@ func main() {
 	budget := flag.Int("shard-budget", 0, "per-shard D-SFA state budget (0 = default)")
 	stateDir := flag.String("state-dir", "", "persist tenants (rules + compiled snapshots) here; warm-restores them on boot")
 	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof/* (profiles expose resident rules/payloads — enable only on trusted networks)")
+	maxRuleBytes := flag.Int64("max-rule-bytes", serve.DefaultMaxRuleBytes, "maximum rule-upload body size (413 beyond)")
+	maxScanBytes := flag.Int64("max-scan-bytes", serve.DefaultMaxScanBytes, "maximum scan body size (413 beyond)")
 	flag.Parse()
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
@@ -85,7 +95,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := serverConfig{addr: *addr, stateDir: *stateDir, pprof: *pprofFlag, preloads: flag.Args(), opts: opts}
+	cfg := serverConfig{
+		addr: *addr, stateDir: *stateDir, pprof: *pprofFlag,
+		maxRuleBytes: *maxRuleBytes, maxScanBytes: *maxScanBytes,
+		preloads: flag.Args(), opts: opts,
+	}
 	if err := run(cfg, nil, ctx.Done()); err != nil {
 		fmt.Fprintf(os.Stderr, "sfaserve: %v\n", err)
 		os.Exit(1)
@@ -143,7 +157,10 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	var hopts []serve.HandlerOption
+	hopts := []serve.HandlerOption{
+		serve.WithRuleBodyLimit(cfg.maxRuleBytes),
+		serve.WithScanBodyLimit(cfg.maxScanBytes),
+	}
 	if cfg.pprof {
 		hopts = append(hopts, serve.WithProfiling())
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/dfa"
 	"repro/internal/nfa"
@@ -36,7 +37,30 @@ type DSFA struct {
 
 	n    int     // vector length == D.NumStates
 	maps []int16 // flat NumStates × n transformation vectors
-	ids  map[uint64][]int32
+
+	// ids is the vector-lookup index behind StateOf. BuildDSFA fills it
+	// as a side effect of interning; automata assembled from already-
+	// final tables (ReadDSFA, NewDSFAFromParts) leave it nil and build
+	// it on first StateOf call — matching never consults it, so warm
+	// snapshot loads skip the full-table hashing scan entirely.
+	ids     map[uint64][]int32
+	idsOnce sync.Once
+}
+
+// ensureIDs builds the StateOf intern index on demand. Safe for
+// concurrent first use; a no-op when construction already filled it.
+func (s *DSFA) ensureIDs() {
+	s.idsOnce.Do(func() {
+		if s.ids != nil {
+			return
+		}
+		ids := make(map[uint64][]int32, s.NumStates)
+		for id := int32(0); id < int32(s.NumStates); id++ {
+			h := hashVec16(s.mapOf(id))
+			ids[h] = append(ids[h], id)
+		}
+		s.ids = ids
+	})
 }
 
 // BuildDSFA runs the correspondence construction (Algorithm 4) on a
@@ -123,7 +147,16 @@ func BuildDSFA(d *dfa.DFA, cap int) (*DSFA, error) {
 	}
 
 	// Final states Fs (line 12) and the dead mapping, if reachable.
+	s.finalize()
+	return s, nil
+}
+
+// finalize derives the accept vector and the dead-mapping id from the
+// interned vectors — the last step both construction paths share.
+func (s *DSFA) finalize() {
+	d := s.D
 	s.Accept = make([]bool, s.NumStates)
+	s.EmptyID = -1
 	for id := int32(0); id < int32(s.NumStates); id++ {
 		f := s.mapOf(id)
 		s.Accept[id] = d.Accept[f[d.Start]]
@@ -131,6 +164,50 @@ func BuildDSFA(d *dfa.DFA, cap int) (*DSFA, error) {
 			s.EmptyID = id
 		}
 	}
+}
+
+// NewDSFAFromParts assembles a D-SFA from externally constructed tables:
+// nextC is the class-indexed transition table (stride d.BC.Count) and
+// maps the flat transformation vectors (stride d.NumStates), state ids
+// dense from 0. The tuple-interned product construction in
+// internal/multi builds these directly from component D-SFAs instead of
+// running the vector-interning Algorithm 4; the assembled automaton is
+// indistinguishable to the engines and the codec. Unlike BuildDSFA's
+// intern table, maps may contain duplicate vectors (distinct tuples can
+// agree on every reachable product state) — matching and serialization
+// are unaffected, and StateOf resolves to the first id holding the
+// vector. The accept vector and dead-mapping id are derived here; the
+// StateOf index is built lazily on first use.
+func NewDSFAFromParts(d *dfa.DFA, start int32, nextC []int32, maps []int16) (*DSFA, error) {
+	if d.NumStates > MaxDFAStates {
+		return nil, fmt.Errorf("core: DFA has %d states, D-SFA construction limit is %d",
+			d.NumStates, MaxDFAStates)
+	}
+	n := d.NumStates
+	nc := d.BC.Count
+	if n == 0 || len(maps)%n != 0 {
+		return nil, fmt.Errorf("core: mapping table %d entries not a multiple of %d DFA states", len(maps), n)
+	}
+	states := len(maps) / n
+	if states == 0 {
+		return nil, errors.New("core: no SFA states")
+	}
+	if len(nextC) != states*nc {
+		return nil, fmt.Errorf("core: transition table %d entries, want %d states × %d classes",
+			len(nextC), states, nc)
+	}
+	if start < 0 || int(start) >= states {
+		return nil, fmt.Errorf("core: start %d out of range", start)
+	}
+	s := &DSFA{
+		D:         d,
+		NumStates: states,
+		Start:     start,
+		NextC:     nextC,
+		n:         n,
+		maps:      maps,
+	}
+	s.finalize()
 	return s, nil
 }
 
@@ -157,6 +234,7 @@ func (s *DSFA) Map(id int32) []int16 { return s.mapOf(id) }
 // StateOf(ComposeVec(f, g)) always succeeds for reachable f, g — a closure
 // property the tests and package monoid rely on.
 func (s *DSFA) StateOf(vec []int16) (int32, bool) {
+	s.ensureIDs()
 	for _, id := range s.ids[hashVec16(vec)] {
 		if eqVec16(s.mapOf(id), vec) {
 			return id, true

@@ -63,8 +63,10 @@ func (s *DSFA) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadDSFA deserializes a D-SFA written by WriteTo, rebuilding the
-// vector-lookup index, and validates the result.
+// ReadDSFA deserializes a D-SFA written by WriteTo and validates the
+// result. The StateOf vector-lookup index is NOT rebuilt here: matching
+// never consults it, so a warm snapshot load skips hashing every mapping
+// vector and the index materializes lazily on the first StateOf call.
 func ReadDSFA(r io.Reader) (*DSFA, error) {
 	d, err := dfa.ReadDFA(r)
 	if err != nil {
@@ -130,12 +132,6 @@ func ReadDSFA(r io.Reader) (*DSFA, error) {
 			return nil, fmt.Errorf("core: mapping value %d out of range", x)
 		}
 		s.maps[i] = x
-	}
-	// Rebuild the intern index for StateOf.
-	s.ids = make(map[uint64][]int32)
-	for id := int32(0); id < int32(s.NumStates); id++ {
-		h := hashVec16(s.mapOf(id))
-		s.ids[h] = append(s.ids[h], id)
 	}
 	return s, nil
 }

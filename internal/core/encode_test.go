@@ -50,6 +50,79 @@ func TestDSFARoundTrip(t *testing.T) {
 	}
 }
 
+// TestStateOfLazyIndexConcurrent: the first StateOf after a load builds
+// the intern index on demand; concurrent first calls must all observe a
+// consistent index (sync.Once), and every interned vector must resolve.
+func TestStateOfLazyIndexConcurrent(t *testing.T) {
+	d := dfa.MustCompilePattern("([0-4]{5}[5-9]{5})*")
+	s, err := BuildDSFA(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDSFA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for id := int32(g); id < int32(got.NumStates); id += 8 {
+				if r, ok := got.StateOf(got.Map(id)); !ok || !eqVec16(got.Map(r), got.Map(id)) {
+					done <- bytesErr(id)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type bytesErr int32
+
+func (e bytesErr) Error() string { return "StateOf failed for interned state" }
+
+// BenchmarkReadDSFA measures warm snapshot decode. The StateOf intern
+// index used to be rebuilt here by hashing every mapping vector; it is
+// now lazy, so this is pure read+validate. BenchmarkReadDSFA_EagerIndex
+// adds the index build back (what every load used to pay) for the
+// before/after comparison.
+func benchReadDSFA(b *testing.B, eager bool) {
+	d := dfa.MustCompilePattern("([0-4]{5}[5-9]{5})*([ab]{3}[cd]{3})*")
+	s, err := BuildDSFA(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadDSFA(bytes.NewReader(blob))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eager {
+			got.ensureIDs()
+		}
+	}
+}
+
+func BenchmarkReadDSFA(b *testing.B)            { benchReadDSFA(b, false) }
+func BenchmarkReadDSFA_EagerIndex(b *testing.B) { benchReadDSFA(b, true) }
+
 func TestReadDSFARejectsGarbage(t *testing.T) {
 	if _, err := ReadDSFA(bytes.NewReader(nil)); err == nil {
 		t.Error("empty stream accepted")

@@ -72,6 +72,33 @@ func ShardKey(keys []string) string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
+// shardCacheKey addresses a shard blob in the content-addressed cache:
+// rule membership (ShardKey) plus both build budgets plus the interning
+// mode. The budgets are part of the address — not of the blob — because
+// a cache directory is shareable between processes: under a
+// membership-only key a process with a small SFABudget/DFABudget would
+// happily adopt a shard built under a larger budget and silently
+// violate its own memory bound (budget-failure tombstones always keyed
+// on budgets; shard blobs were the gap). The interning mode is included
+// for the same reason failCacheKey's is: both paths' shards are
+// verdict-identical, but a VectorIntern build that silently adopts
+// tuple-built blobs from a shared directory would defeat the knob's A/B
+// purpose (and carry the tuple path's state surplus). The blob format
+// itself is unchanged, so whole-set snapshots (which pin their build's
+// results by construction) still embed and decode the same bytes.
+func shardCacheKey(shardKey string, o Options) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("shard\x00%d\x00%d\x00%s\x00%s", o.DFABudget, o.SFABudget, internMode(o), shardKey)))
+	return fmt.Sprintf("%x", h[:])
+}
+
+// internMode names the construction strategy for cache addressing.
+func internMode(o Options) string {
+	if o.VectorIntern {
+		return "v"
+	}
+	return "t"
+}
+
 // StableBuildID derives the persisted construction id from a shard's
 // content key. The top bit is always set, so ids adopted from snapshots
 // can never collide with the small sequential ids engine construction
@@ -442,9 +469,12 @@ func storeCachedEst(ruleKey string, est, states int, fits bool, o Options) {
 
 const failMagic = "SFA\x01NOP\x01"
 
-// failCacheKey addresses a budget-failure tombstone.
+// failCacheKey addresses a budget-failure tombstone. The interning mode
+// is part of the key: tuple interning's state count is an upper bound on
+// vector interning's, so a tuple-mode failure must not short-circuit a
+// vector-mode (A/B) attempt that could still fit.
 func failCacheKey(shardKey string, o Options) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("fail\x00%d\x00%d\x00%s", o.DFABudget, o.SFABudget, shardKey)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("fail\x00%d\x00%d\x00%s\x00%s", o.DFABudget, o.SFABudget, internMode(o), shardKey)))
 	return fmt.Sprintf("%x", h[:])
 }
 

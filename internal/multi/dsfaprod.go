@@ -1,0 +1,162 @@
+package multi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfa"
+)
+
+// Tuple-interned combined D-SFA construction.
+//
+// The vector-interning correspondence construction (core.BuildDSFA) is
+// the cold-build bottleneck of combined sets: every candidate SFA state
+// is a full |D|-long transformation vector of the product DFA, so each
+// of the NumStates × classes transition steps computes AND hashes |D|
+// int16 entries. But the product DFA's states are tuples of component-
+// DFA states and its transitions act componentwise, so the transformation
+// a word induces on the product is fully determined by the k-tuple of
+// component D-SFA states that word reaches — Theorem 2's correspondence,
+// taken per component. Interning those short tuples replaces the O(|D|)
+// per-transition work with k table lookups and an O(k) hash, and the
+// |D|-long mapping vector the engine's reduction needs is materialized
+// once per *interned* state (from its parent's vector, one class step
+// per entry — plain array indexing, never hashed). This is the
+// construction direction Jung & Burgstaller's multicore D-SFA work
+// attacks with Rabin fingerprints (PAPERS.md); component tuples are an
+// exact identity here, not a probabilistic one.
+//
+// Tuple identity is an over-approximation of vector identity: two
+// distinct tuples can induce the same transformation on every
+// *reachable* product state (the unreachable disagreements were cut by
+// reachability and mask-aware minimization). The tuple automaton
+// therefore has at least as many states as the vector-interned one and
+// accepts byte-identical verdicts — the oracle tests gate on MatchMask
+// equality, never on state counts, and the sfabench ruleset table
+// reports the Σ|Sd| delta. Budgets are enforced on the tuple count,
+// which makes them conservative in exactly the safe direction.
+
+// tupleDSFA builds the combined D-SFA for a shard directly over
+// reachable tuples of component D-SFA states. comps[i] is rule i's own
+// D-SFA (over the component's minimal DFA); d is the shard's mask-aware-
+// minimized product DFA of those same component DFAs, whose byte classes
+// are the components' common refinement. cap > 0 bounds the number of
+// interned tuple states; overruns report core.ErrTooManyStates exactly
+// like the vector-interning path, so the planner's split-and-retry loop
+// is path-agnostic.
+func tupleDSFA(comps []*core.DSFA, d *dfa.DFA, cap int) (*core.DSFA, error) {
+	k := len(comps)
+	n := d.NumStates
+	nc := d.BC.Count
+
+	// Per-component class translation: combined class c steps component i
+	// by its own class of the combined representative byte (within a
+	// combined class no component distinguishes bytes).
+	classOf := make([]int, k*nc)
+	for c := 0; c < nc; c++ {
+		b := d.BC.Rep[c]
+		for i, s := range comps {
+			classOf[i*nc+c] = int(s.BC().Of[b])
+		}
+	}
+
+	sizeHint := 512
+	if cap > 0 && cap < sizeHint {
+		sizeHint = cap
+	}
+	ids := make(map[string]int32, sizeHint)
+	tuples := make([]int32, 0, sizeHint*k) // flat, stride k
+	maps := make([]int16, 0, sizeHint*n)   // flat vectors, stride n, in id order
+	nextC := make([]int32, 0, sizeHint*nc) // grown in lockstep with interning
+	key := make([]byte, 4*k)
+	states := 0
+	intern := func(t []int32) (int32, bool, error) {
+		for i, q := range t {
+			binary.LittleEndian.PutUint32(key[i*4:], uint32(q))
+		}
+		if id, ok := ids[string(key)]; ok {
+			return id, false, nil
+		}
+		if cap > 0 && states >= cap {
+			return 0, false, fmt.Errorf("%w (tuple cap %d)", core.ErrTooManyStates, cap)
+		}
+		id := int32(states)
+		states++
+		ids[string(key)] = id
+		tuples = append(tuples, t...)
+		nextC = append(nextC, make([]int32, nc)...)
+		return id, true, nil
+	}
+
+	// The identity: every component at its own identity mapping, and the
+	// identity vector over the product DFA.
+	start := make([]int32, k)
+	for i, s := range comps {
+		start[i] = s.Start
+	}
+	startID, _, err := intern(start)
+	if err != nil {
+		return nil, err
+	}
+	identity := make([]int16, n)
+	for q := range identity {
+		identity[q] = int16(q)
+	}
+	maps = append(maps, identity...)
+
+	queue := []int32{startID}
+	next := make([]int32, k)
+	vec := make([]int16, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for c := 0; c < nc; c++ {
+			// O(k) transition: one component D-SFA table lookup each.
+			for i, s := range comps {
+				next[i] = s.NextClass(tuples[int(id)*k+i], classOf[i*nc+c])
+			}
+			to, fresh, err := intern(next)
+			if err != nil {
+				return nil, err
+			}
+			nextC[int(id)*nc+c] = to
+			if fresh {
+				// Materialize the fresh state's product-DFA mapping vector
+				// from its parent's: f_{wσ}(q) = δ(f_w(q), σ). Computed into
+				// scratch first — the append below may move the backing
+				// array while parent still views the old one.
+				parent := maps[int(id)*n : (int(id)+1)*n]
+				for q := 0; q < n; q++ {
+					vec[q] = int16(d.NextClass(int32(parent[q]), c))
+				}
+				maps = append(maps, vec...)
+				queue = append(queue, to)
+			}
+		}
+	}
+	return core.NewDSFAFromParts(d, startID, nextC, maps)
+}
+
+// shardDSFA dispatches a shard's combined D-SFA construction: tuple
+// interning by default, the vector-interning core.BuildDSFA for
+// single-rule shards (there is no product to exploit) and under the
+// Options.VectorIntern A/B knob. comps() is pulled lazily so the vector
+// path never constructs component D-SFAs it does not need.
+func shardDSFA(bin []planRule, d *dfa.DFA, cap int, o Options) (*core.DSFA, error) {
+	if o.VectorIntern || len(bin) == 1 {
+		return core.BuildDSFA(d, cap)
+	}
+	comps := make([]*core.DSFA, len(bin))
+	for i, r := range bin {
+		s, err := r.s.get()
+		if err != nil {
+			if isBudgetErr(err) {
+				return nil, fmt.Errorf("%w: component D-SFA of rule %d over budget", ErrBudget, r.idx)
+			}
+			return nil, fmt.Errorf("multi: rule %d: %w", r.idx, err)
+		}
+		comps[i] = s
+	}
+	return tupleDSFA(comps, d, cap)
+}

@@ -27,11 +27,15 @@ func logEst(r planRule) float64 {
 // identity key (empty when caching is off), its (possibly lazy) minimal
 // component DFA, and an estimated automaton size. sfa holds the
 // estimation dry run's D-SFA when it fit the budget, so a rule that
-// ends up in a shard of its own is never built twice.
+// ends up in a shard of its own is never built twice; s hands the same
+// automaton (built on demand on a warm plan) to the tuple-interned
+// combined construction, which closes the shard's D-SFA over tuples of
+// component D-SFA states.
 type planRule struct {
 	idx    int
 	key    string
 	d      *lazyDFA
+	s      *lazySFA
 	states int // minimal component DFA size (plan's side constraint)
 	est    int
 	fits   bool // a capped dry run succeeded (this process or cached)
@@ -71,6 +75,37 @@ func (l *lazyDFA) get() (*dfa.DFA, error) {
 	return l.d, l.err
 }
 
+// lazySFA defers a rule's component D-SFA construction — the input the
+// tuple-interned combined builder consumes — until a shard build
+// actually needs it. Seeded with the estimation dry run's automaton when
+// that ran in-process (the common cold path); on a warm plan (cached
+// estimates) it rebuilds under the identical cap, so the result is the
+// automaton the dry run produced. Shared by pointer across planRule
+// copies like lazyDFA, so the build happens at most once per rule even
+// across the merge pass's recombined bins.
+type lazySFA struct {
+	d      *lazyDFA
+	budget int // the shard SFA budget; the effective cap derives per-DFA
+	once   sync.Once
+	s      *core.DSFA
+	err    error
+}
+
+func (l *lazySFA) get() (*core.DSFA, error) {
+	l.once.Do(func() {
+		if l.s != nil {
+			return
+		}
+		m, err := l.d.get()
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.s, l.err = core.BuildDSFA(m, sfaCapFor(l.budget, m.NumStates))
+	})
+	return l.s, l.err
+}
+
 // prepRules compiles the listed rules' component DFAs and size
 // estimates, fanned out over the worker pool — the per-rule dry runs
 // are independent, and construction latency is exactly what the
@@ -108,9 +143,11 @@ func prepRule(node *syntax.Node, idx int, key string, o Options) (planRule, erro
 			// The stored est is used verbatim — including the cap+1 form
 			// a clipped-cap failure produces — so a warm plan packs the
 			// exact bins the cold plan did and every shard key matches.
+			d := &lazyDFA{node: node, cap: o.PerRuleDFACap}
 			return planRule{
 				idx: idx, key: key,
-				d:      &lazyDFA{node: node, cap: o.PerRuleDFACap},
+				d:      d,
+				s:      &lazySFA{d: d, budget: o.SFABudget},
 				states: states,
 				est:    est,
 				fits:   fits,
@@ -122,11 +159,22 @@ func prepRule(node *syntax.Node, idx int, key string, o Options) (planRule, erro
 	if err != nil {
 		return planRule{}, fmt.Errorf("multi: rule %d: %w", idx, err)
 	}
-	est, s := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
+	est, s, err := estimateSFA(m, sfaCapFor(o.SFABudget, m.NumStates))
+	if err != nil {
+		return planRule{}, fmt.Errorf("multi: rule %d: %w", idx, err)
+	}
 	if o.Cache != nil && key != "" {
 		storeCachedEst(key, est, m.NumStates, s != nil, o)
 	}
-	return planRule{idx: idx, key: key, d: l, states: m.NumStates, est: est, fits: s != nil, sfa: s}, nil
+	return planRule{
+		idx: idx, key: key,
+		d:      l,
+		s:      &lazySFA{d: l, budget: o.SFABudget, s: s},
+		states: m.NumStates,
+		est:    est,
+		fits:   s != nil,
+		sfa:    s,
+	}, nil
 }
 
 // constructionPool is the dedicated worker pool for build-time fan-out
@@ -173,12 +221,19 @@ func buildBins(bins [][]planRule, o Options) ([]*shardBuild, error) {
 // static bound predicts it (Sect. VII shows it ranges from |D| to
 // exponential), so the capped build is the estimator. Rules over budget
 // report est = budget+1 (and a nil D-SFA), forcing a dedicated shard.
-func estimateSFA(d *dfa.DFA, budget int) (int, *core.DSFA) {
+// Only a genuine cap overrun means "over budget": any other construction
+// failure (a component DFA past core.MaxDFAStates can never build at
+// ANY budget) is a real error that must surface to the caller, not be
+// re-attempted down the split path.
+func estimateSFA(d *dfa.DFA, budget int) (int, *core.DSFA, error) {
 	s, err := core.BuildDSFA(d, budget)
 	if err != nil {
-		return budget + 1, nil
+		if errors.Is(err, core.ErrTooManyStates) {
+			return budget + 1, nil, nil
+		}
+		return 0, nil, err
 	}
-	return s.NumStates, s
+	return s.NumStates, s, nil
 }
 
 // plan assigns rules to bins greedily by estimated automaton size.
@@ -430,8 +485,9 @@ func singleRuleShard(r planRule, o Options) *shard {
 	return &shard{m: m, rules: []int{r.idx}}
 }
 
-// binCacheKey returns the bin's content-address, or "" when caching is
-// off or any rule lacks an identity key.
+// binCacheKey returns the bin's cache address — rule membership plus
+// the build budgets (see shardCacheKey) — or "" when caching is off or
+// any rule lacks an identity key.
 func binCacheKey(bin []planRule, o Options) string {
 	if o.Cache == nil {
 		return ""
@@ -443,7 +499,7 @@ func binCacheKey(bin []planRule, o Options) string {
 		}
 		keys[i] = r.key
 	}
-	return ShardKey(keys)
+	return shardCacheKey(ShardKey(keys), o)
 }
 
 // loadCachedShard probes the content-addressed cache for a prebuilt
@@ -504,12 +560,13 @@ func storeShard(key string, sh *shard, bin []planRule, o Options) {
 }
 
 // buildShard runs the combined pipeline — product DFA, mask-aware
-// minimization, D-SFA — for one bin, after probing the shard cache:
-// a content hit skips construction entirely and adopts the persisted
-// automaton (and its stable BuildID). capped=false lifts the budgets to
-// the construction's hard limits (the single-rule fallback); note cache
-// entries are keyed by rule membership alone, so a hit bypasses the
-// current budget options (see Options.Cache).
+// minimization, tuple-interned D-SFA (vector-interned for single-rule
+// bins or under Options.VectorIntern) — for one bin, after probing the
+// shard cache: a content hit skips construction entirely and adopts the
+// persisted automaton (and its stable BuildID). capped=false lifts the
+// budgets to the construction's hard limits (the single-rule fallback);
+// cache entries are keyed by rule membership plus both budgets, so a
+// hit can only adopt a shard some same-budget process built.
 func buildShard(bin []planRule, o Options, capped, probe bool) (*shard, error) {
 	cacheKey := binCacheKey(bin, o)
 	if cacheKey != "" {
@@ -557,7 +614,7 @@ func buildShard(bin []planRule, o Options, capped, probe bool) (*shard, error) {
 	if capped {
 		sfaCap = sfaCapFor(o.SFABudget, d.NumStates)
 	}
-	s, err := core.BuildDSFA(d, sfaCap)
+	s, err := shardDSFA(bin, d, sfaCap, o)
 	if err != nil {
 		return nil, markBudgetErr(err)
 	}

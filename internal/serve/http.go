@@ -35,6 +35,21 @@ import (
 // memory trivial.
 const scanChunkSize = 64 << 10
 
+// Request-body ceilings. Every body read goes through
+// http.MaxBytesReader so an oversized (or unbounded chunked) upload is
+// cut off with 413 instead of being consumed forever. Rule uploads are
+// parsed into memory, so their default is small; scan bodies stream in
+// constant memory, so theirs is large — it exists to bound abuse, not
+// legitimate payloads. Both are per-handler configurable.
+const (
+	// DefaultMaxRuleBytes caps PUT /v1/tenants/{name} bodies (rule
+	// files). 8 MiB is orders of magnitude beyond real SNORT-style sets.
+	DefaultMaxRuleBytes = 8 << 20
+	// DefaultMaxScanBytes caps POST .../scan bodies. 4 GiB: scans are
+	// O(1) memory per request, so this is an abuse bound only.
+	DefaultMaxScanBytes = 4 << 30
+)
+
 // scanBufs recycles body-read buffers across requests — the streams
 // underneath are zero-alloc per chunk, so the handler should not be the
 // one generating 64 KiB of garbage per request.
@@ -166,7 +181,32 @@ func metricsReply(h *Hub) MetricsReply {
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	profiling bool
+	profiling    bool
+	maxRuleBytes int64
+	maxScanBytes int64
+}
+
+// WithRuleBodyLimit caps the size of rule-upload request bodies
+// (PUT /v1/tenants/{name}); larger uploads get 413. n <= 0 keeps
+// DefaultMaxRuleBytes.
+func WithRuleBodyLimit(n int64) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.maxRuleBytes = n
+		}
+	}
+}
+
+// WithScanBodyLimit caps the size of scan request bodies
+// (POST /v1/tenants/{name}/scan); larger payloads get 413 after the
+// allowed prefix has streamed through. n <= 0 keeps
+// DefaultMaxScanBytes.
+func WithScanBodyLimit(n int64) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.maxScanBytes = n
+		}
+	}
 }
 
 // WithProfiling mounts the Go /debug/pprof/* endpoints on the handler.
@@ -180,7 +220,10 @@ func WithProfiling() HandlerOption {
 
 // NewHandler builds the HTTP API over a hub.
 func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
-	var cfg handlerConfig
+	cfg := handlerConfig{
+		maxRuleBytes: DefaultMaxRuleBytes,
+		maxScanBytes: DefaultMaxScanBytes,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -210,9 +253,17 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 	})
 	mux.HandleFunc("PUT /v1/tenants/{tenant}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("tenant")
-		defs, err := ParseRules(r.Body)
+		// Rule files are parsed into memory, so an unbounded body is a
+		// trivial memory DoS; MaxBytesReader cuts the read off and the
+		// parse error below is reported as 413, not 400.
+		defs, err := ParseRules(http.MaxBytesReader(w, r.Body, cfg.maxRuleBytes))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			code := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, code, err)
 			return
 		}
 		created, _, res, err := h.SetRules(name, defs)
@@ -268,20 +319,26 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 			return
 		}
 		defer st.Close()
+		body := http.MaxBytesReader(w, r.Body, cfg.maxScanBytes)
 		bufp := scanBufs.Get().(*[]byte)
 		defer scanBufs.Put(bufp)
 		buf := *bufp
 		for {
-			n, err := r.Body.Read(buf)
+			n, err := body.Read(buf)
 			if n > 0 {
 				st.Write(buf[:n])
 			}
 			if err != nil {
-				if !errors.Is(err, io.EOF) {
-					httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				var mbe *http.MaxBytesError
+				if errors.As(err, &mbe) {
+					httpError(w, http.StatusRequestEntityTooLarge, err)
 					return
 				}
-				break
+				httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+				return
 			}
 		}
 		matches := st.Names()

@@ -189,6 +189,7 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 		PerRuleDFACap: cfg.dfaCap,
 		Threads:       cfg.threads,
 		Spawn:         cfg.spawn,
+		VectorIntern:  cfg.vectorIntern,
 	}
 	if cfg.cacheDir != "" {
 		st, err := snapshot.OpenStore(cfg.cacheDir)

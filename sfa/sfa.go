@@ -95,6 +95,7 @@ type config struct {
 	shards        int
 	shardBudget   int
 	cacheDir      string
+	vectorIntern  bool
 }
 
 // buildConfig folds the options and resolves defaults.
@@ -167,13 +168,28 @@ func WithShardStateBudget(n int) Option { return func(c *config) { c.shardBudget
 // WithShardCache points NewRuleSet's combined compiler at a
 // content-addressed on-disk shard cache rooted at dir (created if
 // absent): every combined shard is looked up by the hash of its rule
-// membership before being built and stored after, so repeated builds of
-// the same rules — across processes and restarts — skip construction for
-// every shard some earlier build already produced. Entries are keyed by
-// rule membership alone; do not share one directory between builds with
-// different state budgets or layouts. Compile and isolated-mode rule
-// sets ignore this option.
+// membership, build budgets, and construction mode before being built
+// and stored after, so repeated builds of the same rules — across
+// processes and restarts — skip construction for every shard some
+// earlier same-configuration build already produced. The directory is
+// safe to share between differently-configured processes: budgets are
+// part of the key, so a build can never adopt a shard constructed
+// under a larger memory bound, and a WithVectorInterning A/B run never
+// adopts tuple-built shards. Compile and isolated-mode rule sets
+// ignore this option.
 func WithShardCache(dir string) Option { return func(c *config) { c.cacheDir = dir } }
+
+// WithVectorInterning restores the vector-interning combined D-SFA
+// construction (hash a full |D|-long mapping vector per candidate
+// state) instead of the default tuple-interned builder, which interns
+// k-tuples of component D-SFA states and materializes each mapping
+// vector once per state. Verdicts are byte-identical either way; the
+// tuple path can intern somewhat more states (tuple identity over-
+// approximates vector identity) in exchange for much cheaper cold
+// construction. Kept for A/B measurement (sfabench ruleset,
+// BenchmarkRuleSet_ColdBuild_*). Compile and isolated-mode rule sets
+// ignore this option.
+func WithVectorInterning() Option { return func(c *config) { c.vectorIntern = true } }
 
 // Regexp is a compiled pattern. It is safe for concurrent use.
 type Regexp struct {
