@@ -10,7 +10,7 @@
 # tuple-interned construction speedup.
 
 GO ?= go
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 .PHONY: build vet test race fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 

@@ -422,6 +422,21 @@ var (
 )
 
 func rulesetFixture(b *testing.B, key string, extra ...sfa.Option) *rulesetBench {
+	text, _ := textgen.Traffic{SuspiciousPerMille: 2}.Generate(benchMB()<<20, 1)
+	return rulesetFixtureOn(b, key, text, extra...)
+}
+
+// rulesetSparseFixture scans the payload corpus instead: benign frames
+// contain almost no rule literals, so the prefilter's candidate windows
+// collapse — the on/off pair over it is the cascade's headline ratio
+// (Traffic, every line carrying an HTTP keyword, shows the
+// low-selectivity floor instead).
+func rulesetSparseFixture(b *testing.B, key string, extra ...sfa.Option) *rulesetBench {
+	text, _ := textgen.Payload{SuspiciousPerMille: 2}.Generate(benchMB()<<20, 1)
+	return rulesetFixtureOn(b, "sparse-"+key, text, extra...)
+}
+
+func rulesetFixtureOn(b *testing.B, key string, text []byte, extra ...sfa.Option) *rulesetBench {
 	b.Helper()
 	rulesetMu.Lock()
 	defer rulesetMu.Unlock()
@@ -438,7 +453,6 @@ func rulesetFixture(b *testing.B, key string, extra ...sfa.Option) *rulesetBench
 	if err != nil {
 		b.Fatal(err)
 	}
-	text, _ := textgen.Traffic{SuspiciousPerMille: 2}.Generate(benchMB()<<20, 1)
 	f := &rulesetBench{rs: rs, text: text}
 	rulesetMap[key] = f
 	return f
@@ -466,6 +480,18 @@ func BenchmarkRuleSet_Sharded4_p1(b *testing.B) {
 
 func BenchmarkRuleSet_Isolated_p1(b *testing.B) {
 	benchRuleSet(b, rulesetFixture(b, "isolated", sfa.WithIsolatedRules()))
+}
+
+// The sparse pair is the prefilter's acceptance A/B: same combined set,
+// payload corpus, cascade on vs off. On Traffic (the benchmarks above)
+// the prefilter's gain is modest because HTTP keywords occur on every
+// line; here candidate windows collapse and the ratio is the headline.
+func BenchmarkRuleSet_PrefilterSparse_p1(b *testing.B) {
+	benchRuleSet(b, rulesetSparseFixture(b, "combined"))
+}
+
+func BenchmarkRuleSet_NoPrefilterSparse_p1(b *testing.B) {
+	benchRuleSet(b, rulesetSparseFixture(b, "nopre", sfa.WithoutPrefilter()))
 }
 
 // The cold-vs-warm pair quantifies the snapshot subsystem: ColdBuild_*

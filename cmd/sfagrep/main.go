@@ -62,6 +62,7 @@ func main() {
 	isolated := flag.Bool("isolated", false, "with -f: one engine per rule instead of the combined automaton")
 	shards := flag.Int("shards", 0, "with -f: force K combined shards (0 = automatic)")
 	cacheDir := flag.String("cache", "", "with -f: content-addressed shard cache directory (repeated runs skip construction)")
+	noPrefilter := flag.Bool("no-prefilter", false, "with -f: disable the literal prefilter cascade (A/B baseline)")
 	flag.Parse()
 
 	wantArgs := 1
@@ -108,6 +109,9 @@ func main() {
 	if *rulesFile != "" {
 		if *cacheDir != "" {
 			opts = append(opts, sfa.WithShardCache(*cacheDir))
+		}
+		if *noPrefilter {
+			opts = append(opts, sfa.WithoutPrefilter())
 		}
 		scanRules(*rulesFile, input, opts, *isolated, *shards, *stats)
 		return
@@ -229,8 +233,18 @@ func scanRules(path string, input io.Reader, opts []sfa.Option, isolated bool, s
 	if stats {
 		fmt.Printf("%d rules in %d shard(s), built in %v\n", rs.Len(), rs.NumShards(), build.Round(time.Millisecond))
 		for i, sh := range rs.Shards() {
-			fmt.Printf("  shard %d: |D|=%-6d |Sd|=%-7d layout=%-5s table %6d KiB  %d rule(s)\n",
-				i, sh.DFAStates, sh.SFAStates, sh.Layout, sh.TableBytes>>10, len(sh.Rules))
+			fmt.Printf("  shard %d: |D|=%-6d |Sd|=%-7d layout=%-5s table %6d KiB  prefilter=%-6s %d rule(s)\n",
+				i, sh.DFAStates, sh.SFAStates, sh.Layout, sh.TableBytes>>10, sh.Prefilter, len(sh.Rules))
+		}
+		if pf := rs.PrefilterStats(); pf.Enabled {
+			fmt.Printf("prefilter: stage=%s literals=%d covered=%d/%d chunks skipped=%d scanned=%d",
+				pf.Stage, pf.Literals, pf.RulesCovered, pf.RulesCovered+pf.RulesUncovered,
+				pf.ChunksSkipped, pf.ChunksScanned)
+			if pf.TotalBytes > 0 {
+				fmt.Printf(" candidate bytes %d/%d (%.1f%%)",
+					pf.CandidateBytes, pf.TotalBytes, 100*float64(pf.CandidateBytes)/float64(pf.TotalBytes))
+			}
+			fmt.Println()
 		}
 		fmt.Printf("%d bytes in %v (%.3f GB/s)\n",
 			n, elapsed, float64(n)/elapsed.Seconds()/1e9)

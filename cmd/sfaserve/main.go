@@ -83,6 +83,7 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount /debug/pprof/* (profiles expose resident rules/payloads — enable only on trusted networks)")
 	maxRuleBytes := flag.Int64("max-rule-bytes", serve.DefaultMaxRuleBytes, "maximum rule-upload body size (413 beyond)")
 	maxScanBytes := flag.Int64("max-scan-bytes", serve.DefaultMaxScanBytes, "maximum scan body size (413 beyond)")
+	noPrefilter := flag.Bool("no-prefilter", false, "disable the literal prefilter cascade on every tenant (A/B baseline)")
 	flag.Parse()
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
@@ -91,6 +92,9 @@ func main() {
 	}
 	if *budget > 0 {
 		opts = append(opts, sfa.WithShardStateBudget(*budget))
+	}
+	if *noPrefilter {
+		opts = append(opts, sfa.WithoutPrefilter())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

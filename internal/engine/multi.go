@@ -137,6 +137,21 @@ func (m *MultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
 	return append(dst[:0], m.masks[int(q)*m.words:(int(q)+1)*m.words]...)
 }
 
+// OrMask scans text sequentially on the calling goroutine and ORs the
+// resulting accept bitmask into dst, which must have Words() length.
+// This is the candidate-window primitive of the literal prefilter: a
+// window is a short slice, so the chunk-parallel dispatch of MatchMask
+// would cost more than the walk, and OR-accumulation lets overlapping
+// windows of one input share a result buffer.
+func (m *MultiSFA) OrMask(text []byte, dst []uint64) {
+	f := m.runChunk(text)
+	q := core.ApplyVec(m.s.Map(f), m.s.D.Start)
+	row := m.masks[int(q)*m.words : (int(q)+1)*m.words]
+	for i, w := range row {
+		dst[i] |= w
+	}
+}
+
 // Match implements Matcher: whole-input acceptance by any rule.
 func (m *MultiSFA) Match(text []byte) bool {
 	q := m.run(text)

@@ -68,6 +68,7 @@ func (c Config) Ruleset() error {
 	}
 	modes := []mode{
 		{"combined", base},
+		{"combined-nopre", append([]sfa.Option{sfa.WithoutPrefilter()}, base...)},
 		{"combined-vec", append([]sfa.Option{sfa.WithVectorInterning()}, base...)},
 		{"sharded-2", append([]sfa.Option{sfa.WithShards(2)}, base...)},
 		{"sharded-4", append([]sfa.Option{sfa.WithShards(4)}, base...)},
@@ -75,7 +76,7 @@ func (c Config) Ruleset() error {
 	}
 
 	w := c.table()
-	fmt.Fprintf(w, "mode\tshards\tΣ|D|\tΣ|Sd|\ttables MiB\tbuild s\tMB/s\thits\t\n")
+	fmt.Fprintf(w, "mode\tshards\tΣ|D|\tΣ|Sd|\ttables MiB\tbuild s\tMB/s\tcand%%\thits\t\n")
 	var oracle []string
 	haveOracle := false
 	for _, m := range modes {
@@ -102,13 +103,53 @@ func (c Config) Ruleset() error {
 			return fmt.Errorf("ruleset %s: verdict diverged from %s: %v vs %v",
 				m.name, modes[0].name, hits, oracle)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.2f\t%.1f\t%d\t\n",
+		// cand% is the prefilter's selectivity over this run: the share
+		// of shard-bytes the automata actually walked. "-" = no prefilter.
+		cand := "-"
+		if pf := rs.PrefilterStats(); pf.Enabled && pf.TotalBytes > 0 {
+			cand = fmt.Sprintf("%.1f", 100*float64(pf.CandidateBytes)/float64(pf.TotalBytes))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.2f\t%.1f\t%s\t%d\t\n",
 			m.name, rs.NumShards(), dStates, sStates,
 			float64(tableBytes)/(1<<20), build.Seconds(),
-			float64(size)/elapsed.Seconds()/1e6, len(hits))
+			float64(size)/elapsed.Seconds()/1e6, cand, len(hits))
 	}
 	w.Flush()
 	c.printf("matching rules: %v\n", oracle)
+
+	// The prefilter A/B on its value corpus: Payload frames contain
+	// almost no rule literals (where Traffic's HTTP lines contain one on
+	// every line — the low-selectivity regime visible in cand% above), so
+	// candidate windows collapse and the cascade's speedup is maximal.
+	sparse, sp := textgen.Payload{SuspiciousPerMille: 2}.Generate(size, c.Seed)
+	c.header(fmt.Sprintf("Ruleset prefilter A/B — sparse payload corpus (%d rules, %d MiB, %d planted, p=1)",
+		len(defs), size>>20, sp))
+	w = c.table()
+	fmt.Fprintf(w, "mode\tshards\tMB/s\tcand%%\thits\t\n")
+	var sparseOracle []string
+	haveSparse := false
+	for _, m := range modes[:2] { // combined vs combined-nopre
+		rs, err := sfa.NewRuleSetFromDefs(defs, m.opts...)
+		if err != nil {
+			return fmt.Errorf("ruleset %s (sparse): %w", m.name, err)
+		}
+		var hits []string
+		elapsed := bestOf(c.Repeats, func() { hits = rs.Scan(sparse, 0) })
+		if !haveSparse {
+			sparseOracle, haveSparse = hits, true
+		} else if !equalStrings(hits, sparseOracle) {
+			return fmt.Errorf("ruleset %s (sparse): verdict diverged: %v vs %v",
+				m.name, hits, sparseOracle)
+		}
+		cand := "-"
+		if pf := rs.PrefilterStats(); pf.Enabled && pf.TotalBytes > 0 {
+			cand = fmt.Sprintf("%.1f", 100*float64(pf.CandidateBytes)/float64(pf.TotalBytes))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%s\t%d\t\n",
+			m.name, rs.NumShards(),
+			float64(size)/elapsed.Seconds()/1e6, cand, len(hits))
+	}
+	w.Flush()
 	return nil
 }
 

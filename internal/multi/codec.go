@@ -376,6 +376,10 @@ func DecodeSet(r io.Reader, keys []string, o Options) (*Set, error) {
 	if s.planShards == 0 {
 		s.planShards = len(shards)
 	}
+	// Decoded engines are membership-keyed, so arming (or not arming) the
+	// prefilter never invalidates them; callers that want filtered scans
+	// re-extract from the rule definitions and pass the infos here.
+	s.armPrefilter(o.Prefilter)
 	return s, nil
 }
 

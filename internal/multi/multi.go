@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/prefilter"
 	"repro/internal/syntax"
 )
 
@@ -102,6 +103,16 @@ type Options struct {
 	// decoding re-materializes match tables under the loading process's
 	// options. nil disables caching.
 	Cache ShardCache
+	// Prefilter arms the literal prefilter cascade: Prefilter[i] is the
+	// required-literal extraction for nodes[i] (computed by
+	// prefilter.Extract on the rule as parsed, before search
+	// bracketing). When set, the planner also segregates windowable
+	// rules from the rest so one literal-free rule cannot force full
+	// scans of an otherwise windowed shard, and Scan/SetStream run each
+	// shard only near literal hits. nil (or a length mismatch) leaves
+	// scanning unfiltered. The prefilter never changes verdicts — only
+	// which input regions the automata walk.
+	Prefilter []prefilter.Rule
 }
 
 // defaultDFABudget bounds the per-shard product DFA. core.BuildDSFA
@@ -171,18 +182,9 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 		return nil, err
 	}
 
-	builds, err := buildBins(plan(rules, o), o)
+	builds, err := planAndBuild(rules, o)
 	if err != nil {
 		return nil, err
-	}
-	if o.ForceShards == 0 && len(builds) > 1 {
-		// The packing is pessimistic on purpose; recover over-sharding
-		// by merging while the measured sizes say it fits.
-		var err error
-		builds, err = mergeShards(builds, o)
-		if err != nil {
-			return nil, err
-		}
 	}
 	sort.Slice(builds, func(i, j int) bool { return builds[i].bin[0].idx < builds[j].bin[0].idx })
 	shards := make([]*shard, len(builds))
@@ -191,5 +193,57 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	}
 	s := newSet(shards, len(nodes))
 	s.planShards = len(shards)
+	s.armPrefilter(o.Prefilter)
 	return s, nil
+}
+
+// planAndBuild runs the plan → build → merge pipeline. With a
+// prefilter armed, rules are planned in four groups matching the shard
+// modes — windowable, prefix-bounded, gateable, uncovered — and merging
+// never crosses a boundary: a shard gets a mode only when *every* rule
+// in it qualifies, so one uncovered rule sharing a shard with windowable
+// (or gateable) ones would demote the whole shard to full scans.
+func planAndBuild(rules []planRule, o Options) ([]*shardBuild, error) {
+	groups := [][]planRule{rules}
+	if len(o.Prefilter) > 0 && o.ForceShards == 0 {
+		var byClass [4][]planRule
+		for _, r := range rules {
+			class := 3 // uncovered
+			if r.idx < len(o.Prefilter) {
+				switch inf := o.Prefilter[r.idx]; {
+				case inf.Window:
+					class = 0
+				case inf.Prefix:
+					class = 1
+				case inf.Covered():
+					class = 2
+				}
+			}
+			byClass[class] = append(byClass[class], r)
+		}
+		groups = groups[:0]
+		for _, g := range byClass {
+			if len(g) > 0 {
+				groups = append(groups, g)
+			}
+		}
+	}
+	var builds []*shardBuild
+	for _, g := range groups {
+		gb, err := buildBins(plan(g, o), o)
+		if err != nil {
+			return nil, err
+		}
+		if o.ForceShards == 0 && len(gb) > 1 {
+			// The packing is pessimistic on purpose; recover
+			// over-sharding by merging while the measured sizes say it
+			// fits.
+			gb, err = mergeShards(gb, o)
+			if err != nil {
+				return nil, err
+			}
+		}
+		builds = append(builds, gb...)
+	}
+	return builds, nil
 }

@@ -1,0 +1,365 @@
+package multi
+
+import (
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/prefilter"
+)
+
+// Literal prefiltering for combined-set scans. armPrefilter classifies
+// every shard by what its rules' extractions allow:
+//
+//	window — every rule is windowable (covered, unanchored, bounded
+//	         match length): the shard's automaton runs only over merged
+//	         candidate windows around literal hits;
+//	prefix — every rule is begin-anchored with a bounded occurrence:
+//	         the shard scans only the first maxLen input bytes (the
+//	         trailing .* bracket makes the verdict monotone in prefix
+//	         length). Needs no literals at all;
+//	gate   — every rule is covered but at least one is neither
+//	         windowable nor prefix-bounded (unbounded or end-anchored):
+//	         the shard is skipped outright when none of its literals
+//	         occur, else scanned in full;
+//	full   — some rule has no extractable literal and no prefix bound:
+//	         always scanned in full, exactly as without the prefilter.
+//
+// Soundness rests on the extraction contract (a rule's match always
+// contains one of its literals) and the window bound (an occurrence
+// containing a length-l hit at position p lies within
+// [p+l−MaxLen, p+MaxLen]); completeness of window and prefix modes
+// additionally needs search-bracketed automata, whose verdicts are
+// monotone under extension — which is why whole-input sets only ever
+// gate.
+
+type shardMode uint8
+
+const (
+	preFull shardMode = iota
+	preGate
+	preWindow
+	prePrefix
+)
+
+// span is a half-open candidate byte range [lo, hi). In streams the
+// coordinates are relative to the current chunk's first byte, so lo may
+// be negative (reaching into the carried tail buffer) and hi may exceed
+// the chunk (a window still waiting for input).
+type span struct{ lo, hi int }
+
+// litTarget maps one literal to one shard it can witness a rule of.
+// fwd < 0 marks a gate-only target (the shard never windows).
+type litTarget struct {
+	shard int32
+	back  int32 // window lo = pos − back  (back = maxLen − len(lit))
+	fwd   int32 // window hi = pos + fwd   (fwd = maxLen)
+}
+
+type shardPre struct {
+	mode   shardMode
+	maxLen int // window/prefix mode: max MaxLen over the shard's rules
+}
+
+// setPre is a Set's armed prefilter: the global literal matcher, the
+// hit → shard-window mapping, and the observability counters.
+type setPre struct {
+	m       *prefilter.Matcher
+	targets [][]litTarget // by global literal id
+	shards  []shardPre
+	infos   []prefilter.Rule
+	litMax  int // longest literal (stream boundary-carry width)
+	maxSpan int // max window-shard span length, 2×maxLen (stream buffers)
+	maxPre  int // max prefix-shard scan length (stream head sizing)
+
+	covered   int // rules the cascade accelerates (literal-covered or prefix-bounded)
+	uncovered int // rules scanned in full wherever they land
+
+	shardsSkipped atomic.Int64 // shard scans skipped outright
+	candBytes     atomic.Int64 // bytes walked by prefiltered shards
+	totalBytes    atomic.Int64 // bytes those shards would walk unfiltered
+	chunksSkipped atomic.Int64 // stream chunks with no candidate work
+	chunksScanned atomic.Int64 // stream chunks with candidate windows
+}
+
+// armPrefilter attaches a prefilter built from per-rule extractions
+// (index-aligned with the set's rules). A nil or length-mismatched
+// infos leaves the set unfiltered — extraction failure is a
+// degradation, never an error.
+func (s *Set) armPrefilter(infos []prefilter.Rule) {
+	if len(infos) != s.rules {
+		return
+	}
+	pre := &setPre{shards: make([]shardPre, len(s.shards)), infos: infos}
+	for _, inf := range infos {
+		if inf.Covered() || inf.Prefix {
+			pre.covered++
+		} else {
+			pre.uncovered++
+		}
+	}
+	litID := make(map[string]int)
+	var lits []string
+	for si, sh := range s.shards {
+		window, prefix, gate := true, true, true
+		maxLen := 0
+		for _, ri := range sh.rules {
+			inf := infos[ri]
+			if !inf.Window {
+				window = false
+			}
+			if !inf.Prefix {
+				prefix = false
+			}
+			if !inf.Covered() {
+				gate = false
+			}
+			if inf.MaxLen > maxLen {
+				maxLen = inf.MaxLen
+			}
+		}
+		sp := &pre.shards[si]
+		switch {
+		case window && len(sh.rules) > 0:
+			sp.mode = preWindow
+			sp.maxLen = maxLen
+			if 2*maxLen > pre.maxSpan {
+				pre.maxSpan = 2 * maxLen
+			}
+		case prefix && len(sh.rules) > 0:
+			// Prefix shards never consult the literal matcher: the
+			// bounded head scan is cheaper than any gating.
+			sp.mode = prePrefix
+			sp.maxLen = maxLen
+			if maxLen > pre.maxPre {
+				pre.maxPre = maxLen
+			}
+			continue
+		case gate:
+			sp.mode = preGate
+		default:
+			continue // preFull, the zero value
+		}
+		for _, ri := range sh.rules {
+			for _, l := range infos[ri].Lits {
+				id, ok := litID[l]
+				if !ok {
+					id = len(lits)
+					litID[l] = id
+					lits = append(lits, l)
+					pre.targets = append(pre.targets, nil)
+				}
+				pre.addTarget(id, si, sp.mode, infos[ri].MaxLen, len(l))
+			}
+		}
+	}
+	if len(lits) == 0 {
+		// No shard needs the literal matcher (all full, or prefix-only);
+		// keep the stats and the prefix modes, skip the cascade.
+		s.pre = pre
+		return
+	}
+	pre.m = prefilter.NewMatcher(lits)
+	pre.litMax = pre.m.MaxLen()
+	s.pre = pre
+}
+
+// addTarget records that literal id witnesses some rule of shard si,
+// widening the window extents if a target for the pair already exists.
+func (p *setPre) addTarget(id, si int, mode shardMode, maxLen, litLen int) {
+	back, fwd := int32(-1), int32(-1)
+	if mode == preWindow {
+		back, fwd = int32(maxLen-litLen), int32(maxLen)
+		if back < 0 {
+			// A literal longer than the shrunk occurrence bound: some
+			// shorter required literal covers the minimal occurrence, so
+			// this hit's window is merely extra — keep it anchored.
+			back = 0
+		}
+	}
+	for i := range p.targets[id] {
+		t := &p.targets[id][i]
+		if int(t.shard) != si {
+			continue
+		}
+		if t.back < back {
+			t.back = back
+		}
+		if t.fwd < fwd {
+			t.fwd = fwd
+		}
+		return
+	}
+	p.targets[id] = append(p.targets[id], litTarget{shard: int32(si), back: back, fwd: fwd})
+}
+
+// active reports whether scans actually consult a matcher.
+func (p *setPre) active() bool { return p != nil && p.m != nil }
+
+// prepare runs the literal cascade once over data and distributes the
+// hits: per shard a gate flag and (for window shards) a merged,
+// clipped candidate-span list, all in the scan context's reusable
+// scratch.
+func (p *setPre) prepare(c *scanCtx, data []byte) {
+	c.hits = p.m.AppendHits(c.hits[:0], data)
+	for i := range c.spans {
+		c.spans[i] = c.spans[i][:0]
+		c.gate[i] = false
+	}
+	for _, h := range c.hits {
+		for _, t := range p.targets[h.Lit] {
+			c.gate[t.shard] = true
+			if t.fwd >= 0 {
+				c.spans[t.shard] = append(c.spans[t.shard],
+					span{h.Pos - int(t.back), h.Pos + int(t.fwd)})
+			}
+		}
+	}
+	for i := range c.spans {
+		c.spans[i] = mergeSpans(c.spans[i], 0, len(data))
+	}
+}
+
+// mergeSpans clips spans to [lo, hi), sorts them, and merges overlaps
+// in place.
+func mergeSpans(spans []span, lo, hi int) []span {
+	if len(spans) == 0 {
+		return spans
+	}
+	for i := range spans {
+		if spans[i].lo < lo {
+			spans[i].lo = lo
+		}
+		if spans[i].hi > hi {
+			spans[i].hi = hi
+		}
+	}
+	slices.SortFunc(spans, func(a, b span) int { return a.lo - b.lo })
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		if last := &out[len(out)-1]; sp.lo <= last.hi {
+			if sp.hi > last.hi {
+				last.hi = sp.hi
+			}
+		} else {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// scanShard produces shard i's local mask for data into c.bufs[i],
+// routing through the shard's prefilter mode. Verdicts are byte-
+// identical to an unfiltered MatchMask in every mode.
+func (s *Set) scanShard(i int, data []byte, c *scanCtx) []uint64 {
+	sh := s.shards[i]
+	buf := c.bufs[i]
+	p := s.pre
+	if p == nil || p.shards[i].mode == preFull {
+		return sh.m.MatchMask(data, buf)
+	}
+	if p.shards[i].mode == prePrefix {
+		// Begin-anchored shard: the verdict is decided by the first
+		// maxLen bytes (occurrences start at byte 0 and the trailing .*
+		// bracket absorbs the rest).
+		p.totalBytes.Add(int64(len(data)))
+		k := p.shards[i].maxLen
+		if k > len(data) {
+			k = len(data)
+		}
+		p.candBytes.Add(int64(k))
+		return sh.m.MatchMask(data[:k], buf)
+	}
+	if !p.active() {
+		return sh.m.MatchMask(data, buf)
+	}
+	p.totalBytes.Add(int64(len(data)))
+	if !c.gate[i] {
+		p.shardsSkipped.Add(1)
+		for j := range buf {
+			buf[j] = 0
+		}
+		return buf
+	}
+	if p.shards[i].mode == preGate {
+		p.candBytes.Add(int64(len(data)))
+		return sh.m.MatchMask(data, buf)
+	}
+	spans := c.spans[i]
+	total := 0
+	for _, sp := range spans {
+		total += sp.hi - sp.lo
+	}
+	// Dense windows: once the candidate regions approach the input
+	// itself, per-window dispatch is pure overhead — scan it whole.
+	if 2*total >= len(data) {
+		p.candBytes.Add(int64(len(data)))
+		return sh.m.MatchMask(data, buf)
+	}
+	p.candBytes.Add(int64(total))
+	for j := range buf {
+		buf[j] = 0
+	}
+	for _, sp := range spans {
+		sh.m.OrMask(data[sp.lo:sp.hi], buf)
+	}
+	return buf
+}
+
+// PrefilterStats is a point-in-time snapshot of the literal cascade's
+// configuration and effect.
+type PrefilterStats struct {
+	Enabled  bool   // a prefilter is armed on this set
+	Stage    string // cascade stage of the global literal matcher
+	Literals int    // distinct literals matched
+
+	RulesCovered   int // rules the cascade accelerates (literals or prefix bound)
+	RulesUncovered int // rules that always scan in full
+
+	WindowShards int
+	PrefixShards int
+	GateShards   int
+	FullShards   int
+
+	ShardsSkipped  int64 // one-shot shard scans skipped outright
+	CandidateBytes int64 // bytes walked by prefiltered shards
+	TotalBytes     int64 // bytes they would have walked unfiltered
+	ChunksSkipped  int64 // stream shard-chunks with no candidate work
+	ChunksScanned  int64 // stream shard-chunks with candidate windows
+}
+
+// PrefilterStats reports the armed prefilter's static shape and its
+// dynamic counters since the set was built. The zero value means the
+// set was compiled without a prefilter.
+func (s *Set) PrefilterStats() PrefilterStats {
+	p := s.pre
+	if p == nil {
+		return PrefilterStats{}
+	}
+	st := PrefilterStats{
+		Enabled:        true,
+		RulesCovered:   p.covered,
+		RulesUncovered: p.uncovered,
+		ShardsSkipped:  p.shardsSkipped.Load(),
+		CandidateBytes: p.candBytes.Load(),
+		TotalBytes:     p.totalBytes.Load(),
+		ChunksSkipped:  p.chunksSkipped.Load(),
+		ChunksScanned:  p.chunksScanned.Load(),
+	}
+	if p.m != nil {
+		st.Stage = p.m.Stage()
+		st.Literals = len(p.m.Lits())
+	}
+	for _, sp := range p.shards {
+		switch sp.mode {
+		case preWindow:
+			st.WindowShards++
+		case prePrefix:
+			st.PrefixShards++
+		case preGate:
+			st.GateShards++
+		default:
+			st.FullShards++
+		}
+	}
+	return st
+}

@@ -117,16 +117,9 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 		if err != nil {
 			return nil, ReuseStats{}, err
 		}
-		builds, err := buildBins(plan(fresh, o), o)
+		builds, err := planAndBuild(fresh, o)
 		if err != nil {
 			return nil, ReuseStats{}, err
-		}
-		if len(builds) > 1 {
-			var err error
-			builds, err = mergeShards(builds, o)
-			if err != nil {
-				return nil, ReuseStats{}, err
-			}
 		}
 		for _, b := range builds {
 			shards = append(shards, b.sh)
@@ -150,5 +143,9 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
 	s := newSet(shards, len(nodes))
 	s.planShards = prev.planShards
+	// Reused engines are membership-keyed, so they are valid regardless
+	// of prefilter settings; the prefilter itself is rebuilt from the
+	// current extractions (it holds no automata).
+	s.armPrefilter(o.Prefilter)
 	return s, stats, nil
 }

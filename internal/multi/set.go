@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/prefilter"
 )
 
 // shard is one combined automaton covering a subset of the rules.
@@ -26,13 +27,21 @@ type Set struct {
 	// Recompile's consolidation baseline: incremental reloads may only
 	// grow the count so far past it before a full replan is forced.
 	planShards int
-	ctxs       sync.Pool
+	// pre is the armed literal prefilter, nil when compiled without one
+	// (see prefilter.go). It is set before the set is published and
+	// never mutated afterwards, so scans read it without synchronization.
+	pre  *setPre
+	ctxs sync.Pool
 }
 
 func newSet(shards []*shard, rules int) *Set {
 	s := &Set{shards: shards, rules: rules, words: maskWords(rules)}
 	s.ctxs.New = func() any {
-		c := &scanCtx{bufs: make([][]uint64, len(shards))}
+		c := &scanCtx{
+			bufs:  make([][]uint64, len(shards)),
+			spans: make([][]span, len(shards)),
+			gate:  make([]bool, len(shards)),
+		}
 		for i, sh := range shards {
 			c.bufs[i] = make([]uint64, maskWords(len(sh.rules)))
 		}
@@ -41,11 +50,16 @@ func newSet(shards []*shard, rules int) *Set {
 	return s
 }
 
-// scanCtx carries one Scan's per-shard result buffers.
+// scanCtx carries one Scan's per-shard result buffers and the
+// prefilter's per-scan scratch (literal hits, candidate spans, gate
+// flags), all recycled through the set's pool.
 type scanCtx struct {
-	bufs [][]uint64
-	next atomic.Int64
-	wg   sync.WaitGroup
+	bufs  [][]uint64
+	spans [][]span
+	gate  []bool
+	hits  []prefilter.Hit
+	next  atomic.Int64
+	wg    sync.WaitGroup
 }
 
 // NumRules returns the number of rules the set was compiled from.
@@ -70,15 +84,17 @@ func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 	for i := range dst {
 		dst[i] = 0
 	}
+	c := s.ctxs.Get().(*scanCtx)
+	if s.pre.active() {
+		s.pre.prepare(c, data)
+	}
 	if len(s.shards) == 1 || workers == 1 {
-		c := s.ctxs.Get().(*scanCtx)
 		for i, sh := range s.shards {
-			sh.merge(dst, sh.m.MatchMask(data, c.bufs[i]))
+			sh.merge(dst, s.scanShard(i, data, c))
 		}
 		s.ctxs.Put(c)
 		return dst
 	}
-	c := s.ctxs.Get().(*scanCtx)
 	c.next.Store(0)
 	if workers <= 0 || workers > len(s.shards) {
 		workers = len(s.shards)
@@ -92,7 +108,7 @@ func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 				if i >= len(s.shards) {
 					return
 				}
-				s.shards[i].m.MatchMask(data, c.bufs[i])
+				s.scanShard(i, data, c)
 			}
 		}()
 	}
@@ -132,6 +148,10 @@ type ShardInfo struct {
 	Layout     string
 	TableBytes int64
 	BuildID    uint64 // engine construction id; stable across shard reuse
+	// Prefilter is the shard's scan mode under the literal cascade:
+	// "window", "prefix", "gate", "full", or "off" when the set has no
+	// prefilter.
+	Prefilter string
 }
 
 // Shards reports per-shard statistics.
@@ -147,9 +167,26 @@ func (s *Set) Shards() []ShardInfo {
 			Layout:     sh.m.Layout().String(),
 			TableBytes: sh.m.TableBytes(),
 			BuildID:    sh.m.BuildID(),
+			Prefilter:  s.shardPrefilterMode(i),
 		}
 	}
 	return out
+}
+
+// shardPrefilterMode names shard i's prefilter scan mode.
+func (s *Set) shardPrefilterMode(i int) string {
+	if s.pre == nil {
+		return "off"
+	}
+	switch s.pre.shards[i].mode {
+	case preWindow:
+		return "window"
+	case prePrefix:
+		return "prefix"
+	case preGate:
+		return "gate"
+	}
+	return "full"
 }
 
 // TableBytes returns the total resident size of all shards' match

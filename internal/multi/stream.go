@@ -1,6 +1,10 @@
 package multi
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/prefilter"
+)
 
 // errDifferentSets rejects composing streams of different rule sets.
 var errDifferentSets = errors.New("multi: cannot compose streams of different rule sets")
@@ -13,17 +17,41 @@ var errDifferentSets = errors.New("multi: cannot compose streams of different ru
 // and Theorem 3 makes the verdict split-invariant: any chunking of the
 // input yields exactly the one-shot Scan mask.
 //
+// Window-mode shards of a prefiltered set (see prefilter.go) use a
+// different carried state: an accumulated accept mask plus the set of
+// candidate windows still awaiting input, with a bounded tail buffer of
+// recent bytes so windows (and literals) split across chunk boundaries
+// are re-materialized exactly. A chunk with no literal hits and no
+// pending window advances such a shard with *no* automaton work at all
+// — the O(|D|) per-chunk mapping composition is skipped entirely, which
+// is the streaming half of the prefilter's win. Verdicts stay
+// byte-identical to the unfiltered stream for any chunking.
+//
 // A SetStream is not safe for concurrent use; Set.NewStream is cheap
 // enough to give each goroutine (or each network request) its own. The
-// per-Write hot path allocates nothing: the carried vectors live in the
-// stream, and each shard's chunk scan reuses the engine's pooled match
-// context.
+// per-Write hot path allocates nothing in steady state: the carried
+// vectors, span lists, and tail buffers all live in the stream, and
+// each shard's chunk scan reuses the engine's pooled match context.
 type SetStream struct {
 	set   *Set
 	cur   [][]int16 // carried mapping per shard
 	tmp   [][]int16 // ping-pong scratch per shard
 	local []uint64  // shard-local mask scratch for Mask
 	bytes int64
+
+	// Window/prefix-shard streaming state; nil unless the set's
+	// prefilter has window- or prefix-mode shards. Prefix shards carry
+	// no state of their own: their verdict is recomputed at Mask time
+	// from the head buffer (the first tailCap ≥ maxLen stream bytes),
+	// so each Write advances them for free.
+	acc     [][]uint64      // per shard: accumulated local mask (window shards only)
+	pending [][]span        // per shard: windows outliving consumed input, chunk-relative
+	newsp   [][]span        // per-Write span scratch
+	hits    []prefilter.Hit // literal-hit scratch
+	head    []byte          // first ≤tailCap bytes of the stream (Compose junctions)
+	tail    []byte          // last ≤tailCap bytes of the stream
+	wbuf    []byte          // window/junction materialization scratch
+	tailCap int
 }
 
 // NewStream starts incremental matching from the empty input.
@@ -44,6 +72,28 @@ func (s *Set) NewStream() *SetStream {
 		}
 	}
 	st.local = make([]uint64, maxWords)
+	if p := s.pre; p != nil && (p.maxSpan > 0 || p.maxPre > 0) {
+		// tailCap bytes of history suffice for any window: a pending
+		// span reaches back at most one span length (2×maxLen) plus a
+		// straddling literal, and a Compose junction needs maxLen on
+		// each side of the seam. Prefix shards need the head buffer to
+		// hold their whole decisive prefix.
+		st.tailCap = p.maxSpan + p.litMax
+		if p.maxPre > st.tailCap {
+			st.tailCap = p.maxPre
+		}
+		st.acc = make([][]uint64, len(s.shards))
+		st.pending = make([][]span, len(s.shards))
+		st.newsp = make([][]span, len(s.shards))
+		for i, sh := range s.shards {
+			if p.shards[i].mode == preWindow {
+				st.acc[i] = make([]uint64, maskWords(len(sh.rules)))
+			}
+		}
+		st.head = make([]byte, 0, st.tailCap)
+		st.tail = make([]byte, 0, st.tailCap)
+		st.wbuf = make([]byte, 0, 2*st.tailCap)
+	}
 	return st
 }
 
@@ -53,10 +103,181 @@ func (st *SetStream) Set() *Set { return st.set }
 // Write consumes the next chunk of input, advancing every shard's carried
 // mapping (each shard's scan is chunk-parallel on the engine pool).
 func (st *SetStream) Write(chunk []byte) {
+	if len(chunk) == 0 {
+		return
+	}
+	if st.acc != nil {
+		st.writeWindows(chunk)
+	}
 	for i, sh := range st.set.shards {
+		if st.bypass(i) {
+			continue
+		}
 		st.cur[i], st.tmp[i] = sh.m.ComposeChunk(st.cur[i], st.tmp[i], chunk)
 	}
+	if st.acc != nil {
+		st.carry(chunk)
+	}
 	st.bytes += int64(len(chunk))
+}
+
+// bypass reports whether shard i skips the carried-mapping protocol:
+// window shards keep an accumulated mask plus pending spans instead,
+// prefix shards recompute their verdict from the head buffer at Mask
+// time. Either way, a chunk with no candidate work for the shard costs
+// no automaton time at all.
+func (st *SetStream) bypass(i int) bool {
+	if st.acc == nil {
+		return false
+	}
+	return st.acc[i] != nil || st.set.pre.shards[i].mode == prePrefix
+}
+
+// writeWindows advances the window-mode shards over chunk: one literal
+// pass over the chunk (plus a boundary pass for literals bisected by
+// the previous Write), then each shard scans only the merged candidate
+// windows, carrying windows that outlive the chunk as pending spans.
+// Span coordinates are chunk-relative: negative positions reach into
+// the tail buffer, positions past len(chunk) await future input.
+func (st *SetStream) writeWindows(chunk []byte) {
+	p := st.set.pre
+	for i := range st.set.shards {
+		if p.shards[i].mode == prePrefix {
+			p.totalBytes.Add(int64(len(chunk)))
+			p.chunksSkipped.Add(1) // no per-chunk work: Mask reads the head
+		}
+	}
+	if p.maxSpan == 0 {
+		return // prefix-only: no window shards, no literal matcher needed
+	}
+	st.hits = p.m.AppendHits(st.hits[:0], chunk)
+	if lm := p.litMax; lm > 1 && len(st.tail) > 0 {
+		// Literals straddling the previous chunk boundary: scan the
+		// (lm−1)-byte overlap region and keep only true straddlers —
+		// hits wholly in the tail were found by the previous Write,
+		// hits wholly in the chunk by the pass above.
+		left, right := lm-1, lm-1
+		if left > len(st.tail) {
+			left = len(st.tail)
+		}
+		if right > len(chunk) {
+			right = len(chunk)
+		}
+		reg := append(st.wbuf[:0], st.tail[len(st.tail)-left:]...)
+		reg = append(reg, chunk[:right]...)
+		n0 := len(st.hits)
+		st.hits = p.m.AppendHits(st.hits, reg)
+		kept := st.hits[:n0]
+		for _, h := range st.hits[n0:] {
+			pos := h.Pos - left
+			if pos < 0 && pos+len(p.m.Lits()[h.Lit]) > 0 {
+				kept = append(kept, prefilter.Hit{Lit: h.Lit, Pos: pos})
+			}
+		}
+		st.hits = kept
+	}
+	for i := range st.newsp {
+		st.newsp[i] = st.newsp[i][:0]
+	}
+	for _, h := range st.hits {
+		for _, t := range p.targets[h.Lit] {
+			if t.fwd < 0 || st.acc[t.shard] == nil {
+				continue
+			}
+			st.newsp[t.shard] = append(st.newsp[t.shard],
+				span{h.Pos - int(t.back), h.Pos + int(t.fwd)})
+		}
+	}
+	for i, sh := range st.set.shards {
+		if st.acc[i] == nil {
+			continue
+		}
+		p.totalBytes.Add(int64(len(chunk)))
+		st.newsp[i] = append(st.newsp[i], st.pending[i]...)
+		st.pending[i] = st.pending[i][:0]
+		if len(st.newsp[i]) == 0 {
+			p.chunksSkipped.Add(1)
+			continue
+		}
+		p.chunksScanned.Add(1)
+		spans := mergeSpans(st.newsp[i], -len(st.tail), len(chunk)+st.tailCap)
+		for _, sp := range spans {
+			scanHi := sp.hi
+			if scanHi > len(chunk) {
+				// The window awaits input: keep it pending (shifted to
+				// the next chunk's origin) and scan the part already
+				// available — occurrences completed inside it must show
+				// in Mask now; the post-extension rescan re-ORs them
+				// harmlessly (window verdicts are monotone).
+				st.pending[i] = append(st.pending[i],
+					span{sp.lo - len(chunk), sp.hi - len(chunk)})
+				scanHi = len(chunk)
+			}
+			if scanHi <= sp.lo {
+				continue
+			}
+			st.scanWindow(sh, i, chunk, sp.lo, scanHi)
+		}
+	}
+}
+
+// scanWindow ORs shard i's verdicts over the chunk-relative window
+// [lo, hi), hi ≤ len(chunk). A negative lo reaches into the tail
+// buffer; since a single occurrence near the boundary spans at most
+// [−maxLen, +maxLen], the crossing part is materialized bounded and the
+// in-chunk remainder is scanned as a direct slice.
+func (st *SetStream) scanWindow(sh *shard, i int, chunk []byte, lo, hi int) {
+	p := st.set.pre
+	if lo >= 0 {
+		p.candBytes.Add(int64(hi - lo))
+		sh.m.OrMask(chunk[lo:hi], st.acc[i])
+		return
+	}
+	aEnd := hi
+	if ml := p.shards[i].maxLen; aEnd > ml {
+		aEnd = ml
+	}
+	if aEnd > 0 {
+		st.wbuf = append(st.wbuf[:0], st.tail[len(st.tail)+lo:]...)
+		st.wbuf = append(st.wbuf, chunk[:aEnd]...)
+	} else {
+		st.wbuf = append(st.wbuf[:0], st.tail[len(st.tail)+lo:len(st.tail)+aEnd]...)
+	}
+	p.candBytes.Add(int64(len(st.wbuf)))
+	sh.m.OrMask(st.wbuf, st.acc[i])
+	if hi > aEnd && hi > 0 {
+		start := 0
+		if aEnd > 0 {
+			// Overlap the pieces by maxLen so no occurrence is split.
+			start = aEnd - p.shards[i].maxLen
+			if start < 0 {
+				start = 0
+			}
+		}
+		p.candBytes.Add(int64(hi - start))
+		sh.m.OrMask(chunk[start:hi], st.acc[i])
+	}
+}
+
+// carry updates the head and tail buffers after a Write.
+func (st *SetStream) carry(chunk []byte) {
+	if len(st.head) < st.tailCap {
+		n := st.tailCap - len(st.head)
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		st.head = append(st.head, chunk[:n]...)
+	}
+	switch {
+	case len(chunk) >= st.tailCap:
+		st.tail = append(st.tail[:0], chunk[len(chunk)-st.tailCap:]...)
+	case len(st.tail)+len(chunk) > st.tailCap:
+		keep := st.tailCap - len(chunk)
+		copy(st.tail, st.tail[len(st.tail)-keep:])
+		st.tail = append(st.tail[:keep], chunk...)
+	default:
+		st.tail = append(st.tail, chunk...)
+	}
 }
 
 // Mask writes the global accept bitmask of the input consumed so far —
@@ -69,6 +290,20 @@ func (st *SetStream) Mask(dst []uint64) []uint64 {
 		dst[i] = 0
 	}
 	for i, sh := range st.set.shards {
+		if st.acc != nil && st.acc[i] != nil {
+			sh.merge(dst, st.acc[i])
+			continue
+		}
+		if st.acc != nil && st.set.pre.shards[i].mode == prePrefix {
+			// Begin-anchored shard: the verdict is decided by the first
+			// maxLen stream bytes, all held in the head buffer.
+			k := st.set.pre.shards[i].maxLen
+			if k > len(st.head) {
+				k = len(st.head)
+			}
+			sh.merge(dst, sh.m.MatchMask(st.head[:k], st.local))
+			continue
+		}
 		sh.merge(dst, sh.m.MatchMaskFrom(st.cur[i], st.local))
 	}
 	return dst
@@ -81,6 +316,16 @@ func (st *SetStream) Bytes() int64 { return st.bytes }
 func (st *SetStream) Reset() {
 	for i, sh := range st.set.shards {
 		sh.m.InitMapping(st.cur[i])
+		if st.acc != nil && st.acc[i] != nil {
+			for w := range st.acc[i] {
+				st.acc[i][w] = 0
+			}
+			st.pending[i] = st.pending[i][:0]
+		}
+	}
+	if st.acc != nil {
+		st.head = st.head[:0]
+		st.tail = st.tail[:0]
 	}
 	st.bytes = 0
 }
@@ -89,15 +334,123 @@ func (st *SetStream) Reset() {
 // if the two byte sequences had been concatenated: st ← st · t. Both
 // streams must come from the same Set. This is what makes out-of-order
 // segment processing work: scan segments independently (other machines,
-// other goroutines), then fold the carried mappings with ⊙.
+// other goroutines), then fold the carried mappings with ⊙. t is read,
+// never modified.
 func (st *SetStream) Compose(t *SetStream) error {
 	if t.set != st.set {
 		return errDifferentSets
 	}
+	if st.acc != nil {
+		st.composeWindows(t)
+	}
 	for i, sh := range st.set.shards {
+		if st.bypass(i) {
+			continue
+		}
 		sh.m.ComposeMask(st.tmp[i], st.cur[i], t.cur[i])
 		st.cur[i], st.tmp[i] = st.tmp[i], st.cur[i]
 	}
+	if st.acc != nil {
+		st.composeCarry(t)
+	}
 	st.bytes += t.bytes
 	return nil
+}
+
+// composeWindows folds t's window-shard state into st's. The two
+// streams found every occurrence inside their own segment; what remains
+// are occurrences crossing the seam. Each such occurrence is at most
+// maxLen long, so it lies entirely inside the junction buffer
+// st.tail ++ t.head (each side holds min(segment, tailCap) ≥
+// min(segment, maxLen) bytes) — one OrMask over the junction closes the
+// verdicts. Windows still awaiting input after the new end come from
+// st's pending (shifted), t's pending (already end-relative), and
+// literals straddling the seam itself.
+func (st *SetStream) composeWindows(t *SetStream) {
+	p := st.set.pre
+	if p.maxSpan == 0 {
+		return // prefix-only: composeCarry's head merge is all that matters
+	}
+	jbuf := append(st.wbuf[:0], st.tail...)
+	jbuf = append(jbuf, t.head...)
+	boundary := len(st.tail)
+	// Literal hits straddling the seam, jbuf-relative.
+	st.hits = st.hits[:0]
+	if lm := p.litMax; lm > 1 && boundary > 0 && len(t.head) > 0 {
+		lo := boundary - (lm - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := boundary + lm - 1
+		if hi > len(jbuf) {
+			hi = len(jbuf)
+		}
+		n0 := 0
+		st.hits = p.m.AppendHits(st.hits[:0], jbuf[lo:hi])
+		kept := st.hits[:n0]
+		for _, h := range st.hits[n0:] {
+			pos := h.Pos + lo
+			if pos < boundary && pos+len(p.m.Lits()[h.Lit]) > boundary {
+				kept = append(kept, prefilter.Hit{Lit: h.Lit, Pos: pos})
+			}
+		}
+		st.hits = kept
+	}
+	for i, sh := range st.set.shards {
+		if st.acc[i] == nil {
+			continue
+		}
+		for w := range st.acc[i] {
+			st.acc[i][w] |= t.acc[i][w]
+		}
+		if len(jbuf) > 0 {
+			p.candBytes.Add(int64(len(jbuf)))
+			sh.m.OrMask(jbuf, st.acc[i])
+		}
+		// Rebuild pending relative to the new end of stream.
+		merged := st.newsp[i][:0]
+		for _, sp := range st.pending[i] {
+			if hi := int64(sp.hi) - t.bytes; hi > 0 {
+				merged = append(merged, span{sp.lo - int(t.bytes), int(hi)})
+			}
+		}
+		merged = append(merged, t.pending[i]...)
+		for _, h := range st.hits {
+			for _, tgt := range p.targets[h.Lit] {
+				if int(tgt.shard) != i || tgt.fwd < 0 {
+					continue
+				}
+				posRel := int64(h.Pos-boundary) - t.bytes
+				if hi := posRel + int64(tgt.fwd); hi > 0 {
+					merged = append(merged,
+						span{int(posRel) - int(tgt.back), int(hi)})
+				}
+			}
+		}
+		st.newsp[i] = merged
+		merged = mergeSpans(merged, -st.tailCap, st.tailCap)
+		st.pending[i] = append(st.pending[i][:0], merged...)
+	}
+}
+
+// composeCarry merges the head/tail history buffers: head stays the
+// first tailCap bytes of the concatenation, tail the last.
+func (st *SetStream) composeCarry(t *SetStream) {
+	if len(st.head) < st.tailCap {
+		n := st.tailCap - len(st.head)
+		if n > len(t.head) {
+			n = len(t.head)
+		}
+		st.head = append(st.head, t.head[:n]...)
+	}
+	if int(t.bytes) >= st.tailCap || len(t.tail) >= st.tailCap {
+		st.tail = append(st.tail[:0], t.tail...)
+		return
+	}
+	// t is short: t.tail is all of t; keep what fits of st.tail first.
+	if keep := st.tailCap - len(t.tail); len(st.tail) > keep {
+		copy(st.tail, st.tail[len(st.tail)-keep:])
+		st.tail = st.tail[:keep]
+	}
+	st.tail = append(st.tail, t.tail...)
 }

@@ -1,0 +1,303 @@
+package prefilter
+
+import "bytes"
+
+// Hit is one literal occurrence: Lits()[Lit] starts at data[Pos].
+type Hit struct {
+	Lit int
+	Pos int
+}
+
+// Matcher finds every occurrence of a fixed literal set, choosing the
+// cheapest sufficient stage at construction:
+//
+//	memchr       one single-byte literal — bytes.IndexByte (SIMD) skip
+//	byte-table   several single-byte literals — per-byte IndexByte
+//	             passes, or one table walk when there are many
+//	bmh          one multi-byte literal — Boyer-Moore-Horspool
+//	shift        many literals, all ≥ 2 bytes — Wu-Manber-style block
+//	             shift table over the minimum-length prefix window,
+//	             verified against a per-block bucket
+//	aho-corasick many literals, some single-byte — dense-table
+//	             Aho-Corasick (no skipping, but one pass)
+//
+// A Matcher is immutable after construction and safe for concurrent
+// use; AppendHits keeps all state on the caller's stack.
+type Matcher struct {
+	lits   []string
+	minLen int
+	maxLen int
+	stage  string
+
+	single  byte // memchr
+	bmh     *bmhMatcher
+	wm      *wmMatcher
+	ac      *acMatcher
+	byteLit [256]int16 // byte-table: lit id + 1, 0 = absent
+}
+
+// byteTablePasses caps the per-byte IndexByte strategy; beyond it a
+// single table walk beats repeated passes.
+const byteTablePasses = 8
+
+// NewMatcher builds the cascade for lits, which must be non-empty,
+// duplicate-free, and contain no empty string.
+func NewMatcher(lits []string) *Matcher {
+	m := &Matcher{lits: lits, minLen: len(lits[0]), maxLen: len(lits[0])}
+	for _, l := range lits {
+		if len(l) < m.minLen {
+			m.minLen = len(l)
+		}
+		if len(l) > m.maxLen {
+			m.maxLen = len(l)
+		}
+	}
+	switch {
+	case m.maxLen == 1 && len(lits) == 1:
+		m.stage = "memchr"
+		m.single = lits[0][0]
+	case m.maxLen == 1:
+		m.stage = "byte-table"
+		for id, l := range lits {
+			m.byteLit[l[0]] = int16(id) + 1
+		}
+	case len(lits) == 1:
+		m.stage = "bmh"
+		m.bmh = newBMH(lits[0])
+	case m.minLen >= 2:
+		m.stage = "shift"
+		m.wm = newWM(lits, m.minLen)
+	default:
+		m.stage = "aho-corasick"
+		m.ac = newAC(lits)
+	}
+	return m
+}
+
+// Lits returns the literal set (do not mutate).
+func (m *Matcher) Lits() []string { return m.lits }
+
+// MaxLen returns the longest literal's length.
+func (m *Matcher) MaxLen() int { return m.maxLen }
+
+// Stage names the selected cascade stage.
+func (m *Matcher) Stage() string { return m.stage }
+
+// AppendHits appends every occurrence of every literal in data to dst
+// and returns it. Hit order is unspecified across literals; positions
+// for one literal are ascending.
+func (m *Matcher) AppendHits(dst []Hit, data []byte) []Hit {
+	switch m.stage {
+	case "memchr":
+		off := 0
+		for {
+			j := bytes.IndexByte(data[off:], m.single)
+			if j < 0 {
+				return dst
+			}
+			dst = append(dst, Hit{0, off + j})
+			off += j + 1
+		}
+	case "byte-table":
+		if len(m.lits) <= byteTablePasses {
+			for id, l := range m.lits {
+				b, off := l[0], 0
+				for {
+					j := bytes.IndexByte(data[off:], b)
+					if j < 0 {
+						break
+					}
+					dst = append(dst, Hit{id, off + j})
+					off += j + 1
+				}
+			}
+			return dst
+		}
+		for i, b := range data {
+			if id := m.byteLit[b]; id != 0 {
+				dst = append(dst, Hit{int(id) - 1, i})
+			}
+		}
+		return dst
+	case "bmh":
+		return m.bmh.appendHits(dst, data)
+	case "shift":
+		return m.wm.appendHits(dst, data, m.lits)
+	default:
+		return m.ac.appendHits(dst, data, m.lits)
+	}
+}
+
+// --- Boyer-Moore-Horspool, single pattern --------------------------------
+
+type bmhMatcher struct {
+	pat  string
+	skip [256]int
+}
+
+func newBMH(pat string) *bmhMatcher {
+	b := &bmhMatcher{pat: pat}
+	n := len(pat)
+	for i := range b.skip {
+		b.skip[i] = n
+	}
+	for j := 0; j < n-1; j++ {
+		b.skip[pat[j]] = n - 1 - j
+	}
+	return b
+}
+
+func (b *bmhMatcher) appendHits(dst []Hit, data []byte) []Hit {
+	n, p := len(data), len(b.pat)
+	last := b.pat[p-1]
+	i := 0
+	for i+p <= n {
+		c := data[i+p-1]
+		if c == last && string(data[i:i+p]) == b.pat {
+			dst = append(dst, Hit{0, i})
+		}
+		i += b.skip[c]
+	}
+	return dst
+}
+
+// --- Wu-Manber-style shift stage, many patterns --------------------------
+//
+// Keyed on 2-byte blocks of each literal's first minLen bytes: the
+// shift table says how far the scan window can jump when its trailing
+// block appears nowhere at a compatible offset, and the zero-shift
+// buckets carry the literal ids to verify. Like the classic algorithm
+// this skips most of the input when the blocks are rare, which is what
+// makes the cascade faster than one D-SFA table walk per byte.
+
+type wmMatcher struct {
+	m0     int // minimum literal length; window = first m0 bytes
+	shift  [1 << 16]uint8
+	bucket map[uint16][]int16
+}
+
+func newWM(lits []string, minLen int) *wmMatcher {
+	w := &wmMatcher{m0: minLen, bucket: make(map[uint16][]int16)}
+	def := minLen - 1
+	if def > 255 {
+		def = 255
+	}
+	for i := range w.shift {
+		w.shift[i] = uint8(def)
+	}
+	for id, l := range lits {
+		for j := 1; j < w.m0; j++ {
+			blk := uint16(l[j-1])<<8 | uint16(l[j])
+			sh := w.m0 - 1 - j
+			if sh > int(w.shift[blk]) {
+				continue
+			}
+			w.shift[blk] = uint8(sh)
+			if sh == 0 {
+				w.bucket[blk] = append(w.bucket[blk], int16(id))
+			}
+		}
+	}
+	return w
+}
+
+func (w *wmMatcher) appendHits(dst []Hit, data []byte, lits []string) []Hit {
+	n := len(data)
+	i := w.m0 - 1
+	for i < n {
+		blk := uint16(data[i-1])<<8 | uint16(data[i])
+		if sh := w.shift[blk]; sh != 0 {
+			i += int(sh)
+			continue
+		}
+		start := i - w.m0 + 1
+		for _, id := range w.bucket[blk] {
+			l := lits[id]
+			if start+len(l) <= n && string(data[start:start+len(l)]) == l {
+				dst = append(dst, Hit{int(id), start})
+			}
+		}
+		i++
+	}
+	return dst
+}
+
+// --- Aho-Corasick, dense tables ------------------------------------------
+
+type acMatcher struct {
+	next []int32   // nstates × 256 goto-with-failure table
+	out  [][]int32 // literal ids recognized entering each state
+}
+
+func newAC(lits []string) *acMatcher {
+	type node struct {
+		child [256]int32
+		fail  int32
+		out   []int32
+	}
+	nodes := []*node{new(node)}
+	for i := range nodes[0].child {
+		nodes[0].child[i] = -1
+	}
+	for id, l := range lits {
+		s := int32(0)
+		for k := 0; k < len(l); k++ {
+			c := l[k]
+			if nodes[s].child[c] < 0 {
+				nn := new(node)
+				for i := range nn.child {
+					nn.child[i] = -1
+				}
+				nodes = append(nodes, nn)
+				nodes[s].child[c] = int32(len(nodes) - 1)
+			}
+			s = nodes[s].child[c]
+		}
+		nodes[s].out = append(nodes[s].out, int32(id))
+	}
+	// BFS failure links; out sets absorb their suffix states' outputs.
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < 256; c++ {
+		if t := nodes[0].child[c]; t >= 0 {
+			nodes[t].fail = 0
+			queue = append(queue, t)
+		} else {
+			nodes[0].child[c] = 0
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		nodes[s].out = append(nodes[s].out, nodes[nodes[s].fail].out...)
+		for c := 0; c < 256; c++ {
+			t := nodes[s].child[c]
+			if t < 0 {
+				nodes[s].child[c] = nodes[nodes[s].fail].child[c]
+				continue
+			}
+			nodes[t].fail = nodes[nodes[s].fail].child[c]
+			queue = append(queue, t)
+		}
+	}
+	a := &acMatcher{
+		next: make([]int32, len(nodes)*256),
+		out:  make([][]int32, len(nodes)),
+	}
+	for s, nd := range nodes {
+		copy(a.next[s*256:], nd.child[:])
+		if len(nd.out) > 0 {
+			a.out[s] = nd.out
+		}
+	}
+	return a
+}
+
+func (a *acMatcher) appendHits(dst []Hit, data []byte, lits []string) []Hit {
+	s := int32(0)
+	for i, b := range data {
+		s = a.next[int(s)*256+int(b)]
+		for _, id := range a.out[s] {
+			dst = append(dst, Hit{int(id), i + 1 - len(lits[id])})
+		}
+	}
+	return dst
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/snapshot"
+	"repro/sfa"
 )
 
 // HTTP front end for a Hub. The API is deliberately small and
@@ -74,6 +75,7 @@ type ShardStat struct {
 	Layout     string   `json:"layout"`
 	TableBytes int64    `json:"table_bytes"`
 	BuildID    uint64   `json:"build_id"`
+	Prefilter  string   `json:"prefilter"`
 }
 
 // LoadReply answers PUT /v1/tenants/{name}.
@@ -116,6 +118,10 @@ type TenantCounts struct {
 	Reloads       int64  `json:"reloads"`
 	ShardsReused  int64  `json:"shards_reused"`
 	ShardsRebuilt int64  `json:"shards_rebuilt"`
+	// Prefilter is the resident generation's literal-cascade snapshot:
+	// static shape plus the live skip/byte counters accumulated since the
+	// generation was built. Absent for non-resident tenants.
+	Prefilter *sfa.PrefilterStats `json:"prefilter,omitempty"`
 }
 
 // SnapshotMetrics reports the persistence subsystem's counters: how
@@ -171,6 +177,8 @@ func metricsReply(h *Hub) MetricsReply {
 			tc.Generation = gen
 			tc.Rules = rs.Len()
 			tc.Shards = rs.NumShards()
+			pf := rs.PrefilterStats()
+			tc.Prefilter = &pf
 		}
 		reply.Tenants[name] = tc
 	}

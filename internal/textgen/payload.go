@@ -1,0 +1,57 @@
+package textgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Payload builds the sparse-corpus counterpart of Traffic: a stream of
+// encoded application payload frames (file uploads, telemetry blobs —
+// the deep-packet-inspection case where almost no input byte belongs to
+// any rule literal), with the same kind of planted attack fragments.
+// Where Traffic's benign lines are HTTP requests whose every line
+// contains rule keywords ("GET ", "Host: " — the low-selectivity regime
+// the prefilter stats expose), Payload's benign frames are base64-like
+// records: no spaces, no control bytes, no HTTP tokens, so literal hits
+// and candidate windows come almost exclusively from the planted
+// attacks.
+type Payload struct {
+	// SuspiciousPerMille is the per-record probability (in ‰) of planting
+	// an attack fragment. Default 2‰.
+	SuspiciousPerMille int
+}
+
+// payloadAlphabet is the benign frame body alphabet: base64 characters
+// only. No byte of it starts an IDS keyword boundary (no spaces, dots,
+// colons, '=', or control bytes), which is what makes the corpus sparse
+// under SNORT-style literal sets.
+const payloadAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// Generate produces about `size` bytes of payload frames,
+// deterministically from seed, and reports how many attack fragments
+// were planted.
+func (t Payload) Generate(size int, seed int64) (data []byte, planted int) {
+	perMille := t.SuspiciousPerMille
+	if perMille <= 0 {
+		perMille = 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, size+256)
+	for len(out) < size {
+		if r.Intn(1000) < perMille {
+			attack := trafficAttacks[r.Intn(len(trafficAttacks))]
+			out = append(out, fmt.Sprintf("frame/%06d/", r.Intn(1000000))...)
+			out = append(out, attack...)
+			out = append(out, '\n')
+			planted++
+			continue
+		}
+		out = append(out, fmt.Sprintf("frame/%06d/", r.Intn(1000000))...)
+		n := 32 + r.Intn(88)
+		for i := 0; i < n; i++ {
+			out = append(out, payloadAlphabet[r.Intn(len(payloadAlphabet))])
+		}
+		out = append(out, '\n')
+	}
+	return out, planted
+}

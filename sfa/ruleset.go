@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/multi"
+	"repro/internal/prefilter"
 	"repro/internal/snapshot"
 	"repro/internal/syntax"
 )
@@ -68,12 +69,16 @@ func NewRuleSetFromDefs(defs []RuleDef, opts ...Option) (*RuleSet, error) {
 	return rs, err
 }
 
-// ReloadStats reports what a Rebuild carried over versus recompiled.
+// ReloadStats reports what a Rebuild carried over versus recompiled,
+// and the prefilter shape the new generation came up with.
 type ReloadStats struct {
 	ShardsReused  int // combined shards (or per-rule engines) kept by pointer
 	ShardsRebuilt int // shards (or engines) built from scratch
 	RulesAdded    int // rules new in this generation, or with changed pattern/flags
 	RulesRemoved  int // rules gone from this generation, or with changed pattern/flags
+	// Prefilter is the new generation's literal-cascade snapshot (static
+	// shape only — the dynamic counters are zero on a fresh build).
+	Prefilter PrefilterStats
 }
 
 // Rebuild compiles a new RuleSet for defs with this set's options,
@@ -88,7 +93,11 @@ func (rs *RuleSet) Rebuild(defs []RuleDef) (*RuleSet, ReloadStats, error) {
 	if err != nil {
 		return nil, ReloadStats{}, err
 	}
-	stats := ReloadStats{ShardsReused: reuse.Reused, ShardsRebuilt: reuse.Rebuilt}
+	stats := ReloadStats{
+		ShardsReused:  reuse.Reused,
+		ShardsRebuilt: reuse.Rebuilt,
+		Prefilter:     next.PrefilterStats(),
+	}
 	oldKeys := make(map[string]string, len(rs.defs))
 	for i, d := range rs.defs {
 		oldKeys[d.Name] = rs.keys[i]
@@ -170,12 +179,14 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 	}
 
 	nodes := make([]*syntax.Node, len(rs.defs))
+	infos := make([]prefilter.Rule, len(rs.defs))
 	for i, d := range rs.defs {
-		node, err := parseRule(d, cfg)
+		node, info, err := parseRule(d, cfg)
 		if err != nil {
 			return nil, multi.ReuseStats{}, fmt.Errorf("sfa: rule %s: %w", d.Name, err)
 		}
 		nodes[i] = node
+		infos[i] = info
 	}
 	var prevSet *multi.Set
 	var prevKeys []string
@@ -190,6 +201,9 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 		Threads:       cfg.threads,
 		Spawn:         cfg.spawn,
 		VectorIntern:  cfg.vectorIntern,
+	}
+	if !cfg.noPrefilter {
+		mo.Prefilter = infos
 	}
 	if cfg.cacheDir != "" {
 		st, err := snapshot.OpenStore(cfg.cacheDir)
@@ -226,9 +240,13 @@ func ruleKey(setFlags Flag, search bool, d RuleDef) string {
 	return fmt.Sprintf("%02x%c\x00%s", uint8(setFlags|d.Flags), mode, d.Pattern)
 }
 
-// parseRule runs the front end — parse, per-rule flags, search
-// bracketing — that the combined compiler shares with Compile.
-func parseRule(d RuleDef, cfg config) (*syntax.Node, error) {
+// parseRule runs the front end — parse, per-rule flags, literal
+// extraction, search bracketing — that the combined compiler shares with
+// Compile. The extraction sees the rule as written (before the .*
+// brackets, which would make every literal optional); a rule whose AST
+// defeats extraction gets the zero info — uncovered, scanned in full —
+// never an error.
+func parseRule(d RuleDef, cfg config) (*syntax.Node, prefilter.Rule, error) {
 	var sflags syntax.Flags
 	if (cfg.flags|d.Flags)&FoldCase != 0 {
 		sflags |= syntax.FoldCase
@@ -238,12 +256,13 @@ func parseRule(d RuleDef, cfg config) (*syntax.Node, error) {
 	}
 	node, err := syntax.Parse(d.Pattern, sflags)
 	if err != nil {
-		return nil, err
+		return nil, prefilter.Rule{}, err
 	}
+	info := prefilter.Extract(node, cfg.search)
 	if cfg.search {
 		node = syntax.BracketForSearch(node)
 	}
-	return node, nil
+	return node, info, nil
 }
 
 // compileRule builds the rule's own isolated Regexp (per-rule flags
@@ -295,6 +314,11 @@ type ShardInfo struct {
 	Layout     string   // resolved transition-table layout
 	TableBytes int64    // resident match-table bytes
 	BuildID    uint64   // construction id; stable when Rebuild reuses the shard
+	// Prefilter is the shard's scan mode under the literal cascade:
+	// "window" (scans only candidate windows around literal hits), "gate"
+	// (skipped outright when none of its literals occur), "full" (always
+	// scans everything), or "off" when the set has no prefilter.
+	Prefilter string
 }
 
 // Shards reports per-shard statistics; in isolated mode every rule is
@@ -308,6 +332,7 @@ func (rs *RuleSet) Shards() []ShardInfo {
 				Rules:     []string{rs.defs[i].Name},
 				DFAStates: s.DFALive,
 				SFAStates: s.SFALive,
+				Prefilter: "off",
 			}
 		}
 		return out
@@ -326,9 +351,64 @@ func (rs *RuleSet) Shards() []ShardInfo {
 			Layout:     info.Layout,
 			TableBytes: info.TableBytes,
 			BuildID:    info.BuildID,
+			Prefilter:  info.Prefilter,
 		}
 	}
 	return out
+}
+
+// PrefilterStats is a point-in-time snapshot of a rule set's literal
+// prefilter cascade: its static shape (what extraction achieved, how the
+// shards were classified) and its dynamic effect (how much input the
+// automata actually walked). The byte and chunk counters accumulate over
+// the set's lifetime across Scan, MatchMask, and RuleStream use; the
+// CandidateBytes/TotalBytes ratio is the selectivity signal — near 1.0
+// the cascade is pure overhead and WithoutPrefilter (or better rules) is
+// the fix.
+type PrefilterStats struct {
+	Enabled  bool   `json:"enabled"`
+	Stage    string `json:"stage,omitempty"`    // cascade stage: memchr, byte-table, bmh, shift, aho-corasick
+	Literals int    `json:"literals,omitempty"` // distinct literals matched
+
+	RulesCovered   int `json:"rules_covered"`   // rules the cascade accelerates (literals or prefix bound)
+	RulesUncovered int `json:"rules_uncovered"` // rules that always scan in full
+
+	WindowShards int `json:"window_shards"`
+	PrefixShards int `json:"prefix_shards"`
+	GateShards   int `json:"gate_shards"`
+	FullShards   int `json:"full_shards"`
+
+	ShardsSkipped  int64 `json:"shards_skipped"`  // one-shot shard scans skipped outright
+	CandidateBytes int64 `json:"candidate_bytes"` // bytes walked by prefiltered shards
+	TotalBytes     int64 `json:"total_bytes"`     // bytes they would have walked unfiltered
+	ChunksSkipped  int64 `json:"chunks_skipped"`  // stream shard-chunks with no candidate work
+	ChunksScanned  int64 `json:"chunks_scanned"`  // stream shard-chunks with candidate windows
+}
+
+// PrefilterStats reports the literal cascade armed on this set. The zero
+// value means no prefilter: the set was compiled WithoutPrefilter, is in
+// isolated mode, or was loaded by a path that could not re-extract.
+func (rs *RuleSet) PrefilterStats() PrefilterStats {
+	if rs.set == nil {
+		return PrefilterStats{}
+	}
+	s := rs.set.PrefilterStats()
+	return PrefilterStats{
+		Enabled:        s.Enabled,
+		Stage:          s.Stage,
+		Literals:       s.Literals,
+		RulesCovered:   s.RulesCovered,
+		RulesUncovered: s.RulesUncovered,
+		WindowShards:   s.WindowShards,
+		PrefixShards:   s.PrefixShards,
+		GateShards:     s.GateShards,
+		FullShards:     s.FullShards,
+		ShardsSkipped:  s.ShardsSkipped,
+		CandidateBytes: s.CandidateBytes,
+		TotalBytes:     s.TotalBytes,
+		ChunksSkipped:  s.ChunksSkipped,
+		ChunksScanned:  s.ChunksScanned,
+	}
 }
 
 // Rule returns the compiled pattern for a name, if present. In combined

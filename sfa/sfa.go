@@ -96,6 +96,7 @@ type config struct {
 	shardBudget   int
 	cacheDir      string
 	vectorIntern  bool
+	noPrefilter   bool
 }
 
 // buildConfig folds the options and resolves defaults.
@@ -190,6 +191,17 @@ func WithShardCache(dir string) Option { return func(c *config) { c.cacheDir = d
 // BenchmarkRuleSet_ColdBuild_*). Compile and isolated-mode rule sets
 // ignore this option.
 func WithVectorInterning() Option { return func(c *config) { c.vectorIntern = true } }
+
+// WithoutPrefilter disables the literal prefilter cascade that combined
+// rule sets arm by default: every shard scans every input byte, exactly
+// as before the prefilter existed. The prefilter never changes verdicts
+// — only which input regions the automata walk — so this knob exists for
+// A/B measurement (sfabench ruleset, BenchmarkRuleSet_*_NoPrefilter) and
+// as an escape hatch for low-selectivity rule sets where candidate
+// windows cover most of the input anyway (the per-tenant prefilter stats
+// expose exactly that ratio). Compile and isolated-mode rule sets ignore
+// this option.
+func WithoutPrefilter() Option { return func(c *config) { c.noPrefilter = true } }
 
 // Regexp is a compiled pattern. It is safe for concurrent use.
 type Regexp struct {

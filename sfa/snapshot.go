@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/binio"
 	"repro/internal/multi"
+	"repro/internal/prefilter"
 )
 
 // Rule-set snapshots: Save serializes a compiled combined RuleSet —
@@ -180,10 +181,32 @@ func LoadRuleSet(r io.Reader, opts ...Option) (*RuleSet, error) {
 		rs.keys[i] = ruleKey(cfg.flags, cfg.search, d)
 	}
 
-	set, err := multi.DecodeSet(cr, rs.keys, multi.Options{
+	mo := multi.Options{
 		Threads: cfg.threads,
 		Spawn:   cfg.spawn,
-	})
+	}
+	// Snapshots carry automata, not syntax trees, so the literal
+	// prefilter is re-extracted from the rule sources — cheap (a parse
+	// per rule, no construction) next to the table decode it fronts. A
+	// rule that no longer parses leaves the whole set unfiltered rather
+	// than failing the load: the snapshot's automata are the verdict
+	// authority, the prefilter is only an accelerator.
+	if !cfg.noPrefilter {
+		infos := make([]prefilter.Rule, len(rs.defs))
+		ok := true
+		for i, d := range rs.defs {
+			_, info, err := parseRule(d, cfg)
+			if err != nil {
+				ok = false
+				break
+			}
+			infos[i] = info
+		}
+		if ok {
+			mo.Prefilter = infos
+		}
+	}
+	set, err := multi.DecodeSet(cr, rs.keys, mo)
 	if err != nil {
 		return nil, fmt.Errorf("sfa: %w", err)
 	}
