@@ -1,18 +1,20 @@
-# CI entry points. `make ci` is the gate: vet + build + race tests +
-# fuzz smoke runs (the multi-pattern match oracle and the snapshot
-# decoder) + the sfaserve serving smoke (server boot, rule load, hot
-# reload under concurrent streamed scans) + the snapshot smoke (save →
-# reload → verify verdicts, warm-restart sfaserve over a state dir,
-# shard-cache reuse) + a short benchmark smoke run proving the hot paths
-# still report 0 allocs/op. `make bench-json` captures the benchmark
-# trajectory snapshot (BENCH_5.json) that CI uploads as an artifact and
-# gates on; the RuleSet_ColdBuild_{Tuple,Vector} pair in it tracks the
-# tuple-interned construction speedup.
+# CI entry points. `make ci` is the gate: vet + build + docs checks
+# (markdown links + stale documented options) + race tests + fuzz smoke
+# runs (the multi-pattern match oracle and the snapshot decoder) + the
+# sfaserve serving smoke (server boot, rule load, hot reload under
+# concurrent streamed scans) + the snapshot smoke (save → reload →
+# verify verdicts, warm-restart sfaserve over a state dir, shard-cache
+# reuse) + a short benchmark smoke run proving the hot paths still
+# report 0 allocs/op. `make bench-json` captures the benchmark
+# trajectory snapshot (BENCH_7.json) that CI uploads as an artifact and
+# gates on; RuleSet_ColdBuild_{Tuple,Vector} tracks the tuple-interned
+# construction speedup and RuleSet_LazyColdStart the lazy compile+scan
+# cost over a corpus the eager builder rejects.
 
 GO ?= go
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
-.PHONY: build vet test race fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
+.PHONY: build vet test race docs-check fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +24,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Docs gate: every relative markdown link in README/ROADMAP/docs/ and
+# the package READMEs resolves, and every documented With* option is
+# still declared in the Go source (renames fail here, not in review).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 race:
 	$(GO) test -race ./...
@@ -64,4 +72,4 @@ bench-json:
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) \
 		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
 
-ci: vet build race fuzz-smoke serve-smoke snapshot-smoke bench-smoke
+ci: vet build docs-check race fuzz-smoke serve-smoke snapshot-smoke bench-smoke

@@ -537,6 +537,40 @@ func BenchmarkRuleSet_ColdBuild_Vector(b *testing.B) {
 	}
 }
 
+// BenchmarkRuleSet_LazyColdStart tracks the lazy subsystem's headline
+// scenario end to end: a bounded-gap corpus the eager planner rejects
+// outright (the hard SFA cap fails every split) is compiled with
+// WithLazyCompile under a 16 MiB table budget and scanned once — the
+// scan that pays every on-demand product-state fill. Per iteration this
+// is build + first scan: the cold-start latency of a tenant the eager
+// builder cannot host at all (BENCH_7.json).
+func BenchmarkRuleSet_LazyColdStart(b *testing.B) {
+	defs := make([]sfa.RuleDef, 64)
+	for i := range defs {
+		defs[i] = sfa.RuleDef{
+			Name:    fmt.Sprintf("gap%03d", i),
+			Pattern: fmt.Sprintf("q%02x.{0,%d}z%02x", i%256, 8+i%9, (i*7)%256),
+		}
+	}
+	opts := []sfa.Option{sfa.WithSearch(), sfa.WithThreads(1), sfa.WithSFACap(512)}
+	if _, err := sfa.NewRuleSetFromDefs(defs, opts...); err == nil {
+		b.Fatal("eager build unexpectedly succeeded; the corpus no longer measures lazy cold start")
+	}
+	text, _ := textgen.Traffic{SuspiciousPerMille: 2}.Generate(benchMB()<<20, 1)
+	dst := make([]uint64, 1)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := sfa.NewRuleSetFromDefs(defs, append(opts,
+			sfa.WithLazyCompile(), sfa.WithTableBudget(sfa.NewTableBudget(16<<20)))...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs.MatchMask(text, dst[:rs.MaskWords()])
+	}
+}
+
 func BenchmarkRuleSet_SnapshotWarmLoad(b *testing.B) {
 	rs, err := sfa.NewRuleSetFromDefs(snapshotBenchDefs(), sfa.WithSearch(), sfa.WithThreads(1))
 	if err != nil {

@@ -1,0 +1,151 @@
+// Command docscheck keeps the prose honest. It runs two gates over the
+// repo's hand-written markdown (README.md, ROADMAP.md, docs/, and the
+// per-package READMEs):
+//
+//  1. link check — every relative markdown link target must exist on
+//     disk (external http(s) links are not fetched);
+//  2. stale-option check — every `With...` option name the docs mention
+//     must be declared as a function somewhere in the Go source, so a
+//     renamed or removed sfa.With* / engine.With* option fails CI
+//     instead of rotting in the README.
+//
+// Run from the repo root (make docs-check does): docscheck [-root dir].
+// Exits 1 listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// docFiles are the hand-maintained markdown surfaces. Generated or
+// retrieval-produced files (PAPERS.md, SNIPPETS.md, BENCH notes) are
+// exempt — their links point at sources this checkout never contains.
+var docFiles = []string{
+	"README.md",
+	"ROADMAP.md",
+	"docs",
+	"internal/engine/README.md",
+	"internal/snapshot/README.md",
+}
+
+var (
+	// linkRe captures inline markdown link targets: [text](target).
+	linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// optionRe matches documented option names: WithSearch, WithoutPrefilter.
+	optionRe = regexp.MustCompile(`\bWith(?:out)?[A-Z]\w*`)
+	// declRe matches option constructors in Go source.
+	declRe = regexp.MustCompile(`(?m)^func (With(?:out)?[A-Z]\w*)\(`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	declared, err := declaredOptions(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	for _, md := range collectDocs(*root) {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", md, err))
+			continue
+		}
+		text := string(data)
+		rel, _ := filepath.Rel(*root, md)
+
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			p := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(p); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+			}
+		}
+
+		for _, opt := range optionRe.FindAllString(text, -1) {
+			if !declared[opt] {
+				problems = append(problems, fmt.Sprintf("%s: documents option %s, which no Go source declares", rel, opt))
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// collectDocs expands docFiles: plain files as-is, directories
+// recursively for .md entries. Missing entries are skipped (a doc
+// removed on purpose should not wedge the checker).
+func collectDocs(root string) []string {
+	var out []string
+	for _, f := range docFiles {
+		p := filepath.Join(root, f)
+		st, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		if !st.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				out = append(out, path)
+			}
+			return nil
+		})
+	}
+	return out
+}
+
+// declaredOptions scans every non-test .go file for top-level With*
+// constructors, in any package — docs legitimately reference both
+// sfa.With* and engine.With* options.
+func declaredOptions(root string) (map[string]bool, error) {
+	decls := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range declRe.FindAllStringSubmatch(string(data), -1) {
+			decls[m[1]] = true
+		}
+		return nil
+	})
+	return decls, err
+}

@@ -6,8 +6,18 @@
 // Usage:
 //
 //	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N]
+//	         [-lazy] [-table-budget BYTES] [-tenant-table-budget BYTES]
 //	         [-state-dir DIR] [-pprof] [-max-rule-bytes N] [-max-scan-bytes N]
 //	         [tenant=rulesfile ...]
+//
+// With -lazy, rules whose combined automaton the eager builder cannot
+// afford are compiled into lazy shards: product states materialize on
+// demand during scanning and stay under -table-budget bytes process-wide
+// (0 = unlimited), with each tenant further bounded by
+// -tenant-table-budget. When the budget fills, the least-recently-
+// scanned lazy automaton is reset and rebuilds from traffic. Verdicts
+// never change — only construction strategy and memory. /metrics reports
+// the hub-wide and per-tenant resident bytes, fills, and evictions.
 //
 // Request bodies are hard-capped: rule uploads at -max-rule-bytes
 // (default 8 MiB — rule files are parsed into memory) and scan payloads
@@ -72,6 +82,13 @@ type serverConfig struct {
 	maxScanBytes int64
 	preloads     []string
 	opts         []sfa.Option
+
+	// lazy compilation: tableBudget bounds all tenants' lazy shards
+	// process-wide, tenantBudget each tenant (both 0 = unlimited); only
+	// consulted when lazy is set.
+	lazy         bool
+	tableBudget  int64
+	tenantBudget int64
 }
 
 func main() {
@@ -84,6 +101,9 @@ func main() {
 	maxRuleBytes := flag.Int64("max-rule-bytes", serve.DefaultMaxRuleBytes, "maximum rule-upload body size (413 beyond)")
 	maxScanBytes := flag.Int64("max-scan-bytes", serve.DefaultMaxScanBytes, "maximum scan body size (413 beyond)")
 	noPrefilter := flag.Bool("no-prefilter", false, "disable the literal prefilter cascade on every tenant (A/B baseline)")
+	lazy := flag.Bool("lazy", false, "compile unaffordable rules into lazy shards (on-demand product states under the table budget)")
+	tableBudget := flag.Int64("table-budget", 0, "with -lazy: process-wide byte budget for lazy shards' resident states (0 = unlimited)")
+	tenantBudget := flag.Int64("tenant-table-budget", 0, "per-tenant byte budget for lazy shards (0 = only the process-wide budget binds)")
 	flag.Parse()
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
@@ -96,6 +116,9 @@ func main() {
 	if *noPrefilter {
 		opts = append(opts, sfa.WithoutPrefilter())
 	}
+	if *lazy {
+		opts = append(opts, sfa.WithLazyCompile())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,6 +126,7 @@ func main() {
 		addr: *addr, stateDir: *stateDir, pprof: *pprofFlag,
 		maxRuleBytes: *maxRuleBytes, maxScanBytes: *maxScanBytes,
 		preloads: flag.Args(), opts: opts,
+		lazy: *lazy, tableBudget: *tableBudget, tenantBudget: *tenantBudget,
 	}
 	if err := run(cfg, nil, ctx.Done()); err != nil {
 		fmt.Fprintf(os.Stderr, "sfaserve: %v\n", err)
@@ -117,6 +141,9 @@ func main() {
 // the graceful sequence: stop accepting → drain pinned scans → persist.
 func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error {
 	hub := serve.NewHub(cfg.opts...)
+	if cfg.lazy {
+		hub.SetTableBudget(sfa.NewTableBudget(cfg.tableBudget), cfg.tenantBudget)
+	}
 	if cfg.stateDir != "" {
 		st, err := serve.OpenState(cfg.stateDir)
 		if err != nil {

@@ -25,16 +25,28 @@ import (
 // and mapping vector visible to every reader — no lock on the hot path.
 //
 // State storage is paged so that pages, once allocated, never move.
+//
+// A Lazy may be tied to a table budget (newLazySized with a
+// *BudgetHandle): page allocations are then charged through the handle
+// and fail with ErrTableBudget when it is exhausted, and the owner — a
+// LazyTuple, which shares one handle across its components — can drop
+// and re-initialize the structure to give the bytes back. The budgeted
+// entry points are package-internal; NewLazy keeps the original
+// unbudgeted contract.
 type Lazy struct {
 	D *dfa.DFA
 
 	nc       int
 	n        int // vector length
 	maxState int32
+	pageBits uint
+	pageSize int32
+	h        *BudgetHandle // nil = unbudgeted
 
 	mu        sync.Mutex
 	numStates atomic.Int32
 	ids       map[uint64][]int32
+	bytes     int64 // bytes charged for pages (under mu)
 
 	// Pages of transition rows and mapping vectors; index = id >> pageBits.
 	// The page slices are sized up front so readers never see them grow.
@@ -48,29 +60,81 @@ type Lazy struct {
 const (
 	lazyPageBits = 10
 	lazyPageSize = 1 << lazyPageBits
+	// lazyStateOverhead approximates the per-state bookkeeping outside
+	// the pages (intern map bucket + id slice entry) for budget
+	// accounting; folded into the page charge.
+	lazyStateOverhead = 48
 )
 
 // NewLazy prepares an on-the-fly D-SFA over d. maxStates bounds the
 // number of materialized SFA states (≤ n states are created for an input
 // of length n, so the bound only matters for adversarial inputs).
 func NewLazy(d *dfa.DFA, maxStates int) (*Lazy, error) {
+	return newLazySized(d, maxStates, lazyPageBits, nil)
+}
+
+// newLazySized is NewLazy with an explicit page granularity and an
+// optional budget handle. Small pages make eviction accounting
+// fine-grained enough for tight budgets; the default page holds 1024
+// states, which for a component DFA of a few thousand states is
+// megabytes — far too coarse a charging unit for a shared budget.
+func newLazySized(d *dfa.DFA, maxStates int, pageBits uint, h *BudgetHandle) (*Lazy, error) {
 	if d.NumStates > MaxDFAStates {
 		return nil, fmt.Errorf("core: DFA has %d states, limit %d", d.NumStates, MaxDFAStates)
 	}
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	numPages := (maxStates + lazyPageSize - 1) / lazyPageSize
+	pageSize := 1 << pageBits
+	numPages := (maxStates + pageSize - 1) / pageSize
 	l := &Lazy{
 		D:        d,
 		nc:       d.BC.Count,
 		n:        d.NumStates,
 		maxState: int32(maxStates),
+		pageBits: pageBits,
+		pageSize: int32(pageSize),
+		h:        h,
 		ids:      make(map[uint64][]int32),
 		rows:     make([][]int32, numPages),
 		maps:     make([][]int16, numPages),
 		accept:   make([][]bool, numPages),
 	}
+	if err := l.reinit(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// pageBytes is the budget charge of one page.
+func (l *Lazy) pageBytes() int64 {
+	return int64(l.pageSize) * int64(4*l.nc+2*l.n+1+lazyStateOverhead)
+}
+
+// drop releases every materialized state and its budget bytes, leaving
+// the structure empty (not even the identity). The owner must exclude
+// readers and follow with reinit before the next use; the two-phase
+// split lets a LazyTuple release all its components' bytes before any
+// of them re-charges, so the re-initialization fits the grace floor.
+func (l *Lazy) drop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.rows {
+		l.rows[i], l.maps[i], l.accept[i] = nil, nil, nil
+	}
+	clear(l.ids)
+	l.numStates.Store(0)
+	if l.h != nil {
+		l.h.Release(l.bytes)
+	}
+	l.bytes = 0
+}
+
+// reinit re-interns the identity mapping after drop (or at
+// construction). The page charge goes through the budget's grace floor,
+// so on an evicted structure it cannot fail; the only error is the
+// state cap, impossible when empty.
+func (l *Lazy) reinit() error {
 	identity := make([]int16, l.n)
 	for q := range identity {
 		identity[q] = int16(q)
@@ -79,10 +143,23 @@ func NewLazy(d *dfa.DFA, maxStates int) (*Lazy, error) {
 	start, _, err := l.intern(identity)
 	l.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	l.start = start
-	return l, nil
+	return nil
+}
+
+// Intern returns the id of the state with the given transformation
+// vector, materializing it if needed. It is how a lazy walker re-enters
+// after an eviction: the spilled carried vectors become fresh states,
+// and scanning continues as if they had been discovered from the
+// identity. The error is ErrTooManyStates at the cap or a wrapped
+// ErrTableBudget on an exhausted budget.
+func (l *Lazy) Intern(vec []int16) (int32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id, _, err := l.intern(vec)
+	return id, err
 }
 
 // Start returns the id of the identity mapping.
@@ -93,13 +170,13 @@ func (l *Lazy) NumStates() int { return int(l.numStates.Load()) }
 
 // Map returns the transformation vector of state id (read-only).
 func (l *Lazy) Map(id int32) []int16 {
-	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	p, off := id>>l.pageBits, int(id&(l.pageSize-1))
 	return l.maps[p][off*l.n : (off+1)*l.n]
 }
 
 // Accepting reports whether state id is accepting.
 func (l *Lazy) Accepting(id int32) bool {
-	p, off := id>>lazyPageBits, id&(lazyPageSize-1)
+	p, off := id>>l.pageBits, id&(l.pageSize-1)
 	return l.accept[p][off]
 }
 
@@ -111,7 +188,7 @@ func (l *Lazy) NextByte(id int32, b byte) (int32, error) {
 
 // NextClass is NextByte for a byte class.
 func (l *Lazy) NextClass(id int32, c int) (int32, error) {
-	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	p, off := id>>l.pageBits, int(id&(l.pageSize-1))
 	slot := &l.rows[p][off*l.nc+c]
 	if to := atomic.LoadInt32(slot); to >= 0 {
 		return to, nil
@@ -151,15 +228,19 @@ func (l *Lazy) intern(vec []int16) (int32, bool, error) {
 	if id >= l.maxState {
 		return 0, false, fmt.Errorf("%w (lazy cap %d)", ErrTooManyStates, l.maxState)
 	}
-	p, off := id>>lazyPageBits, int(id&(lazyPageSize-1))
+	p, off := id>>l.pageBits, int(id&(l.pageSize-1))
 	if l.rows[p] == nil {
-		rows := make([]int32, lazyPageSize*l.nc)
+		if !l.h.TryCharge(l.pageBytes()) {
+			return 0, false, fmt.Errorf("%w (lazy page)", ErrTableBudget)
+		}
+		l.bytes += l.pageBytes()
+		rows := make([]int32, int(l.pageSize)*l.nc)
 		for i := range rows {
 			rows[i] = -1
 		}
 		l.rows[p] = rows
-		l.maps[p] = make([]int16, lazyPageSize*l.n)
-		l.accept[p] = make([]bool, lazyPageSize)
+		l.maps[p] = make([]int16, int(l.pageSize)*l.n)
+		l.accept[p] = make([]bool, l.pageSize)
 	}
 	copy(l.maps[p][off*l.n:(off+1)*l.n], vec)
 	l.accept[p][off] = l.D.Accept[vec[l.D.Start]]

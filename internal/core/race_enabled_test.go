@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector; concurrency stress tests scale their iteration counts down
+// under its instrumentation.
+const raceEnabled = true

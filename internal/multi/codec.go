@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -30,6 +31,12 @@ import (
 // the rules[] translation table and are re-derived on decode by matching
 // keys against the loading rule list. See internal/snapshot/README.md
 // for the byte-level specification and versioning rules.
+
+// ErrNotSerializable is wrapped by Encode when the set contains a lazy
+// shard: lazily built product states are a traffic-dependent cache, not
+// an artifact, so such sets persist as rule sources and recompile on
+// load (serve's snapshot path already falls back to rules-only frames).
+var ErrNotSerializable = errors.New("multi: lazy shards are not serializable")
 
 const (
 	shardMagic = "SFA\x01SHD\x01"
@@ -289,7 +296,14 @@ func (s *Set) Encode(w io.Writer, keys []string) error {
 		for i, r := range sh.rules {
 			local[i] = keys[r]
 		}
-		if err := encodeShard(&blob, sh.m, local); err != nil {
+		m := eagerEngine(sh.m)
+		if m == nil {
+			// A lazy shard has no tables to persist — its states are
+			// rebuilt from traffic. Callers persist the rule sources
+			// instead and recompile on load.
+			return fmt.Errorf("%w: shard %v", ErrNotSerializable, sh.rules)
+		}
+		if err := encodeShard(&blob, m, local); err != nil {
 			return err
 		}
 		if err := binio.WriteBytes(w, blob.Bytes()); err != nil {

@@ -116,7 +116,7 @@ func TestDecodeShardCRC(t *testing.T) {
 	for i, r := range s.shards[0].rules {
 		local[i] = keys[r]
 	}
-	if err := encodeShard(&buf, s.shards[0].m, local); err != nil {
+	if err := encodeShard(&buf, eagerEngine(s.shards[0].m), local); err != nil {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()

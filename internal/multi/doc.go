@@ -1,0 +1,60 @@
+// Package multi compiles a set of patterns into combined simultaneous
+// automata for multi-pattern matching — the deep-packet-inspection
+// workload of the paper's introduction (one SNORT ruleset, heavy packet
+// traffic), where scanning each input once per rule multiplies table
+// walks and cache pressure by the rule count.
+//
+// The pipeline generalizes the paper's single-pattern one:
+//
+//  1. each rule is compiled to its minimal DFA as usual;
+//  2. the rules of a shard are combined by the product construction into
+//     one DFA whose states carry a per-rule accept bitmask (bit r set
+//     when rule r accepts), then minimized mask-aware;
+//  3. the combined DFA feeds the unchanged D-SFA correspondence
+//     construction (core.BuildDSFA — the SFA states are transformations
+//     of the combined DFA's state set), and matching is one pooled
+//     parallel pass per shard through engine.MultiSFA, which reports the
+//     full bitmask of matching rules.
+//
+// Construction cost is the known pain point of combined automata: the
+// product DFA can approach the product of the component sizes, and its
+// transformation monoid can grow further still. A state-count budget
+// detects the blow-up during both constructions, and the planner falls
+// back to K combined shards scanned concurrently, with rules assigned
+// greedily by estimated automaton size. K = rule count degenerates to
+// the isolated per-rule engines, so the fallback is total.
+//
+// # Key types
+//
+// [Set] is the compiled artifact: an immutable list of shards, each
+// holding a shardEngine (the common surface of eager [engine.MultiSFA]
+// and lazy [engine.LazyMultiSFA]), the shard's rule indices, and its
+// optional prefilter. [Options] carries every build knob; [Compile]
+// plans and builds, [Recompile] rebuilds incrementally, reusing (by
+// pointer) every shard whose rule membership and budgets are unchanged
+// — the hot-reload primitive internal/serve leans on.
+//
+// # Lazy shards
+//
+// With Options.Lazy, rules whose dry-run construction exceeds the eager
+// state budget are not refused: they are binned into lazy shards whose
+// product states materialize on demand during scanning
+// (core.LazyTuple interns k-tuples of component D-SFA states), bounded
+// by a process-wide byte budget (Options.Budget, default the global
+// budget) with LRU eviction of cold automata. Rules that fit keep the
+// eager plan — the sticky fallback — so lazy mode never slows a set the
+// eager builder could compile. Lazy shards are not serializable
+// ([ErrNotSerializable]); Set.Encode fails on them and callers persist
+// rule text instead. See docs/memory-model.md for the budget hierarchy
+// and eviction invariants.
+//
+// # Invariants
+//
+// Verdicts are byte-identical across every plan the package can choose
+// — combined, sharded, lazy, prefiltered, isolated — which is what the
+// oracle tests in this package and in sfa/ gate on. Prefilter classes
+// (window/prefix/gate/uncovered) are segregated into separate shards so
+// one pathological rule cannot demote its neighbours, for eager and
+// lazy bins alike. Construction never mutates a live Set: reloads build
+// a fresh Set and swap it in whole.
+package multi

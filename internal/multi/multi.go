@@ -1,28 +1,3 @@
-// Package multi compiles a set of patterns into combined simultaneous
-// automata for multi-pattern matching — the deep-packet-inspection
-// workload of the paper's introduction (one SNORT ruleset, heavy packet
-// traffic), where scanning each input once per rule multiplies table
-// walks and cache pressure by the rule count.
-//
-// The pipeline generalizes the paper's single-pattern one:
-//
-//  1. each rule is compiled to its minimal DFA as usual;
-//  2. the rules of a shard are combined by the product construction into
-//     one DFA whose states carry a per-rule accept bitmask (bit r set
-//     when rule r accepts), then minimized mask-aware;
-//  3. the combined DFA feeds the unchanged D-SFA correspondence
-//     construction (core.BuildDSFA — the SFA states are transformations
-//     of the combined DFA's state set), and matching is one pooled
-//     parallel pass per shard through engine.MultiSFA, which reports the
-//     full bitmask of matching rules.
-//
-// Construction cost is the known pain point of combined automata: the
-// product DFA can approach the product of the component sizes, and its
-// transformation monoid can grow further still. A state-count budget
-// detects the blow-up during both constructions, and the planner falls
-// back to K combined shards scanned concurrently, with rules assigned
-// greedily by estimated automaton size. K = rule count degenerates to
-// the isolated per-rule engines, so the fallback is total.
 package multi
 
 import (
@@ -31,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/prefilter"
 	"repro/internal/syntax"
@@ -103,6 +79,19 @@ type Options struct {
 	// decoding re-materializes match tables under the loading process's
 	// options. nil disables caching.
 	Cache ShardCache
+	// Lazy enables the lazy shard mode: rules whose estimated combined
+	// D-SFA exceeds the shard budget — the ones the eager planner would
+	// build uncapped or reject with ErrTooManyStates — are instead
+	// served by on-demand product-state construction under the table
+	// budget (see lazy.go). Rules that fit keep the eager path, so the
+	// fallback is sticky: enabling Lazy never changes how an affordable
+	// set is built.
+	Lazy bool
+	// Budget is the byte budget lazy shards charge their materialized
+	// states against (shared across shards; serve hands each tenant a
+	// child of the process budget). nil with Lazy set uses the
+	// process-global budget, core.GlobalTableBudget.
+	Budget *core.TableBudget
 	// Prefilter arms the literal prefilter cascade: Prefilter[i] is the
 	// required-literal extraction for nodes[i] (computed by
 	// prefilter.Extract on the rule as parsed, before search
@@ -139,6 +128,14 @@ func (o Options) withDefaults() Options {
 		o.Threads = runtime.GOMAXPROCS(0)
 	}
 	return o
+}
+
+// budget resolves the table budget lazy shards charge against.
+func (o Options) budget() *core.TableBudget {
+	if o.Budget != nil {
+		return o.Budget
+	}
+	return core.GlobalTableBudget()
 }
 
 // engineOpts translates the engine-facing knobs.
@@ -204,32 +201,9 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 // in it qualifies, so one uncovered rule sharing a shard with windowable
 // (or gateable) ones would demote the whole shard to full scans.
 func planAndBuild(rules []planRule, o Options) ([]*shardBuild, error) {
-	groups := [][]planRule{rules}
-	if len(o.Prefilter) > 0 && o.ForceShards == 0 {
-		var byClass [4][]planRule
-		for _, r := range rules {
-			class := 3 // uncovered
-			if r.idx < len(o.Prefilter) {
-				switch inf := o.Prefilter[r.idx]; {
-				case inf.Window:
-					class = 0
-				case inf.Prefix:
-					class = 1
-				case inf.Covered():
-					class = 2
-				}
-			}
-			byClass[class] = append(byClass[class], r)
-		}
-		groups = groups[:0]
-		for _, g := range byClass {
-			if len(g) > 0 {
-				groups = append(groups, g)
-			}
-		}
-	}
+	rules, lazyRules := planLazy(rules, o)
 	var builds []*shardBuild
-	for _, g := range groups {
+	for _, g := range prefilterGroups(rules, o) {
 		gb, err := buildBins(plan(g, o), o)
 		if err != nil {
 			return nil, err
@@ -245,5 +219,51 @@ func planAndBuild(rules []planRule, o Options) ([]*shardBuild, error) {
 		}
 		builds = append(builds, gb...)
 	}
+	// Lazy shards are grouped by prefilter class exactly like eager
+	// ones — a windowable lazy shard scans only candidate windows — and
+	// never merged (there is no measured table size to merge on).
+	for _, g := range prefilterGroups(lazyRules, o) {
+		gb, err := buildLazyShards(g, o)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, gb...)
+	}
 	return builds, nil
+}
+
+// prefilterGroups partitions rules into the four prefilter classes —
+// windowable, prefix-bounded, gateable, uncovered — so that merging and
+// binning never put a rule that would demote a shard's scan mode next
+// to rules that qualify for a faster one. Without a prefilter (or under
+// ForceShards) everything is one group.
+func prefilterGroups(rules []planRule, o Options) [][]planRule {
+	if len(rules) == 0 {
+		return nil
+	}
+	if len(o.Prefilter) == 0 || o.ForceShards != 0 {
+		return [][]planRule{rules}
+	}
+	var byClass [4][]planRule
+	for _, r := range rules {
+		class := 3 // uncovered
+		if r.idx < len(o.Prefilter) {
+			switch inf := o.Prefilter[r.idx]; {
+			case inf.Window:
+				class = 0
+			case inf.Prefix:
+				class = 1
+			case inf.Covered():
+				class = 2
+			}
+		}
+		byClass[class] = append(byClass[class], r)
+	}
+	var groups [][]planRule
+	for _, g := range byClass {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
 }

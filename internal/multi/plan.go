@@ -440,7 +440,9 @@ func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
 			break
 		}
 		sort.Slice(cand, func(i, j int) bool {
-			si, sj := cand[i].sh.m.SFA().NumStates, cand[j].sh.m.SFA().NumStates
+			// Unfrozen shards are always eager (lazy builds are frozen),
+			// so the unwrap cannot return nil here.
+			si, sj := eagerEngine(cand[i].sh.m).SFA().NumStates, eagerEngine(cand[j].sh.m).SFA().NumStates
 			if si != sj {
 				return si < sj
 			}
@@ -550,12 +552,16 @@ func storeShard(key string, sh *shard, bin []planRule, o Options) {
 	if key == "" {
 		return
 	}
+	m := eagerEngine(sh.m)
+	if m == nil {
+		return
+	}
 	local := make([]string, len(bin))
 	for i, r := range bin {
 		local[i] = r.key
 	}
 	_ = o.Cache.Store(key, func(w io.Writer) error {
-		return encodeShard(w, sh.m, local)
+		return encodeShard(w, m, local)
 	})
 }
 

@@ -4,15 +4,15 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/engine"
 	"repro/internal/prefilter"
 )
 
 // shard is one combined automaton covering a subset of the rules.
 // Local mask bit i of the shard's matcher corresponds to global rule
-// index rules[i].
+// index rules[i]. The engine is eager (table-backed engine.MultiSFA)
+// or lazy (engine.LazyMultiSFA, budgeted); see shardEngine.
 type shard struct {
-	m     *engine.MultiSFA
+	m     shardEngine
 	rules []int
 }
 
@@ -143,8 +143,8 @@ func (s *Set) Any(data []byte) bool {
 // ShardInfo describes one shard for stats reporting.
 type ShardInfo struct {
 	Rules      []int // global rule indices
-	DFAStates  int   // combined minimal DFA (live states)
-	SFAStates  int   // combined D-SFA (live states)
+	DFAStates  int   // combined minimal DFA (live states); lazy: Σ|Di|
+	SFAStates  int   // combined D-SFA (live states); lazy: resident states
 	Layout     string
 	TableBytes int64
 	BuildID    uint64 // engine construction id; stable across shard reuse
@@ -152,6 +152,12 @@ type ShardInfo struct {
 	// "window", "prefix", "gate", "full", or "off" when the set has no
 	// prefilter.
 	Prefilter string
+	// Lazy marks a shard whose product states are built on demand under
+	// the table budget; the remaining fields are its cache counters.
+	Lazy          bool
+	ResidentBytes int64 // bytes currently charged to the table budget
+	Fills         int64 // states materialized since build
+	Evictions     int64 // whole-structure resets under budget pressure
 }
 
 // Shards reports per-shard statistics.
@@ -160,14 +166,19 @@ func (s *Set) Shards() []ShardInfo {
 	for i, sh := range s.shards {
 		rules := make([]int, len(sh.rules))
 		copy(rules, sh.rules)
+		inf := sh.m.Info()
 		out[i] = ShardInfo{
-			Rules:      rules,
-			DFAStates:  sh.m.SFA().D.LiveSize(),
-			SFAStates:  sh.m.SFA().LiveSize(),
-			Layout:     sh.m.Layout().String(),
-			TableBytes: sh.m.TableBytes(),
-			BuildID:    sh.m.BuildID(),
-			Prefilter:  s.shardPrefilterMode(i),
+			Rules:         rules,
+			DFAStates:     inf.DFAStates,
+			SFAStates:     inf.SFAStates,
+			Layout:        inf.Layout,
+			TableBytes:    inf.TableBytes,
+			BuildID:       sh.m.BuildID(),
+			Prefilter:     s.shardPrefilterMode(i),
+			Lazy:          inf.Lazy,
+			ResidentBytes: inf.ResidentBytes,
+			Fills:         inf.Fills,
+			Evictions:     inf.Evictions,
 		}
 	}
 	return out

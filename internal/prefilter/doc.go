@@ -1,0 +1,36 @@
+// Package prefilter extracts required-literal sets from rule syntax
+// trees and matches them with a multi-literal cascade, so a rule-set
+// scan can run the combined D-SFA only near positions where some rule
+// could possibly match.
+//
+// The contract throughout is *soundness*: a literal set for a rule is
+// required — every input the rule matches contains at least one member
+// — so skipping regions with no literal hit can never lose a verdict.
+// Rules whose AST defeats extraction are flagged uncovered and scanned
+// in full; the cascade is an optimization, never a semantics change.
+//
+// # Key types
+//
+// [Extract] walks one rule's syntax tree and returns a [Rule]: the
+// required literal set, a classification ([Rule.Class] — window,
+// prefix, gate, or uncovered), and a shrink-aware match bound (an
+// unbounded repetition at an unanchored pattern edge shrinks to its
+// minimum count, because a contiguous slice of the repeated run is
+// itself an occurrence). [NewMatcher] builds the multi-literal searcher
+// for a shard's census, selecting one of five stages by literal shape:
+// memchr, a 256-entry byte table, Boyer-Moore-Horspool, a Wu-Manber
+// style shift table, or byte-class-compressed Aho-Corasick. Hits map
+// back to the witnessing rules so a candidate window only grows the
+// shard that needs it.
+//
+// # Invariants
+//
+// Extraction is conservative in the safe direction: when in doubt
+// (wide classes, nullable subtrees, literal sets past the caps) it
+// degrades the rule's class, never narrows the literal set below
+// "required". The matcher reports a superset of true literal
+// occurrences (stages may over-report across chunk boundaries); callers
+// treat hits as candidates to verify with the automaton, never as
+// verdicts. internal/multi segregates the classes into separate shards
+// and drives the cascade at scan and stream time.
+package prefilter

@@ -1,12 +1,3 @@
-// Package prefilter extracts required-literal sets from rule syntax
-// trees and matches them with a multi-literal cascade, so a rule-set
-// scan can run the combined D-SFA only near positions where some rule
-// could possibly match. The contract throughout is *soundness*: a
-// literal set for a rule is required — every input the rule matches
-// contains at least one member — so skipping regions with no literal
-// hit can never lose a verdict. Rules whose AST defeats extraction are
-// flagged uncovered and scanned in full; the cascade is an
-// optimization, never a semantics change.
 package prefilter
 
 import (

@@ -1,24 +1,3 @@
-// Package serve is the rule-set serving subsystem: long-lived rule sets
-// under live traffic, with streaming scans, hot reload, and multi-tenant
-// hosting — the deployment shape the paper's SNORT workload implies (one
-// ruleset, heavy packet traffic, rules updated while scanning continues).
-//
-// Three properties carry the design:
-//
-//   - Streaming: scans go through sfa.RuleStream, so request bodies are
-//     matched chunk by chunk with fixed-size carried state (one |D|
-//     mapping per shard) and never need to be buffered whole.
-//   - Hot reload: a Ruleboard keeps the live RuleSet behind an
-//     atomic.Pointer. Reload builds the next generation with
-//     RuleSet.Rebuild — combined shards whose rule membership is
-//     unchanged are carried over by pointer, so the expensive product /
-//     D-SFA construction is paid only for changed rules — then swaps.
-//     In-flight streams stay pinned to the generation they started on
-//     and drain against it; nothing is dropped or corrupted mid-scan.
-//   - Multi-tenancy: a Hub hosts many named Ruleboards. All tenants'
-//     engines dispatch chunk work through the one process-wide
-//     engine.Pool, so the worker count is bounded by GOMAXPROCS no
-//     matter how many tenants are resident.
 package serve
 
 import (
@@ -253,11 +232,68 @@ type Hub struct {
 	state   *State // nil = no persistence
 	mu      sync.RWMutex
 	tenants map[string]*Ruleboard
+
+	// budget is the hub-wide table budget lazily compiled tenants charge
+	// (nil = default process budget); each tenant gets a Child bounded by
+	// tenantLimit, created on first use and kept across reloads so warm
+	// lazy state survives a rules update.
+	budget      *sfa.TableBudget
+	tenantLimit int64
+	bmu         sync.Mutex
+	budgets     map[string]*sfa.TableBudget
 }
 
 // NewHub creates an empty hub; opts apply to every tenant's rule sets.
 func NewHub(opts ...sfa.Option) *Hub {
 	return &Hub{opts: opts, metrics: newMetrics(), tenants: make(map[string]*Ruleboard)}
+}
+
+// SetTableBudget routes every tenant's lazy shards (WithLazyCompile)
+// through per-tenant children of b: a tenant may charge at most
+// perTenantLimit bytes (<= 0 = only the hub-wide limit binds), and all
+// tenants together at most b's limit. Call before any tenant exists,
+// like SetState — boards compiled earlier keep charging the budget the
+// compile saw.
+func (h *Hub) SetTableBudget(b *sfa.TableBudget, perTenantLimit int64) {
+	h.budget = b
+	h.tenantLimit = perTenantLimit
+	h.budgets = make(map[string]*sfa.TableBudget)
+}
+
+// TableBudget returns the hub-wide budget, nil when none was set.
+func (h *Hub) TableBudget() *sfa.TableBudget { return h.budget }
+
+// tenantOpts returns the compile options for one tenant's boards: the
+// hub options plus, under SetTableBudget, the tenant's child budget.
+func (h *Hub) tenantOpts(name string) []sfa.Option {
+	if h.budget == nil {
+		return h.opts
+	}
+	opts := make([]sfa.Option, 0, len(h.opts)+1)
+	opts = append(opts, h.opts...)
+	return append(opts, sfa.WithTableBudget(h.tenantBudget(name)))
+}
+
+// tenantBudget returns (creating on first use) the named tenant's child
+// budget. The child survives tenant deletion — like the tenant's metrics
+// entry, and so a recreated tenant cannot escape its bound by cycling.
+func (h *Hub) tenantBudget(name string) *sfa.TableBudget {
+	h.bmu.Lock()
+	defer h.bmu.Unlock()
+	tb := h.budgets[name]
+	if tb == nil {
+		tb = h.budget.Child(h.tenantLimit)
+		h.budgets[name] = tb
+	}
+	return tb
+}
+
+// tenantBudgetIfAny is tenantBudget without the create — the metrics
+// path must not mint budgets for tenants that never compiled lazily.
+func (h *Hub) tenantBudgetIfAny(name string) *sfa.TableBudget {
+	h.bmu.Lock()
+	defer h.bmu.Unlock()
+	return h.budgets[name]
 }
 
 // Metrics returns the hub's counters (the /metrics endpoint's source).
@@ -335,7 +371,7 @@ func (h *Hub) Restore() (RestoreStats, error) {
 	}
 	for _, name := range names {
 		fileDefs, snap := h.state.LoadTenant(name)
-		board := h.restoreBoard(fileDefs, snap, &stats)
+		board := h.restoreBoard(name, fileDefs, snap, &stats)
 		if board == nil {
 			stats.Failed = append(stats.Failed, name)
 			continue
@@ -351,9 +387,10 @@ func (h *Hub) Restore() (RestoreStats, error) {
 }
 
 // restoreBoard materializes one tenant from its persisted artifacts.
-func (h *Hub) restoreBoard(fileDefs []sfa.RuleDef, snap []byte, stats *RestoreStats) *Ruleboard {
+func (h *Hub) restoreBoard(name string, fileDefs []sfa.RuleDef, snap []byte, stats *RestoreStats) *Ruleboard {
+	opts := h.tenantOpts(name)
 	if snap != nil {
-		rs, err := sfa.LoadRuleSet(bytes.NewReader(snap), h.opts...)
+		rs, err := sfa.LoadRuleSet(bytes.NewReader(snap), opts...)
 		if err == nil {
 			if fileDefs == nil || defsEqual(fileDefs, rs.Defs()) {
 				h.metrics.warmLoads.Add(1)
@@ -370,7 +407,7 @@ func (h *Hub) restoreBoard(fileDefs []sfa.RuleDef, snap []byte, stats *RestoreSt
 		}
 	}
 	if fileDefs != nil {
-		if b, err := NewRuleboard(fileDefs, h.opts...); err == nil {
+		if b, err := NewRuleboard(fileDefs, opts...); err == nil {
 			h.metrics.coldBuilds.Add(1)
 			stats.Cold++
 			return b
@@ -431,7 +468,7 @@ func (h *Hub) SetRules(name string, defs []sfa.RuleDef) (created bool, board *Ru
 		h.mu.RUnlock()
 
 		if b == nil {
-			nb, err := NewRuleboard(defs, h.opts...)
+			nb, err := NewRuleboard(defs, h.tenantOpts(name)...)
 			if err != nil {
 				return false, nil, ReloadResult{}, err
 			}

@@ -274,3 +274,76 @@ func TestHubSetRulesDeleteRace(t *testing.T) {
 		t.Fatal("tenant missing after a successful SetRules")
 	}
 }
+
+// lazyGapDefs builds bounded-gap rules whose combined D-SFA the eager
+// builder cannot afford under a tiny shard budget — the population the
+// hub's table budget exists for.
+func lazyGapDefs(n int) []sfa.RuleDef {
+	defs := make([]sfa.RuleDef, n)
+	for i := range defs {
+		defs[i] = sfa.RuleDef{
+			Name:    fmt.Sprintf("gap%02d", i),
+			Pattern: fmt.Sprintf("q%02x.{0,%d}z%02x", i, 8+i%5, i*3),
+		}
+	}
+	return defs
+}
+
+func TestHubTableBudgetPerTenant(t *testing.T) {
+	hub := NewHub(sfa.WithSearch(), sfa.WithThreads(1), sfa.WithLazyCompile(), sfa.WithShardStateBudget(256))
+	root := sfa.NewTableBudget(8 << 20)
+	hub.SetTableBudget(root, 1<<20)
+
+	for _, name := range []string{"alpha", "beta"} {
+		if _, _, _, err := hub.SetRules(name, lazyGapDefs(6)); err != nil {
+			t.Fatalf("tenant %s: %v", name, err)
+		}
+	}
+	// Drive traffic so lazy states materialize and get charged.
+	for _, name := range []string{"alpha", "beta"} {
+		b, ok := hub.Tenant(name)
+		if !ok {
+			t.Fatalf("tenant %s missing", name)
+		}
+		payload := []byte("q00aaaaz00 q01bbbbbz03 nothing here")
+		if got := b.Scan(payload); len(got) == 0 {
+			t.Fatalf("tenant %s: planted literals matched nothing", name)
+		}
+	}
+
+	rootStats := root.Stats()
+	if rootStats.UsedBytes == 0 || rootStats.Fills == 0 {
+		t.Fatalf("hub budget saw no lazy activity: %+v", rootStats)
+	}
+	reply := metricsReply(hub)
+	if reply.TableBudget == nil || reply.TableBudget.ResidentBytes == 0 {
+		t.Fatalf("/metrics missing hub table budget: %+v", reply.TableBudget)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		tc := reply.Tenants[name]
+		if tc.TableBudget == nil {
+			t.Fatalf("/metrics missing tenant %s table budget", name)
+		}
+		if tc.TableBudget.LimitBytes != 1<<20 {
+			t.Fatalf("tenant %s budget limit %d, want %d", name, tc.TableBudget.LimitBytes, 1<<20)
+		}
+		if tc.TableBudget.ResidentBytes == 0 || tc.TableBudget.Fills == 0 {
+			t.Fatalf("tenant %s budget shows no residency: %+v", name, tc.TableBudget)
+		}
+	}
+	// The children charge the root: the sum of tenant residency can never
+	// exceed what the root accounts for.
+	sum := reply.Tenants["alpha"].TableBudget.ResidentBytes + reply.Tenants["beta"].TableBudget.ResidentBytes
+	if sum > rootStats.UsedBytes {
+		t.Fatalf("tenant residency %d exceeds root accounting %d", sum, rootStats.UsedBytes)
+	}
+	// A reload keeps the same child budget (warm lazy state accounting
+	// survives rules updates).
+	if _, _, _, err := hub.SetRules("alpha", lazyGapDefs(7)); err != nil {
+		t.Fatal(err)
+	}
+	after := metricsReply(hub)
+	if after.Tenants["alpha"].TableBudget.Fills < reply.Tenants["alpha"].TableBudget.Fills {
+		t.Fatal("reload reset the tenant budget counters")
+	}
+}

@@ -1,0 +1,45 @@
+// Package serve is the rule-set serving subsystem: long-lived rule sets
+// under live traffic, with streaming scans, hot reload, and multi-tenant
+// hosting — the deployment shape the paper's SNORT workload implies (one
+// ruleset, heavy packet traffic, rules updated while scanning continues).
+//
+// Three properties carry the design:
+//
+//   - Streaming: scans go through sfa.RuleStream, so request bodies are
+//     matched chunk by chunk with fixed-size carried state (one |D|
+//     mapping per shard) and never need to be buffered whole.
+//   - Hot reload: a [Ruleboard] keeps the live RuleSet behind an
+//     atomic.Pointer. Reload builds the next generation with
+//     RuleSet.Rebuild — combined shards whose rule membership is
+//     unchanged are carried over by pointer, so the expensive product /
+//     D-SFA construction is paid only for changed rules — then swaps.
+//     In-flight streams stay pinned to the generation they started on
+//     and drain against it; nothing is dropped or corrupted mid-scan.
+//   - Multi-tenancy: a [Hub] hosts many named Ruleboards. All tenants'
+//     engines dispatch chunk work through the one process-wide
+//     engine.Pool, so the worker count is bounded by GOMAXPROCS no
+//     matter how many tenants are resident.
+//
+// # Key types
+//
+// [Hub] owns tenant lifecycle (SetRules / Remove / Restore / Drain /
+// PersistAll), the optional [State] directory for warm restarts, and —
+// when Hub.SetTableBudget is called — the lazy-compilation budget tree:
+// one process-wide sfa.TableBudget whose per-tenant children bound each
+// tenant's resident lazy tables. Child budgets are created on first use
+// and survive tenant deletion, so cycling a tenant cannot escape its
+// bound. [NewHandler] mounts the HTTP API (tenant CRUD, streamed scan,
+// /metrics with per-tenant shard, prefilter, and budget counters);
+// [ParseRules] reads the sfagrep-style rules format.
+//
+// # Invariants
+//
+// A generation is immutable once published; reloads swap whole
+// RuleSets and never mutate a live one. Streams pin their generation,
+// and Drain completes only when every pinned stream has closed —
+// shutdown and state persistence rely on that ordering. Budget
+// accounting is observational for serving: eviction under memory
+// pressure changes resident bytes and fill counters, never verdicts.
+// See docs/memory-model.md for the budget hierarchy and eviction
+// protocol.
+package serve

@@ -76,6 +76,11 @@ type ShardStat struct {
 	TableBytes int64    `json:"table_bytes"`
 	BuildID    uint64   `json:"build_id"`
 	Prefilter  string   `json:"prefilter"`
+	// Lazy-shard cache counters (WithLazyCompile); zero on eager shards.
+	Lazy          bool  `json:"lazy,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+	Fills         int64 `json:"fills,omitempty"`
+	Evictions     int64 `json:"evictions,omitempty"`
 }
 
 // LoadReply answers PUT /v1/tenants/{name}.
@@ -104,6 +109,30 @@ type MetricsReply struct {
 	UptimeSeconds float64                 `json:"uptime_s"`
 	Tenants       map[string]TenantCounts `json:"tenants"`
 	Snapshot      SnapshotMetrics         `json:"snapshot"`
+	// TableBudget is the hub-wide lazy-compilation budget (SetTableBudget);
+	// absent when the hub has none.
+	TableBudget *BudgetCounts `json:"table_budget,omitempty"`
+}
+
+// BudgetCounts reports one table-budget node: the byte bound, what lazy
+// shards currently have resident under it, and the lifetime fill and
+// eviction counters that reveal thrash (fills growing much faster than
+// scans) versus a comfortable working set (evictions flat).
+type BudgetCounts struct {
+	LimitBytes    int64 `json:"limit_bytes"` // <= 0 = unlimited, metering only
+	ResidentBytes int64 `json:"resident_bytes"`
+	Fills         int64 `json:"fills"`
+	Evictions     int64 `json:"evictions"`
+}
+
+func budgetCounts(tb *sfa.TableBudget) *BudgetCounts {
+	s := tb.Stats()
+	return &BudgetCounts{
+		LimitBytes:    s.LimitBytes,
+		ResidentBytes: s.UsedBytes,
+		Fills:         s.Fills,
+		Evictions:     s.Evictions,
+	}
 }
 
 // TenantCounts is one tenant's /metrics entry. Resident is false for a
@@ -122,6 +151,10 @@ type TenantCounts struct {
 	// static shape plus the live skip/byte counters accumulated since the
 	// generation was built. Absent for non-resident tenants.
 	Prefilter *sfa.PrefilterStats `json:"prefilter,omitempty"`
+	// TableBudget is the tenant's child of the hub-wide lazy-compilation
+	// budget. Absent when the hub has no budget or the tenant never
+	// compiled under it.
+	TableBudget *BudgetCounts `json:"table_budget,omitempty"`
 }
 
 // SnapshotMetrics reports the persistence subsystem's counters: how
@@ -152,6 +185,9 @@ func metricsReply(h *Hub) MetricsReply {
 		stats := st.Cache().Stats()
 		reply.Snapshot.Store = &stats
 	}
+	if tb := h.TableBudget(); tb != nil {
+		reply.TableBudget = budgetCounts(tb)
+	}
 	// Union of resident tenants and tenants with traffic history: a
 	// just-created (or just-restored) tenant must appear before its
 	// first scan, and a deleted one keeps its counters.
@@ -179,6 +215,9 @@ func metricsReply(h *Hub) MetricsReply {
 			tc.Shards = rs.NumShards()
 			pf := rs.PrefilterStats()
 			tc.Prefilter = &pf
+		}
+		if tb := h.tenantBudgetIfAny(name); tb != nil {
+			tc.TableBudget = budgetCounts(tb)
 		}
 		reply.Tenants[name] = tc
 	}

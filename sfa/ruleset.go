@@ -201,6 +201,8 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 		Threads:       cfg.threads,
 		Spawn:         cfg.spawn,
 		VectorIntern:  cfg.vectorIntern,
+		Lazy:          cfg.lazyCompile,
+		Budget:        cfg.tableBudget.inner(),
 	}
 	if !cfg.noPrefilter {
 		mo.Prefilter = infos
@@ -319,6 +321,15 @@ type ShardInfo struct {
 	// (skipped outright when none of its literals occur), "full" (always
 	// scans everything), or "off" when the set has no prefilter.
 	Prefilter string
+	// Lazy marks a shard compiled WithLazyCompile: its product states are
+	// materialized on demand under the table budget. For lazy shards
+	// DFAStates is the summed component-DFA size, SFAStates the resident
+	// (currently materialized) state count, and the counters below track
+	// its cache behaviour.
+	Lazy          bool
+	ResidentBytes int64 // bytes currently charged to the table budget
+	Fills         int64 // states materialized since build
+	Evictions     int64 // whole-structure resets under budget pressure
 }
 
 // Shards reports per-shard statistics; in isolated mode every rule is
@@ -345,13 +356,17 @@ func (rs *RuleSet) Shards() []ShardInfo {
 			names[j] = rs.defs[r].Name
 		}
 		out[i] = ShardInfo{
-			Rules:      names,
-			DFAStates:  info.DFAStates,
-			SFAStates:  info.SFAStates,
-			Layout:     info.Layout,
-			TableBytes: info.TableBytes,
-			BuildID:    info.BuildID,
-			Prefilter:  info.Prefilter,
+			Rules:         names,
+			DFAStates:     info.DFAStates,
+			SFAStates:     info.SFAStates,
+			Layout:        info.Layout,
+			TableBytes:    info.TableBytes,
+			BuildID:       info.BuildID,
+			Prefilter:     info.Prefilter,
+			Lazy:          info.Lazy,
+			ResidentBytes: info.ResidentBytes,
+			Fills:         info.Fills,
+			Evictions:     info.Evictions,
 		}
 	}
 	return out

@@ -97,6 +97,8 @@ type config struct {
 	cacheDir      string
 	vectorIntern  bool
 	noPrefilter   bool
+	lazyCompile   bool
+	tableBudget   *TableBudget
 }
 
 // buildConfig folds the options and resolves defaults.
@@ -191,6 +193,43 @@ func WithShardCache(dir string) Option { return func(c *config) { c.cacheDir = d
 // BenchmarkRuleSet_ColdBuild_*). Compile and isolated-mode rule sets
 // ignore this option.
 func WithVectorInterning() Option { return func(c *config) { c.vectorIntern = true } }
+
+// WithLazyCompile lets NewRuleSet accept rules whose combined D-SFA the
+// eager builder cannot afford: instead of failing with a too-many-states
+// error (or building an unbounded automaton), such rules are served by
+// lazy shards that materialize product states on demand during scanning
+// and keep them under a table budget — evicting cold state when the
+// budget fills, rebuilding it from traffic when it is needed again.
+// Rules whose automata fit the shard budget keep the precomputed eager
+// path, so enabling this never changes how an affordable set is built.
+// Verdicts are byte-identical to the eager engine's on everything the
+// eager path can compile, and to per-rule isolated scanning always.
+//
+// Lazy shards charge the budget from WithTableBudget, defaulting to the
+// process-global one (GlobalTableBudget, unlimited until bounded). A
+// lazily compiled set cannot be persisted with Save — its states are a
+// traffic-dependent cache, not an artifact — so callers persist rule
+// sources and recompile on load. Compile and isolated-mode rule sets
+// ignore this option.
+func WithLazyCompile() Option { return func(c *config) { c.lazyCompile = true } }
+
+// WithTableBudget makes this set's lazy shards (WithLazyCompile) charge
+// their materialized states against b instead of the process-global
+// budget — internal/serve hands each tenant a Child of the global one.
+// Compile ignores this option.
+func WithTableBudget(b *TableBudget) Option { return func(c *config) { c.tableBudget = b } }
+
+// WithGlobalTableBudget bounds the process-wide table budget at
+// limitBytes (<= 0 = unlimited) and enables lazy compilation for this
+// set — shorthand for SetLimit on GlobalTableBudget plus
+// WithLazyCompile. The limit is process state: it applies to every lazy
+// set charging the global budget, not only this one.
+func WithGlobalTableBudget(limitBytes int64) Option {
+	return func(c *config) {
+		GlobalTableBudget().SetLimit(limitBytes)
+		c.lazyCompile = true
+	}
+}
 
 // WithoutPrefilter disables the literal prefilter cascade that combined
 // rule sets arm by default: every shard scans every input byte, exactly
