@@ -2,17 +2,20 @@
 # (markdown links + stale documented options) + race tests + fuzz smoke
 # runs (the multi-pattern match oracle and the snapshot decoder) + the
 # sfaserve serving smoke (server boot, rule load, hot reload under
-# concurrent streamed scans) + the snapshot smoke (save → reload →
-# verify verdicts, warm-restart sfaserve over a state dir, shard-cache
-# reuse) + a short benchmark smoke run proving the hot paths still
-# report 0 allocs/op. `make bench-json` captures the benchmark
-# trajectory snapshot (BENCH_7.json) that CI uploads as an artifact and
-# gates on; RuleSet_ColdBuild_{Tuple,Vector} tracks the tuple-interned
-# construction speedup and RuleSet_LazyColdStart the lazy compile+scan
-# cost over a corpus the eager builder rejects.
+# concurrent streamed scans, Prometheus /metrics scrape + exposition
+# checks) + the snapshot smoke (save → reload → verify verdicts,
+# warm-restart sfaserve over a state dir, shard-cache reuse) + a short
+# benchmark smoke run proving the hot paths still report 0 allocs/op.
+# `make bench-json` captures the benchmark trajectory snapshot
+# (BENCH_8.json) that CI uploads as an artifact and gates on;
+# RuleSet_ColdBuild_{Tuple,Vector} tracks the tuple-interned
+# construction speedup, RuleSet_LazyColdStart the lazy compile+scan
+# cost over a corpus the eager builder rejects, and the
+# StreamHotpath_Instrumented twin proves the observability layer adds
+# no allocations to the streaming hot path.
 
 GO ?= go
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 
 .PHONY: build vet test race docs-check fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 
@@ -43,10 +46,11 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadRuleSet -fuzztime=10s -run '^$$' ./sfa
 
 # Serving subsystem smoke: boot the real sfaserve loop, load rules over
-# HTTP, hot-reload under concurrent streamed scans, assert shard reuse —
-# all under -race.
+# HTTP, hot-reload under concurrent streamed scans, assert shard reuse,
+# and scrape /metrics in Prometheus text format (exposition validity,
+# core series, counter monotonicity under reloads) — all under -race.
 serve-smoke:
-	$(GO) test -race -run 'TestServeSmoke|TestServeEndToEnd|TestRuleboardConcurrentScansAndReloads' ./cmd/sfaserve ./internal/serve
+	$(GO) test -race -run 'TestServeSmoke|TestServePromScrapeSmoke|TestServeEndToEnd|TestRuleboardConcurrentScansAndReloads|TestMetricsContentNegotiation|TestMetricsPromExposition|TestPromMonotonicUnderConcurrentScansAndReloads|TestPromTenantRowsSurviveDeleteAndReadd|TestSlowScanLogging' ./cmd/sfaserve ./internal/serve
 
 # Snapshot subsystem smoke: rule-set save → reload → byte-identical
 # verdicts (vs the isolated oracle), warm-restart the real sfaserve over
@@ -70,6 +74,7 @@ bench-json:
 	SFA_BENCH_MB=1 $(GO) test -run '^$$' -bench 'Hotpath|Layout_|RuleSet_' -benchtime 2x -benchmem . > bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) \
-		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
+		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath' \
+		-zero-alloc 'Instrumented'
 
 ci: vet build docs-check race fuzz-smoke serve-smoke snapshot-smoke bench-smoke

@@ -10,11 +10,20 @@
 // gated hot path (e.g. the streaming writes) cannot be lost to a rename
 // that still satisfies some other pattern.
 //
+// Each snapshot records the git commit it was measured at (best-effort
+// `git rev-parse HEAD`). -compare PREV.json diffs the new snapshot
+// against an earlier one, printing per-benchmark ns/op deltas and a
+// WARNING for any benchmark slower by more than -regress-threshold
+// percent (default 15). Comparison is advisory — shared CI boxes are
+// too noisy for a hard latency gate — so regressions never fail the
+// run; the zero-alloc gate remains the only hard failure.
+//
 // Usage:
 //
 //	go test -run '^$' -bench Hotpath -benchmem . > bench.out
 //	benchjson -in bench.out -out BENCH_3.json \
-//	  -zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath'
+//	  -zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath' \
+//	  -compare BENCH_2.json
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
@@ -42,10 +52,13 @@ type Metrics struct {
 }
 
 // Snapshot is the file format: environment header plus name → metrics.
+// Commit ties the numbers to the source they measured; it is empty when
+// benchjson runs outside a git checkout.
 type Snapshot struct {
 	GOOS       string             `json:"goos,omitempty"`
 	GOARCH     string             `json:"goarch,omitempty"`
 	CPU        string             `json:"cpu,omitempty"`
+	Commit     string             `json:"commit,omitempty"`
 	Generated  string             `json:"generated"`
 	Benchmarks map[string]Metrics `json:"benchmarks"`
 }
@@ -53,6 +66,8 @@ type Snapshot struct {
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON snapshot file (default stdout)")
+	compareWith := flag.String("compare", "", "previous snapshot JSON to diff against (warn-only)")
+	threshold := flag.Float64("regress-threshold", 15, "with -compare: warn when ns/op grows by more than this percent")
 	var zeroAlloc multiFlag
 	flag.Var(&zeroAlloc, "zero-alloc", "regexp of benchmarks that must report 0 allocs/op (repeatable)")
 	flag.Parse()
@@ -74,11 +89,20 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found"))
 	}
+	snap.Commit = gitCommit()
 
 	for _, pattern := range zeroAlloc {
 		if err := gateZeroAlloc(snap, pattern); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *compareWith != "" {
+		prev, err := loadSnapshot(*compareWith)
+		if err != nil {
+			fatal(err)
+		}
+		compare(os.Stdout, prev, snap, *threshold)
 	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
@@ -176,6 +200,73 @@ func gateZeroAlloc(snap *Snapshot, pattern string) error {
 	}
 	fmt.Printf("benchjson: zero-alloc gate passed (%d benchmarks)\n", matched)
 	return nil
+}
+
+// gitCommit returns the HEAD commit hash, or "" outside a checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// compare prints per-benchmark ns/op deltas between two snapshots and a
+// WARNING for each regression beyond threshold percent. Warn-only by
+// design: wall-clock numbers from shared CI machines jitter too much to
+// gate on, but a >15% jump deserves a human look.
+func compare(w io.Writer, prev, cur *Snapshot, threshold float64) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	from := prev.Commit
+	if from == "" {
+		from = "previous"
+	} else if len(from) > 12 {
+		from = from[:12]
+	}
+	fmt.Fprintf(w, "benchjson: comparing against %s (threshold %+.0f%%)\n", from, threshold)
+	regressions := 0
+	for _, name := range names {
+		cm := cur.Benchmarks[name]
+		pm, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-60s %12.1f ns/op  (new)\n", name, cm.NsPerOp)
+			continue
+		}
+		if pm.NsPerOp == 0 {
+			continue
+		}
+		pct := (cm.NsPerOp - pm.NsPerOp) / pm.NsPerOp * 100
+		mark := ""
+		if pct > threshold {
+			mark = "  WARNING: regression"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-60s %12.1f ns/op  %+7.1f%%%s\n", name, cm.NsPerOp, pct, mark)
+	}
+	for name := range prev.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "  %-60s (dropped)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: WARNING: %d benchmark(s) regressed more than %.0f%% — not failing the run (noisy-box policy), but worth a look\n", regressions, threshold)
+	}
 }
 
 // multiFlag collects repeated flag occurrences.

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+cpu: AMD EPYC 7B13
+BenchmarkStreamHotpath_RuleSetWrite64KB_p1-4   	    1000	   1234.5 ns/op	  53.10 MB/s	       0 B/op	       0 allocs/op
+BenchmarkBuild_Combined-4                      	      10	 987654 ns/op	    4096 B/op	      12 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || !strings.Contains(snap.CPU, "EPYC") {
+		t.Fatalf("env header not captured: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	hot, ok := snap.Benchmarks["BenchmarkStreamHotpath_RuleSetWrite64KB_p1"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from benchmark name")
+	}
+	if hot.NsPerOp != 1234.5 || hot.MBPerSec != 53.10 || hot.AllocsPerOp != 0 {
+		t.Fatalf("hot-path metrics wrong: %+v", hot)
+	}
+	if b := snap.Benchmarks["BenchmarkBuild_Combined"]; b.AllocsPerOp != 12 || b.BytesPerOp != 4096 {
+		t.Fatalf("build metrics wrong: %+v", b)
+	}
+}
+
+func TestGateZeroAlloc(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateZeroAlloc(snap, "StreamHotpath"); err != nil {
+		t.Fatalf("clean hot path tripped the gate: %v", err)
+	}
+	if err := gateZeroAlloc(snap, "Build_Combined"); err == nil {
+		t.Fatal("allocating benchmark passed the gate")
+	}
+	if err := gateZeroAlloc(snap, "NoSuchBenchmark"); err == nil {
+		t.Fatal("unmatched pattern must fail — a rename would disarm the gate silently")
+	}
+}
+
+func TestCompareWarnsOnRegression(t *testing.T) {
+	prev := &Snapshot{
+		Commit: "0123456789abcdef0123456789abcdef01234567",
+		Benchmarks: map[string]Metrics{
+			"BenchmarkFast":    {NsPerOp: 100},
+			"BenchmarkSteady":  {NsPerOp: 200},
+			"BenchmarkDropped": {NsPerOp: 300},
+		},
+	}
+	cur := &Snapshot{
+		Benchmarks: map[string]Metrics{
+			"BenchmarkFast":   {NsPerOp: 150}, // +50%: must warn
+			"BenchmarkSteady": {NsPerOp: 210}, // +5%: under threshold
+			"BenchmarkNew":    {NsPerOp: 50},
+		},
+	}
+	var sb strings.Builder
+	compare(&sb, prev, cur, 15)
+	out := sb.String()
+	if !strings.Contains(out, "0123456789ab") {
+		t.Errorf("previous commit hash missing from header:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: regression") {
+		t.Errorf("+50%% regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1 benchmark(s) regressed") {
+		t.Errorf("summary should count exactly one regression:\n%s", out)
+	}
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "(dropped)") {
+		t.Errorf("added/removed benchmarks not reported:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkSteady") && strings.Contains(line, "WARNING") {
+			t.Errorf("under-threshold delta flagged: %s", line)
+		}
+	}
+}
+
+func TestGitCommitInsideCheckout(t *testing.T) {
+	// The repo tests run from a git checkout, so the best-effort hash
+	// lookup must produce a 40-hex commit id here.
+	c := gitCommit()
+	if len(c) != 40 {
+		t.Fatalf("gitCommit() = %q, want 40-char hash inside a checkout", c)
+	}
+}

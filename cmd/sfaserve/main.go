@@ -8,7 +8,15 @@
 //	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N]
 //	         [-lazy] [-table-budget BYTES] [-tenant-table-budget BYTES]
 //	         [-state-dir DIR] [-pprof] [-max-rule-bytes N] [-max-scan-bytes N]
+//	         [-log-format text|json] [-slow-scan-ms N]
 //	         [tenant=rulesfile ...]
+//
+// Logging is structured (log/slog); -log-format json emits one JSON
+// object per line for log shippers. -slow-scan-ms N logs a per-stage
+// trace (body-read vs match wall time, chunk counts, engine compose
+// time, prefilter skips) for every scan taking at least N ms — the
+// first place to look when a tenant reports latency. N < 0 traces
+// every scan.
 //
 // With -lazy, rules whose combined automaton the eager builder cannot
 // afford are compiled into lazy shards: product states materialize on
@@ -37,7 +45,8 @@
 // # comments). The HTTP API:
 //
 //	GET    /healthz                   liveness
-//	GET    /metrics                   JSON counters (scans, reloads, snapshots)
+//	GET    /metrics                   JSON counters; Prometheus text with
+//	                                  ?format=prometheus or Accept: text/plain
 //	GET    /debug/pprof/*             Go profiling (opt-in via -pprof)
 //	GET    /v1/tenants                list tenants with shard stats
 //	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
@@ -56,7 +65,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -83,6 +92,13 @@ type serverConfig struct {
 	preloads     []string
 	opts         []sfa.Option
 
+	// logger receives operational messages and slow-scan traces; nil
+	// defaults to a text handler on stderr. slowScanMs enables the scan
+	// handler's per-stage trace: > 0 is the threshold in milliseconds,
+	// < 0 traces every scan, 0 disables.
+	logger     *slog.Logger
+	slowScanMs int64
+
 	// lazy compilation: tableBudget bounds all tenants' lazy shards
 	// process-wide, tenantBudget each tenant (both 0 = unlimited); only
 	// consulted when lazy is set.
@@ -104,7 +120,21 @@ func main() {
 	lazy := flag.Bool("lazy", false, "compile unaffordable rules into lazy shards (on-demand product states under the table budget)")
 	tableBudget := flag.Int64("table-budget", 0, "with -lazy: process-wide byte budget for lazy shards' resident states (0 = unlimited)")
 	tenantBudget := flag.Int64("tenant-table-budget", 0, "per-tenant byte budget for lazy shards (0 = only the process-wide budget binds)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json (one object per line)")
+	slowScanMs := flag.Int64("slow-scan-ms", 0, "log a per-stage trace for scans taking at least N ms (0 = off, negative = every scan)")
 	flag.Parse()
+
+	var lh slog.Handler
+	switch *logFormat {
+	case "json":
+		lh = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		lh = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "sfaserve: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(lh)
 
 	opts := []sfa.Option{sfa.WithThreads(*threads)}
 	if !*whole {
@@ -126,6 +156,7 @@ func main() {
 		addr: *addr, stateDir: *stateDir, pprof: *pprofFlag,
 		maxRuleBytes: *maxRuleBytes, maxScanBytes: *maxScanBytes,
 		preloads: flag.Args(), opts: opts,
+		logger: logger, slowScanMs: *slowScanMs,
 		lazy: *lazy, tableBudget: *tableBudget, tenantBudget: *tenantBudget,
 	}
 	if err := run(cfg, nil, ctx.Done()); err != nil {
@@ -140,6 +171,10 @@ func main() {
 // the server is listening. A shutdown-initiated exit returns nil after
 // the graceful sequence: stop accepting → drain pinned scans → persist.
 func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	hub := serve.NewHub(cfg.opts...)
 	if cfg.lazy {
 		hub.SetTableBudget(sfa.NewTableBudget(cfg.tableBudget), cfg.tenantBudget)
@@ -155,8 +190,13 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 			return fmt.Errorf("restoring %s: %w", cfg.stateDir, err)
 		}
 		if stats.Tenants > 0 || len(stats.Failed) > 0 {
-			log.Printf("state %s: restored %d tenant(s) (%d warm, %d rebuilt, %d cold), %d failed",
-				cfg.stateDir, stats.Tenants, stats.Warm, stats.Rebuilt, stats.Cold, len(stats.Failed))
+			logger.Info("state restored",
+				slog.String("dir", cfg.stateDir),
+				slog.Int("tenants", stats.Tenants),
+				slog.Int("warm", stats.Warm),
+				slog.Int("rebuilt", stats.Rebuilt),
+				slog.Int("cold", stats.Cold),
+				slog.Int("failed", len(stats.Failed)))
 		}
 	}
 	for _, spec := range cfg.preloads {
@@ -177,14 +217,21 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 		if err != nil {
 			return fmt.Errorf("tenant %s: %w", name, err)
 		}
-		log.Printf("tenant %s: %d rules in %d shard(s)", name, b.RuleSet().Len(), b.RuleSet().NumShards())
+		br := b.RuleSet().BuildReport()
+		logger.Info("tenant loaded",
+			slog.String("tenant", name),
+			slog.Int("rules", b.RuleSet().Len()),
+			slog.Int("shards", b.RuleSet().NumShards()),
+			slog.Int("cache_hits", br.CacheHits),
+			slog.Int("built", br.Built),
+			slog.Int64("build_ms", br.TotalNs/1e6))
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (%d tenants)", ln.Addr(), len(hub.Names()))
+	logger.Info("listening", slog.String("addr", ln.Addr().String()), slog.Int("tenants", len(hub.Names())))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -194,6 +241,9 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 	}
 	if cfg.pprof {
 		hopts = append(hopts, serve.WithProfiling())
+	}
+	if cfg.slowScanMs != 0 {
+		hopts = append(hopts, serve.WithSlowScanLog(logger, time.Duration(cfg.slowScanMs)*time.Millisecond))
 	}
 	srv := &http.Server{Handler: serve.NewHandler(hub, hopts...)}
 	errc := make(chan error, 1)
@@ -209,16 +259,16 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 	// in-flight handlers; Drain double-checks via generation pinning
 	// that no streamed scan is still writing; then state is mirrored
 	// one last time and the process exits 0.
-	log.Printf("shutting down: draining in-flight scans")
+	logger.Info("shutting down: draining in-flight scans")
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", slog.Any("err", err))
 	}
 	if err := hub.Drain(ctx); err != nil {
-		log.Printf("drain: %v", err)
+		logger.Warn("drain", slog.Any("err", err))
 	}
 	hub.PersistAll()
-	log.Printf("bye")
+	logger.Info("bye")
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -114,6 +115,96 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("delete: %v / %v", err, resp)
 	}
 	get("/v1/tenants/ids", http.StatusNotFound)
+}
+
+// TestServePromScrapeSmoke is the `make serve-smoke` Prometheus half:
+// boot the real serve loop, scan once, scrape /metrics in Prometheus
+// text format, and validate the exposition is parseable and carries the
+// core series a scrape pipeline would alert on.
+func TestServePromScrapeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte("passwd /etc/passwd\ncmd (cmd|command)\\.exe\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	shutdown := make(chan struct{})
+	go func() {
+		cfg := serverConfig{
+			addr:     "127.0.0.1:0",
+			preloads: []string{"ids=" + rules},
+			opts:     []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)},
+		}
+		errc <- run(cfg, ready, shutdown)
+	}()
+	defer close(shutdown)
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post(base+"/v1/tenants/ids/scan", "application/octet-stream",
+		strings.NewReader("GET /etc/passwd HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body := readAll(t, resp)
+
+	// Every line must be a comment or `name{labels} value` with a
+	// numeric value — a scraper would reject anything else.
+	samples := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok || val == "" {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("non-numeric sample %q: %v", line, err)
+		}
+		samples[key] = val
+	}
+
+	for _, series := range []string{
+		`sfa_uptime_seconds`,
+		`sfa_tenant_scans_total{tenant="ids"}`,
+		`sfa_tenant_rules{tenant="ids"}`,
+		`sfa_scan_chunks_total{tenant="ids"}`,
+		`sfa_scan_compose_ns_count{tenant="ids"}`,
+		`sfa_scan_match_ns_count{tenant="ids"}`,
+		`sfa_build_total_ns{tenant="ids"}`,
+		`sfa_pool_workers{pool="match"}`,
+		`sfa_go_sched_goroutines`,
+	} {
+		if _, ok := samples[series]; !ok {
+			t.Errorf("core series %s missing from scrape", series)
+		}
+	}
+	if v := samples[`sfa_tenant_scans_total{tenant="ids"}`]; v != "1" {
+		t.Errorf(`sfa_tenant_scans_total{tenant="ids"} = %s, want 1`, v)
+	}
 }
 
 func readAll(t *testing.T, resp *http.Response) string {

@@ -7,6 +7,13 @@
 // RuleSet.MatchMask on the same rules, and the reload must have rebuilt
 // only the shards whose rule membership changed.
 //
+// The observability layer rides along: the handler is armed with a
+// 2 ms slow-scan threshold, so the closing 4 MiB single-request scan
+// emits a structured trace (read vs match wall time, chunks, compose
+// time, prefilter skips) while the per-line scans stay silent; the demo
+// ends with a Prometheus /metrics scrape showing the per-tenant series
+// a real deployment would alert on. See docs/observability.md.
+//
 //	go run ./examples/idsserve
 package main
 
@@ -16,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/serve"
@@ -46,7 +55,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, serve.NewHandler(hub))
+	// Slow-scan tracing: any scan at or over 2 ms gets one structured
+	// JSON record with the per-stage breakdown — the per-line scans
+	// finish in microseconds and stay silent, the closing 4 MiB scan
+	// trips it on purpose.
+	traces := &syncBuffer{}
+	slowLog := slog.New(slog.NewJSONHandler(traces, nil))
+	go http.Serve(ln, serve.NewHandler(hub, serve.WithSlowScanLog(slowLog, 2*time.Millisecond)))
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("sfaserve listening on %s\n", base)
 
@@ -153,6 +168,57 @@ func main() {
 	for name, n := range want {
 		fmt.Printf("%-14s %6d hits\n", name, n)
 	}
+
+	// One big streamed scan — the whole 4 MiB corpus in a single request
+	// — crosses the 2 ms threshold and emits the slow-scan trace.
+	fmt.Println("\nscanning the full corpus in one request to trigger the slow-scan trace…")
+	scan(data)
+	if trace := traces.String(); strings.Contains(trace, "slow scan") {
+		fmt.Printf("slow-scan trace (read vs match split, chunk and prefilter account):\n%s", trace)
+	} else {
+		log.Fatal("the 4 MiB scan did not produce a slow-scan trace")
+	}
+
+	// The same observations, scrape-shaped: /metrics negotiates to
+	// Prometheus text exposition. Print the web tenant's scan series.
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPrometheus scrape excerpt (/metrics?format=prometheus):")
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.HasPrefix(line, "sfa_tenant_scans_total") ||
+			strings.HasPrefix(line, "sfa_tenant_scan_bytes_total") ||
+			strings.HasPrefix(line, "sfa_scan_chunks_total") ||
+			strings.HasPrefix(line, "sfa_tenant_slow_scans_total") ||
+			strings.HasPrefix(line, "sfa_tenant_reloads_total") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer: the slow-scan logger writes from
+// handler goroutines while main reads after the scans settle.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func doJSON(req *http.Request, out any) {

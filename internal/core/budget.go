@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Hierarchical byte budgets for lazily-materialized automaton tables.
@@ -54,6 +57,15 @@ type TableBudget struct {
 	fills     atomic.Int64 // lazy states materialized under this node
 	evictions atomic.Int64 // structure resets charged to this node
 
+	// Latency observability, recorded up the chain like the counters:
+	// fillNs is the cost of materializing one lazy state (the slow-step
+	// walk that interns a tuple), evictNs the cost of one structure
+	// reset, and stallNs the total wall time scans spent inside
+	// MakeRoom — the "budget pressure converted to latency" number.
+	fillNs  obs.Histogram
+	evictNs obs.Histogram
+	stallNs obs.Counter
+
 	// Eviction registry — maintained on the root node only.
 	mu      sync.Mutex
 	clock   atomic.Int64
@@ -86,6 +98,10 @@ type BudgetStats struct {
 	Used      int64 // bytes currently charged (including descendants)
 	Fills     int64 // lazy states materialized under this node
 	Evictions int64 // structure resets under this node
+
+	FillNs  obs.HistogramSnapshot // per-state materialization latency
+	EvictNs obs.HistogramSnapshot // per-reset eviction latency
+	StallNs int64                 // total scan time spent waiting in MakeRoom
 }
 
 // Stats snapshots the node's counters.
@@ -95,6 +111,9 @@ func (b *TableBudget) Stats() BudgetStats {
 		Used:      b.used.Load(),
 		Fills:     b.fills.Load(),
 		Evictions: b.evictions.Load(),
+		FillNs:    b.fillNs.Snapshot(),
+		EvictNs:   b.evictNs.Snapshot(),
+		StallNs:   b.stallNs.Load(),
 	}
 }
 
@@ -146,6 +165,24 @@ func (b *TableBudget) noteFill() {
 func (b *TableBudget) noteEviction() {
 	for x := b; x != nil; x = x.parent {
 		x.evictions.Add(1)
+	}
+}
+
+func (b *TableBudget) observeFill(ns int64) {
+	for x := b; x != nil; x = x.parent {
+		x.fillNs.Observe(ns)
+	}
+}
+
+func (b *TableBudget) observeEvict(ns int64) {
+	for x := b; x != nil; x = x.parent {
+		x.evictNs.Observe(ns)
+	}
+}
+
+func (b *TableBudget) addStall(ns int64) {
+	for x := b; x != nil; x = x.parent {
+		x.stallNs.Add(ns)
 	}
 }
 
@@ -262,6 +299,15 @@ func (h *BudgetHandle) NoteEviction() {
 	h.b.noteEviction()
 }
 
+// ObserveFill records the latency of one lazy state materialization
+// into the fill histograms up the chain.
+func (h *BudgetHandle) ObserveFill(ns int64) {
+	if h == nil {
+		return
+	}
+	h.b.observeFill(ns)
+}
+
 // MakeRoom evicts registered structures in least-recently-used order —
 // possibly including the caller's own — until a charge of n bytes
 // through this handle could succeed or every structure has been reset
@@ -272,6 +318,8 @@ func (h *BudgetHandle) MakeRoom(n int64) {
 	if h == nil {
 		return
 	}
+	start := time.Now()
+	defer func() { h.b.addStall(time.Since(start).Nanoseconds()) }()
 	r := h.root
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -293,7 +341,9 @@ func (h *BudgetHandle) MakeRoom(n int64) {
 		if v.dead.Load() || v.used.Load() == 0 {
 			continue
 		}
+		t0 := time.Now()
 		v.e.BudgetEvict() // counts its own eviction through v
+		v.b.observeEvict(time.Since(t0).Nanoseconds())
 		if h.roomFor(n) {
 			return
 		}

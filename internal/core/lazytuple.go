@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dfa"
 )
@@ -318,6 +319,7 @@ func (t *LazyTuple) slowStep(cur int32, c int) (int32, error) {
 	if to := atomic.LoadInt32(slot); to >= 0 {
 		return to, nil // lost the race
 	}
+	start := time.Now()
 	base := int(cur) * t.k
 	for i, comp := range t.comps {
 		id, err := comp.NextClass(t.tuples[base+i], int(t.compClass[i*t.nc+c]))
@@ -331,6 +333,7 @@ func (t *LazyTuple) slowStep(cur int32, c int) (int32, error) {
 		return 0, err
 	}
 	atomic.StoreInt32(slot, to) // publish: readers of `to` see its row page
+	t.h.ObserveFill(time.Since(start).Nanoseconds())
 	return to, nil
 }
 

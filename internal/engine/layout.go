@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TableLayout selects the physical transition-table layout an engine
@@ -92,6 +93,7 @@ type engineOpts struct {
 	spawn   bool
 	pool    *Pool
 	buildID uint64
+	stats   *obs.ScanStats
 }
 
 // Option configures a parallel engine at construction.
@@ -125,6 +127,20 @@ func WithPool(p *Pool) Option { return func(o *engineOpts) { o.pool = p } }
 // "this automaton was decoded from disk, not rebuilt" observable through
 // ShardInfo.BuildID across process restarts. 0 keeps the sequential id.
 func WithBuildID(id uint64) Option { return func(o *engineOpts) { o.buildID = id } }
+
+// WithScanStats turns on the eager engine's streaming instrumentation:
+// each ComposeChunk records the chunk-boundary DFA state into a
+// frequency table (ShardInfo.HotStates — the concentration measurement
+// Ko-style speculative chunk matching needs). Chunk latency and size
+// aggregates are recorded by the caller that owns the chunking (multi's
+// SetStream), not here, so they count stream writes rather than
+// per-shard engine visits. Recording uses only lock-free obs
+// primitives, so the streaming hot path stays at 0 allocs/op with
+// stats enabled (benchjson-gated). Nil disables instrumentation (the
+// default).
+func WithScanStats(st *obs.ScanStats) Option {
+	return func(o *engineOpts) { o.stats = st }
+}
 
 func buildOpts(opts []Option) engineOpts {
 	var o engineOpts

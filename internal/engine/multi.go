@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // MultiSFA is Algorithm 5 generalized to multi-pattern matching: the
@@ -30,6 +31,14 @@ type MultiSFA struct {
 	pool    *Pool
 	id      uint64    // process-unique build id (see BuildID)
 	ctxs    sync.Pool // of *multiCtx
+
+	// stats/boundary are nil unless WithScanStats was given: stats
+	// opts the engine in, boundary is the frequency table of chunk-
+	// boundary states (the input Ko-style chunk speculation needs).
+	// boundary is per-engine — state ids are meaningless across shards
+	// — while stats may be shared by every engine of a tenant.
+	stats    *obs.ScanStats
+	boundary *obs.StateFreq
 }
 
 // NewMultiSFA compiles the matcher. masks holds one accept bitmask of
@@ -58,6 +67,10 @@ func NewMultiSFA(s *core.DSFA, masks []uint64, words, threads int, opts ...Optio
 		spawn:   o.spawn,
 		pool:    o.pool,
 		id:      id,
+	}
+	if o.stats != nil {
+		m.stats = o.stats
+		m.boundary = &obs.StateFreq{}
 	}
 	switch m.layout {
 	case LayoutU8:

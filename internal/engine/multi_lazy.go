@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // LazyMultiSFA is the multi-pattern engine over a lazy combined D-SFA
@@ -240,14 +241,26 @@ type Info struct {
 	ResidentBytes int64 // lazy only: bytes charged to the table budget
 	Fills         int64 // lazy only: states materialized since build
 	Evictions     int64 // lazy only: whole-structure resets
+
+	// HotStates is the chunk-boundary-state frequency table (descending
+	// count) collected when the engine was built with WithScanStats —
+	// the concentration measurement Ko-style speculative chunk matching
+	// needs. HotOther counts boundary hits that fell outside the fixed
+	// table. Nil/0 when stats are off or the engine is lazy.
+	HotStates []obs.StateCount
+	HotOther  int64
 }
 
 // Info implements the shard-engine stats surface for the eager engine.
 func (m *MultiSFA) Info() Info {
-	return Info{
+	inf := Info{
 		DFAStates:  m.s.D.LiveSize(),
 		SFAStates:  m.s.LiveSize(),
 		Layout:     m.layout.String(),
 		TableBytes: m.TableBytes(),
 	}
+	if m.boundary != nil {
+		inf.HotStates, inf.HotOther = m.boundary.Snapshot()
+	}
+	return inf
 }

@@ -1,9 +1,14 @@
 package engine
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Pool is a fixed set of long-lived worker goroutines that execute the
@@ -32,6 +37,47 @@ import (
 type Pool struct {
 	reqs    chan poolReq
 	workers int
+
+	// Scheduling observability. All fields are obs primitives (sharded
+	// atomics), updated from the submit and worker loops without locks
+	// or allocation — the pooled hot path's 0 allocs/op gate covers
+	// them. busyNs/idleNs are worker-side wall time executing chunks vs
+	// parked on the queue; queueMax is the high-water queue depth
+	// sampled at submission.
+	submitted obs.Counter // chunks handed to the queue
+	inline    obs.Counter // chunks run on the submitter (queue full)
+	helped    obs.Counter // chunks drained by a waiting submitter
+	busyNs    obs.Counter
+	idleNs    obs.Counter
+	queueMax  obs.Gauge
+}
+
+// PoolStats is a point-in-time view of a Pool's scheduling counters.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	QueueLen  int   `json:"queue_len"`
+	QueueCap  int   `json:"queue_cap"`
+	QueueMax  int64 `json:"queue_max"`
+	Submitted int64 `json:"submitted"`
+	Inline    int64 `json:"inline"`
+	Helped    int64 `json:"helped"`
+	BusyNs    int64 `json:"busy_ns"`
+	IdleNs    int64 `json:"idle_ns"`
+}
+
+// Stats returns a relaxed snapshot of the pool's scheduling counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		QueueLen:  len(p.reqs),
+		QueueCap:  cap(p.reqs),
+		QueueMax:  p.queueMax.Load(),
+		Submitted: p.submitted.Load(),
+		Inline:    p.inline.Load(),
+		Helped:    p.helped.Load(),
+		BusyNs:    p.busyNs.Load(),
+		IdleNs:    p.idleNs.Load(),
+	}
 }
 
 // chunkTask is the unit of work a Pool executes: runChunk(i) processes
@@ -90,9 +136,19 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 func (p *Pool) worker() {
+	// Label the goroutine once so CPU profiles attribute worker samples
+	// to the pool (request-scoped tenant labels are layered on top by
+	// the serve handler via pprof.Do).
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("sfa_pool", "worker")))
+	last := time.Now()
 	for r := range p.reqs {
+		start := time.Now()
+		p.idleNs.Add(start.Sub(last).Nanoseconds())
 		r.t.runChunk(int(r.i))
 		r.j.finish()
+		last = time.Now()
+		p.busyNs.Add(last.Sub(start).Nanoseconds())
 	}
 }
 
@@ -142,17 +198,21 @@ func (p *Pool) Run(t chunkTask, j *jobState, n int) {
 	for i := 1; i < n; i++ {
 		select {
 		case p.reqs <- poolReq{t: t, j: j, i: int32(i)}:
+			p.submitted.Inc()
 		default:
 			t.runChunk(i)
 			j.finish()
+			p.inline.Inc()
 		}
 	}
+	p.queueMax.Max(int64(len(p.reqs))) // relaxed high-water sample
 	t.runChunk(0)
 	for j.pending.Load() > 0 {
 		select {
 		case r := <-p.reqs:
 			r.t.runChunk(int(r.i))
 			r.j.finish()
+			p.helped.Inc()
 		default:
 			// Queue observed empty: every chunk of this job was popped
 			// (FIFO) and is finished or running on some goroutine now, so

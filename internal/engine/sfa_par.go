@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // SFAParallel is the paper's contribution in executable form —
@@ -28,6 +29,11 @@ type SFAParallel struct {
 	spawn   bool
 	pool    *Pool
 	ctxs    sync.Pool // of *sfaCtx
+
+	// stats/boundary are nil unless WithScanStats was given (see the
+	// MultiSFA fields of the same name).
+	stats    *obs.ScanStats
+	boundary *obs.StateFreq
 }
 
 // NewSFAParallel compiles the matcher for a fixed thread count and
@@ -44,6 +50,10 @@ func NewSFAParallel(s *core.DSFA, threads int, red Reduction, opts ...Option) *S
 		layout:  resolveLayout(o.layout, s.NumStates),
 		spawn:   o.spawn,
 		pool:    o.pool,
+	}
+	if o.stats != nil {
+		m.stats = o.stats
+		m.boundary = &obs.StateFreq{}
 	}
 	switch m.layout {
 	case LayoutU8:

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -88,18 +89,27 @@ func (m *SFAParallel) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []i
 	if len(chunk) == 0 {
 		return cur, tmp
 	}
+	var start time.Time
+	if m.stats != nil {
+		start = time.Now()
+	}
 	p := m.threads
 	if p < 2 || len(chunk) < streamSequentialMax {
 		f := m.runChunk(chunk)
 		core.ComposeVec(tmp, cur, m.s.Map(f))
-		return tmp, cur
+		cur, tmp = tmp, cur
+	} else {
+		c := m.ctxs.Get().(*sfaCtx)
+		c.text = chunk
+		dispatchChunks(c, &c.job, m.pool, m.spawn, p)
+		cur, tmp = composeLocals(m.s, cur, tmp, c.locals)
+		c.text = nil
+		m.ctxs.Put(c)
 	}
-	c := m.ctxs.Get().(*sfaCtx)
-	c.text = chunk
-	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
-	cur, tmp = composeLocals(m.s, cur, tmp, c.locals)
-	c.text = nil
-	m.ctxs.Put(c)
+	if m.stats != nil {
+		m.stats.RecordChunk(len(chunk), time.Since(start).Nanoseconds())
+		m.boundary.Record(int32(cur[m.s.D.Start]))
+	}
 	return cur, tmp
 }
 
@@ -140,14 +150,21 @@ func (m *MultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int1
 	if p < 2 || len(chunk) < streamSequentialMax {
 		f := m.runChunk(chunk)
 		core.ComposeVec(tmp, cur, m.s.Map(f))
-		return tmp, cur
+		cur, tmp = tmp, cur
+	} else {
+		c := m.ctxs.Get().(*multiCtx)
+		c.text = chunk
+		dispatchChunks(c, &c.job, m.pool, m.spawn, p)
+		cur, tmp = composeLocals(m.s, cur, tmp, c.locals)
+		c.text = nil
+		m.ctxs.Put(c)
 	}
-	c := m.ctxs.Get().(*multiCtx)
-	c.text = chunk
-	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
-	cur, tmp = composeLocals(m.s, cur, tmp, c.locals)
-	c.text = nil
-	m.ctxs.Put(c)
+	// Chunk latency/size aggregates are the caller's job (multi's
+	// SetStream records once per Write); the engine contributes only
+	// what it alone can see — the boundary-state frequency table.
+	if m.stats != nil {
+		m.boundary.Record(int32(cur[m.s.D.Start]))
+	}
 	return cur, tmp
 }
 

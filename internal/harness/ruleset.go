@@ -79,6 +79,7 @@ func (c Config) Ruleset() error {
 	fmt.Fprintf(w, "mode\tshards\tΣ|D|\tΣ|Sd|\ttables MiB\tbuild s\tMB/s\tcand%%\thits\t\n")
 	var oracle []string
 	haveOracle := false
+	reports := make([]sfa.BuildReport, 0, len(modes))
 	for _, m := range modes {
 		start := time.Now()
 		rs, err := sfa.NewRuleSetFromDefs(defs, m.opts...)
@@ -86,6 +87,7 @@ func (c Config) Ruleset() error {
 			return fmt.Errorf("ruleset %s: %w", m.name, err)
 		}
 		build := time.Since(start)
+		reports = append(reports, rs.BuildReport())
 
 		var dStates, sStates int
 		var tableBytes int64
@@ -116,6 +118,20 @@ func (c Config) Ruleset() error {
 	}
 	w.Flush()
 	c.printf("matching rules: %v\n", oracle)
+
+	// Where the build time went, per mode — the same BuildReport the
+	// server exposes on /metrics, so a local run can explain a slow
+	// reload without standing up sfaserve.
+	c.header("Ruleset build pipeline — planner and shard-construction breakdown")
+	w = c.table()
+	fmt.Fprintf(w, "mode\tplan bins\tsplits\tmerges\tcache hits\tbuilt\tprep ms\tbuild ms\ttotal ms\t\n")
+	for i, m := range modes {
+		r := reports[i]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t\n",
+			m.name, r.PlanBins, r.Splits, r.Merges, r.CacheHits, r.Built,
+			float64(r.PrepNs)/1e6, float64(r.BuildNs)/1e6, float64(r.TotalNs)/1e6)
+	}
+	w.Flush()
 
 	// The prefilter A/B on its value corpus: Payload frames contain
 	// almost no rule literals (where Traffic's HTTP lines contain one on

@@ -383,6 +383,7 @@ func DecodeSet(r io.Reader, keys []string, o Options) (*Set, error) {
 	}
 	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
 	s := newSet(shards, nrules)
+	s.stats = o.Stats
 	// planShards is Recompile's consolidation baseline; it may
 	// legitimately differ from the current shard count in either
 	// direction (incremental adds, removals of reused shards).

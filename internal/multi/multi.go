@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/prefilter"
 	"repro/internal/syntax"
 )
@@ -102,6 +104,18 @@ type Options struct {
 	// scanning unfiltered. The prefilter never changes verdicts — only
 	// which input regions the automata walk.
 	Prefilter []prefilter.Rule
+	// Stats, when non-nil, makes every shard engine record per-chunk
+	// streaming measurements (compose latency, chunk bytes, boundary
+	// states) into the given aggregate. One *obs.ScanStats typically
+	// serves a whole tenant; recording is lock-free and allocation-free
+	// (see internal/obs).
+	Stats *obs.ScanStats
+
+	// rep collects the structured BuildReport across the pipeline's
+	// concurrent fan-out. Unexported: Compile/Recompile install it, and
+	// every by-value Options copy shares the pointer. nil (the
+	// planner's internal re-plans) disables collection.
+	rep *buildRecorder
 }
 
 // defaultDFABudget bounds the per-shard product DFA. core.BuildDSFA
@@ -150,8 +164,15 @@ func (o Options) engineOpts() []engine.Option {
 	if o.Spawn {
 		opts = append(opts, engine.WithSpawn())
 	}
+	if o.Stats != nil {
+		opts = append(opts, engine.WithScanStats(o.Stats))
+	}
 	return opts
 }
+
+// BuildPoolStats snapshots the dedicated construction pool's scheduling
+// counters (the match pool's are read via engine.DefaultPool directly).
+func BuildPoolStats() engine.PoolStats { return buildPool().Stats() }
 
 // Compile builds a Set matching every pattern in nodes (already parsed,
 // and search-bracketed by the caller if substring semantics are wanted —
@@ -165,6 +186,10 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 		return nil, fmt.Errorf("multi: %d keys for %d rules", len(o.Keys), len(nodes))
 	}
 	o = o.withDefaults()
+	if o.rep == nil {
+		o.rep = &buildRecorder{}
+	}
+	start := time.Now()
 
 	// Per-rule components: the minimal DFA is both the product-
 	// construction input and, via a budget-capped D-SFA dry run, the
@@ -178,6 +203,7 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	prepDone := time.Now()
 
 	builds, err := planAndBuild(rules, o)
 	if err != nil {
@@ -190,7 +216,16 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	}
 	s := newSet(shards, len(nodes))
 	s.planShards = len(shards)
+	s.stats = o.Stats
 	s.armPrefilter(o.Prefilter)
+	o.rep.note(func(r *BuildReport) {
+		r.Rules = len(nodes)
+		r.Shards = len(shards)
+		r.PrepNs += prepDone.Sub(start).Nanoseconds()
+		r.BuildNs += time.Since(prepDone).Nanoseconds()
+		r.TotalNs += time.Since(start).Nanoseconds()
+	})
+	s.report = o.rep.snapshot()
 	return s, nil
 }
 
@@ -204,7 +239,9 @@ func planAndBuild(rules []planRule, o Options) ([]*shardBuild, error) {
 	rules, lazyRules := planLazy(rules, o)
 	var builds []*shardBuild
 	for _, g := range prefilterGroups(rules, o) {
-		gb, err := buildBins(plan(g, o), o)
+		bins := plan(g, o)
+		o.rep.note(func(r *BuildReport) { r.PlanBins += len(bins) })
+		gb, err := buildBins(bins, o)
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +264,7 @@ func planAndBuild(rules []planRule, o Options) ([]*shardBuild, error) {
 		if err != nil {
 			return nil, err
 		}
+		o.rep.note(func(r *BuildReport) { r.LazyShards += len(gb) })
 		builds = append(builds, gb...)
 	}
 	return builds, nil

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dfa"
@@ -140,6 +141,7 @@ func prepRule(node *syntax.Node, idx int, key string, o Options) (planRule, erro
 	// actually misses.
 	if o.Cache != nil && key != "" {
 		if est, states, fits, ok := loadCachedEst(key, o); ok {
+			o.rep.note(func(r *BuildReport) { r.EstCacheHits++ })
 			// The stored est is used verbatim — including the cap+1 form
 			// a clipped-cap failure produces — so a warm plan packs the
 			// exact bins the cold plan did and every shard key matches.
@@ -402,6 +404,7 @@ func buildShards(bin []planRule, o Options) ([]*shardBuild, error) {
 			return nil, err
 		}
 	}
+	o.rep.note(func(r *BuildReport) { r.Splits++ })
 	halves := plan(bin, Options{ForceShards: 2})
 	var builds []*shardBuild
 	for _, half := range halves {
@@ -459,8 +462,10 @@ func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
 			}
 			a.frozen = true
 			fails++
+			o.rep.note(func(r *BuildReport) { r.MergeFails++ })
 			continue
 		}
+		o.rep.note(func(r *BuildReport) { r.Merges++ })
 		next := builds[:0]
 		for _, x := range builds {
 			if x != a && x != b {
@@ -476,6 +481,7 @@ func mergeShards(builds []*shardBuild, o Options) ([]*shardBuild, error) {
 // shard: the mask table is just the DFA's accept vector on bit 0. Only
 // called when r.sfa is set, which implies the component DFA was built.
 func singleRuleShard(r planRule, o Options) *shard {
+	start := time.Now()
 	d, _ := r.d.get()
 	masks := make([]uint64, d.NumStates)
 	for q, acc := range d.Accept {
@@ -484,6 +490,11 @@ func singleRuleShard(r planRule, o Options) *shard {
 		}
 	}
 	m := engine.NewMultiSFA(r.sfa, masks, 1, o.Threads, o.engineOpts()...)
+	elapsed := time.Since(start).Nanoseconds()
+	o.rep.note(func(r *BuildReport) {
+		r.Built++
+		r.ShardBuildNs = append(r.ShardBuildNs, elapsed)
+	})
 	return &shard{m: m, rules: []int{r.idx}}
 }
 
@@ -522,6 +533,7 @@ func loadCachedShard(key string, bin []planRule, o Options) *shard {
 	if !ok {
 		return nil
 	}
+	o.rep.note(func(r *BuildReport) { r.CacheHits++ })
 	return &shard{m: ds.m, rules: rules}
 }
 
@@ -596,6 +608,7 @@ func buildShard(bin []planRule, o Options, capped, probe bool) (*shard, error) {
 		}
 		return err
 	}
+	buildStart := time.Now()
 	ds := make([]*dfa.DFA, len(bin))
 	rules := make([]int, len(bin))
 	for i, r := range bin {
@@ -627,5 +640,10 @@ func buildShard(bin []planRule, o Options, capped, probe bool) (*shard, error) {
 	m := engine.NewMultiSFA(s, masks, words, o.Threads, o.engineOpts()...)
 	sh := &shard{m: m, rules: rules}
 	storeShard(cacheKey, sh, bin, o)
+	elapsed := time.Since(buildStart).Nanoseconds()
+	o.rep.note(func(r *BuildReport) {
+		r.Built++
+		r.ShardBuildNs = append(r.ShardBuildNs, elapsed)
+	})
 	return sh, nil
 }

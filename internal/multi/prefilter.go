@@ -325,6 +325,10 @@ type PrefilterStats struct {
 	TotalBytes     int64 // bytes they would have walked unfiltered
 	ChunksSkipped  int64 // stream shard-chunks with no candidate work
 	ChunksScanned  int64 // stream shard-chunks with candidate windows
+
+	MatcherCalls int64 // global literal matcher invocations
+	MatcherBytes int64 // input bytes swept by the matcher
+	MatcherHits  int64 // literal occurrences it surfaced
 }
 
 // PrefilterStats reports the armed prefilter's static shape and its
@@ -346,8 +350,12 @@ func (s *Set) PrefilterStats() PrefilterStats {
 		ChunksScanned:  p.chunksScanned.Load(),
 	}
 	if p.m != nil {
-		st.Stage = p.m.Stage()
+		ms := p.m.Stats()
+		st.Stage = ms.Stage
 		st.Literals = len(p.m.Lits())
+		st.MatcherCalls = ms.Calls
+		st.MatcherBytes = ms.Bytes
+		st.MatcherHits = ms.Hits
 	}
 	for _, sp := range p.shards {
 		switch sp.mode {

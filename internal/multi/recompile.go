@@ -3,6 +3,7 @@ package multi
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/syntax"
 )
@@ -63,6 +64,10 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 		return nil, ReuseStats{}, fmt.Errorf("multi: %d prev keys for %d prev rules", len(prevKeys), prev.rules)
 	}
 	o = o.withDefaults()
+	if o.rep == nil {
+		o.rep = &buildRecorder{}
+	}
+	start := time.Now()
 
 	// Multiset of new rules per key, consumed front-to-back so duplicate
 	// patterns pair up deterministically.
@@ -117,10 +122,13 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 		if err != nil {
 			return nil, ReuseStats{}, err
 		}
+		prepDone := time.Now()
+		o.rep.note(func(r *BuildReport) { r.PrepNs += prepDone.Sub(start).Nanoseconds() })
 		builds, err := planAndBuild(fresh, o)
 		if err != nil {
 			return nil, ReuseStats{}, err
 		}
+		o.rep.note(func(r *BuildReport) { r.BuildNs += time.Since(prepDone).Nanoseconds() })
 		for _, b := range builds {
 			shards = append(shards, b.sh)
 		}
@@ -143,9 +151,17 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
 	s := newSet(shards, len(nodes))
 	s.planShards = prev.planShards
+	s.stats = o.Stats
 	// Reused engines are membership-keyed, so they are valid regardless
 	// of prefilter settings; the prefilter itself is rebuilt from the
 	// current extractions (it holds no automata).
 	s.armPrefilter(o.Prefilter)
+	o.rep.note(func(r *BuildReport) {
+		r.Rules = len(nodes)
+		r.Shards = len(shards)
+		r.ReusedShards = stats.Reused
+		r.TotalNs += time.Since(start).Nanoseconds()
+	})
+	s.report = o.rep.snapshot()
 	return s, stats, nil
 }

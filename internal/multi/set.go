@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/prefilter"
 )
 
@@ -32,6 +33,14 @@ type Set struct {
 	// never mutated afterwards, so scans read it without synchronization.
 	pre  *setPre
 	ctxs sync.Pool
+	// report is the structured account of the build that produced this
+	// set (see BuildReport). Written once before publication.
+	report BuildReport
+	// stats, when non-nil (Options.Stats), aggregates streaming scan
+	// measurements across every stream of this set: one RecordChunk per
+	// SetStream.Write, regardless of how many shards the prefilter let
+	// skip the chunk. Written once before publication.
+	stats *obs.ScanStats
 }
 
 func newSet(shards []*shard, rules int) *Set {
@@ -158,6 +167,12 @@ type ShardInfo struct {
 	ResidentBytes int64 // bytes currently charged to the table budget
 	Fills         int64 // states materialized since build
 	Evictions     int64 // whole-structure resets under budget pressure
+	// HotStates is the shard's chunk-boundary state frequency table
+	// (descending), populated only when the set scans with an attached
+	// ScanStats; HotOther counts boundary crossings the fixed-size table
+	// could not attribute.
+	HotStates []obs.StateCount
+	HotOther  int64
 }
 
 // Shards reports per-shard statistics.
@@ -179,6 +194,8 @@ func (s *Set) Shards() []ShardInfo {
 			ResidentBytes: inf.ResidentBytes,
 			Fills:         inf.Fills,
 			Evictions:     inf.Evictions,
+			HotStates:     inf.HotStates,
+			HotOther:      inf.HotOther,
 		}
 	}
 	return out

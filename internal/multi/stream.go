@@ -2,6 +2,7 @@ package multi
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/prefilter"
 )
@@ -52,7 +53,28 @@ type SetStream struct {
 	tail    []byte          // last ≤tailCap bytes of the stream
 	wbuf    []byte          // window/junction materialization scratch
 	tailCap int
+
+	// stat is the stream's own measurement row (plain fields — a
+	// SetStream is single-goroutine by contract). It is what a slow-scan
+	// trace reads per request, next to the tenant-wide obs aggregates.
+	stat StreamStats
 }
+
+// StreamStats is one stream's consumption account: Writes and bytes
+// consumed, wall time spent advancing the carried mappings, and — with
+// a prefilter armed — how many per-shard chunk visits the literal
+// cascade skipped vs scanned (the same semantics as the set-wide
+// PrefilterStats, scoped to this stream).
+type StreamStats struct {
+	Chunks             int64 `json:"chunks"`
+	Bytes              int64 `json:"bytes"`
+	ComposeNs          int64 `json:"compose_ns"`
+	ShardChunksSkipped int64 `json:"shard_chunks_skipped"`
+	ShardChunksScanned int64 `json:"shard_chunks_scanned"`
+}
+
+// Stats returns the stream's consumption counters so far.
+func (st *SetStream) Stats() StreamStats { return st.stat }
 
 // NewStream starts incremental matching from the empty input.
 func (s *Set) NewStream() *SetStream {
@@ -106,6 +128,7 @@ func (st *SetStream) Write(chunk []byte) {
 	if len(chunk) == 0 {
 		return
 	}
+	start := time.Now()
 	if st.acc != nil {
 		st.writeWindows(chunk)
 	}
@@ -114,11 +137,22 @@ func (st *SetStream) Write(chunk []byte) {
 			continue
 		}
 		st.cur[i], st.tmp[i] = sh.m.ComposeChunk(st.cur[i], st.tmp[i], chunk)
+		st.stat.ShardChunksScanned++
 	}
 	if st.acc != nil {
 		st.carry(chunk)
 	}
+	elapsed := time.Since(start).Nanoseconds()
 	st.bytes += int64(len(chunk))
+	st.stat.Chunks++
+	st.stat.Bytes += int64(len(chunk))
+	st.stat.ComposeNs += elapsed
+	// The set-wide aggregate records here, one chunk per Write, so the
+	// numbers stay meaningful even when the prefilter lets every shard
+	// skip the chunk (the engines' ComposeChunk never runs then).
+	if g := st.set.stats; g != nil {
+		g.RecordChunk(len(chunk), elapsed)
+	}
 }
 
 // bypass reports whether shard i skips the carried-mapping protocol:
@@ -145,6 +179,7 @@ func (st *SetStream) writeWindows(chunk []byte) {
 		if p.shards[i].mode == prePrefix {
 			p.totalBytes.Add(int64(len(chunk)))
 			p.chunksSkipped.Add(1) // no per-chunk work: Mask reads the head
+			st.stat.ShardChunksSkipped++
 		}
 	}
 	if p.maxSpan == 0 {
@@ -197,9 +232,11 @@ func (st *SetStream) writeWindows(chunk []byte) {
 		st.pending[i] = st.pending[i][:0]
 		if len(st.newsp[i]) == 0 {
 			p.chunksSkipped.Add(1)
+			st.stat.ShardChunksSkipped++
 			continue
 		}
 		p.chunksScanned.Add(1)
+		st.stat.ShardChunksScanned++
 		spans := mergeSpans(st.newsp[i], -len(st.tail), len(chunk)+st.tailCap)
 		for _, sp := range spans {
 			scanHi := sp.hi
@@ -328,6 +365,7 @@ func (st *SetStream) Reset() {
 		st.tail = st.tail[:0]
 	}
 	st.bytes = 0
+	st.stat = StreamStats{}
 }
 
 // Compose merges another stream's consumed input *after* this one's, as
@@ -354,6 +392,11 @@ func (st *SetStream) Compose(t *SetStream) error {
 		st.composeCarry(t)
 	}
 	st.bytes += t.bytes
+	st.stat.Chunks += t.stat.Chunks
+	st.stat.Bytes += t.stat.Bytes
+	st.stat.ComposeNs += t.stat.ComposeNs
+	st.stat.ShardChunksSkipped += t.stat.ShardChunksSkipped
+	st.stat.ShardChunksScanned += t.stat.ShardChunksScanned
 	return nil
 }
 

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4).
+// It tracks which metric names have had their # HELP/# TYPE headers
+// written so callers can emit the same metric with different label sets
+// from independent call sites (per-tenant loops) without duplicating
+// headers — the exposition format requires all samples of one metric to
+// share one header block, so callers must still group same-name calls
+// together.
+//
+// PromWriter is for the scrape path, not the hot path: it allocates
+// freely (it runs once per /metrics request).
+type PromWriter struct {
+	w    *bufio.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), seen: make(map[string]bool)}
+}
+
+// Flush flushes buffered output and returns the first error seen.
+func (p *PromWriter) Flush() error {
+	if p.err == nil {
+		p.err = p.w.Flush()
+	}
+	return p.err
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	if help != "" {
+		fmt.Fprintf(p.w, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter writes one counter sample. labels are alternating key, value
+// pairs.
+func (p *PromWriter) Counter(name, help string, v int64, labels ...string) {
+	p.header(name, help, "counter")
+	fmt.Fprintf(p.w, "%s%s %d\n", name, labelString(labels), v)
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	fmt.Fprintf(p.w, "%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Histogram writes one histogram sample set (cumulative _bucket series,
+// _sum, _count) from a snapshot. Empty buckets outside the populated
+// range are elided — fewer exposition lines, identical semantics, the
+// le= edges are just a subset of the fixed log₂ boundaries.
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot, labels ...string) {
+	p.header(name, help, "histogram")
+	ls := labels
+	lo, hi := -1, -1
+	for i, n := range s.Buckets {
+		if n != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	var cum int64
+	if lo >= 0 {
+		for i := lo; i <= hi && i < NumBuckets-1; i++ {
+			cum += s.Buckets[i]
+			fmt.Fprintf(p.w, "%s_bucket%s %d\n", name,
+				labelString(append(append([]string{}, ls...), "le", strconv.FormatInt(BucketUpper(i), 10))), cum)
+		}
+	}
+	fmt.Fprintf(p.w, "%s_bucket%s %d\n", name,
+		labelString(append(append([]string{}, ls...), "le", "+Inf")), s.Count)
+	fmt.Fprintf(p.w, "%s_sum%s %d\n", name, labelString(ls), s.Sum)
+	fmt.Fprintf(p.w, "%s_count%s %d\n", name, labelString(ls), s.Count)
+}
+
+// labelString renders alternating key, value pairs as {k="v",...};
+// empty input renders as the empty string.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedKeys returns m's keys sorted — the exposition convenience for
+// per-tenant loops that must emit rows in a stable order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"strings"
+)
+
+// runtimeSamples is the fixed set of runtime/metrics series the
+// exposition surfaces: enough to answer "is a latency spike the engine
+// or the runtime" (GC pauses, scheduling latency) plus the basic
+// capacity gauges. Names failing to resolve on a future runtime degrade
+// to absent series, never to a panic.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// WriteRuntimeMetrics samples the Go runtime and writes the series as
+// sfa_go_* gauges. Distribution-shaped series (GC pauses, scheduler
+// latencies) are summarized to p50/p90/p99/max gauges in nanoseconds —
+// the runtime's float64 histograms do not map onto our integer log₂
+// buckets, and quantile gauges are what dashboards want from them
+// anyway.
+func WriteRuntimeMetrics(p *PromWriter) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		name := promName(s.Name)
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			p.Gauge(name, "runtime/metrics "+s.Name, float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			p.Gauge(name, "runtime/metrics "+s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			for _, q := range []struct {
+				q     float64
+				label string
+			}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {1, "1"}} {
+				v := float64Quantile(h, q.q)
+				p.Gauge(name+"_ns", "runtime/metrics "+s.Name+" quantile, nanoseconds",
+					v*1e9, "q", q.label)
+			}
+		}
+	}
+}
+
+// promName maps a runtime/metrics name like "/gc/pauses:seconds" to
+// "sfa_go_gc_pauses".
+func promName(name string) string {
+	name, _, _ = strings.Cut(name, ":")
+	name = strings.TrimPrefix(name, "/")
+	name = strings.NewReplacer("/", "_", "-", "_").Replace(name)
+	return "sfa_go_" + name
+}
+
+// float64Quantile returns an upper bound for the q-quantile of a
+// runtime float64 histogram (the upper edge of the bucket the quantile
+// falls in; the histogram's +Inf tail reports the last finite edge).
+func float64Quantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Buckets[i+1] is the upper edge of bucket i; clamp the
+			// +Inf tail to the last finite edge.
+			edge := h.Buckets[i+1]
+			if isInf(edge) {
+				edge = h.Buckets[len(h.Buckets)-2]
+			}
+			return edge
+		}
+	}
+	edge := h.Buckets[len(h.Buckets)-1]
+	if isInf(edge) {
+		edge = h.Buckets[len(h.Buckets)-2]
+	}
+	return edge
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -1,6 +1,10 @@
 package prefilter
 
-import "bytes"
+import (
+	"bytes"
+
+	"repro/internal/obs"
+)
 
 // Hit is one literal occurrence: Lits()[Lit] starts at data[Pos].
 type Hit struct {
@@ -34,6 +38,32 @@ type Matcher struct {
 	wm      *wmMatcher
 	ac      *acMatcher
 	byteLit [256]int16 // byte-table: lit id + 1, 0 = absent
+
+	// Per-stage observability: every AppendHits call records how much
+	// input the stage swept and how many literal occurrences it
+	// surfaced. Lock-free sharded counters — AppendHits runs inside the
+	// streaming hot path and must stay allocation-free.
+	calls obs.Counter
+	bytes obs.Counter
+	hits  obs.Counter
+}
+
+// MatcherStats is a point-in-time view of one Matcher's counters.
+type MatcherStats struct {
+	Stage string `json:"stage"` // selected cascade stage
+	Calls int64  `json:"calls"` // AppendHits invocations
+	Bytes int64  `json:"bytes"` // input bytes swept
+	Hits  int64  `json:"hits"`  // literal occurrences surfaced
+}
+
+// Stats snapshots the matcher's counters.
+func (m *Matcher) Stats() MatcherStats {
+	return MatcherStats{
+		Stage: m.stage,
+		Calls: m.calls.Load(),
+		Bytes: m.bytes.Load(),
+		Hits:  m.hits.Load(),
+	}
 }
 
 // byteTablePasses caps the per-byte IndexByte strategy; beyond it a
@@ -87,6 +117,15 @@ func (m *Matcher) Stage() string { return m.stage }
 // and returns it. Hit order is unspecified across literals; positions
 // for one literal are ascending.
 func (m *Matcher) AppendHits(dst []Hit, data []byte) []Hit {
+	n0 := len(dst)
+	dst = m.appendHits(dst, data)
+	m.calls.Inc()
+	m.bytes.Add(int64(len(data)))
+	m.hits.Add(int64(len(dst) - n0))
+	return dst
+}
+
+func (m *Matcher) appendHits(dst []Hit, data []byte) []Hit {
 	switch m.stage {
 	case "memchr":
 		off := 0

@@ -264,14 +264,17 @@ func (h *Hub) SetTableBudget(b *sfa.TableBudget, perTenantLimit int64) {
 func (h *Hub) TableBudget() *sfa.TableBudget { return h.budget }
 
 // tenantOpts returns the compile options for one tenant's boards: the
-// hub options plus, under SetTableBudget, the tenant's child budget.
+// hub options plus the tenant's scan-stats sink (so every generation
+// records into the same per-tenant history) and, under SetTableBudget,
+// the tenant's child budget.
 func (h *Hub) tenantOpts(name string) []sfa.Option {
-	if h.budget == nil {
-		return h.opts
-	}
-	opts := make([]sfa.Option, 0, len(h.opts)+1)
+	opts := make([]sfa.Option, 0, len(h.opts)+2)
 	opts = append(opts, h.opts...)
-	return append(opts, sfa.WithTableBudget(h.tenantBudget(name)))
+	opts = append(opts, sfa.WithScanStats(&h.metrics.Tenant(name).Scan))
+	if h.budget != nil {
+		opts = append(opts, sfa.WithTableBudget(h.tenantBudget(name)))
+	}
+	return opts
 }
 
 // tenantBudget returns (creating on first use) the named tenant's child

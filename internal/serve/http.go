@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -81,6 +85,10 @@ type ShardStat struct {
 	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 	Fills         int64 `json:"fills,omitempty"`
 	Evictions     int64 `json:"evictions,omitempty"`
+	// Chunk-boundary state frequencies (eager shards scanned with
+	// tenant scan stats attached); empty until the shard has streamed.
+	HotStates []sfa.StateCount `json:"hot_states,omitempty"`
+	HotOther  int64            `json:"hot_other,omitempty"`
 }
 
 // LoadReply answers PUT /v1/tenants/{name}.
@@ -123,6 +131,10 @@ type BudgetCounts struct {
 	ResidentBytes int64 `json:"resident_bytes"`
 	Fills         int64 `json:"fills"`
 	Evictions     int64 `json:"evictions"`
+	// StallNs is total scan wall time spent inside eviction under this
+	// node — the budget-pressure signal (the full fill/evict latency
+	// histograms are on the Prometheus endpoint).
+	StallNs int64 `json:"stall_ns,omitempty"`
 }
 
 func budgetCounts(tb *sfa.TableBudget) *BudgetCounts {
@@ -132,6 +144,7 @@ func budgetCounts(tb *sfa.TableBudget) *BudgetCounts {
 		ResidentBytes: s.UsedBytes,
 		Fills:         s.Fills,
 		Evictions:     s.Evictions,
+		StallNs:       s.StallNs,
 	}
 }
 
@@ -147,6 +160,14 @@ type TenantCounts struct {
 	Reloads       int64  `json:"reloads"`
 	ShardsReused  int64  `json:"shards_reused"`
 	ShardsRebuilt int64  `json:"shards_rebuilt"`
+	SlowScans     int64  `json:"slow_scans,omitempty"`
+	// Scan is the tenant's streaming hot-path stats — chunks, bytes, and
+	// log₂ latency/size histograms — accumulated across generations.
+	Scan *sfa.ScanSnapshot `json:"scan,omitempty"`
+	// Build reports how the resident generation was built (planner
+	// decisions, cache traffic, phase timings). Absent for non-resident
+	// tenants.
+	Build *sfa.BuildReport `json:"build,omitempty"`
 	// Prefilter is the resident generation's literal-cascade snapshot:
 	// static shape plus the live skip/byte counters accumulated since the
 	// generation was built. Absent for non-resident tenants.
@@ -206,6 +227,10 @@ func metricsReply(h *Hub) MetricsReply {
 			Reloads:       tm.Reloads.Load(),
 			ShardsReused:  tm.ShardsReused.Load(),
 			ShardsRebuilt: tm.ShardsRebuilt.Load(),
+			SlowScans:     tm.SlowScans.Load(),
+		}
+		if sc := tm.Scan.Snapshot(); sc.Chunks > 0 {
+			tc.Scan = &sc
 		}
 		if b, ok := h.Tenant(name); ok {
 			rs, gen := b.Snapshot()
@@ -215,6 +240,8 @@ func metricsReply(h *Hub) MetricsReply {
 			tc.Shards = rs.NumShards()
 			pf := rs.PrefilterStats()
 			tc.Prefilter = &pf
+			br := rs.BuildReport()
+			tc.Build = &br
 		}
 		if tb := h.tenantBudgetIfAny(name); tb != nil {
 			tc.TableBudget = budgetCounts(tb)
@@ -231,6 +258,8 @@ type handlerConfig struct {
 	profiling    bool
 	maxRuleBytes int64
 	maxScanBytes int64
+	slowLog      *slog.Logger
+	slowScan     time.Duration
 }
 
 // WithRuleBodyLimit caps the size of rule-upload request bodies
@@ -253,6 +282,19 @@ func WithScanBodyLimit(n int64) HandlerOption {
 		if n > 0 {
 			c.maxScanBytes = n
 		}
+	}
+}
+
+// WithSlowScanLog makes the scan handler log one structured record for
+// every request whose total wall time reaches threshold: the tenant,
+// generation, size, and a per-stage breakdown (body read vs matching,
+// chunk count, engine compose time, prefilter skip counts) — enough to
+// tell a slow client from a slow rule set from budget thrash without a
+// profiler. threshold <= 0 logs every scan; a nil logger disables.
+func WithSlowScanLog(logger *slog.Logger, threshold time.Duration) HandlerOption {
+	return func(c *handlerConfig) {
+		c.slowLog = logger
+		c.slowScan = threshold
 	}
 }
 
@@ -279,6 +321,11 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writeProm(w, h)
+			return
+		}
 		writeJSON(w, http.StatusOK, metricsReply(h))
 	})
 	if cfg.profiling {
@@ -370,31 +417,70 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 		bufp := scanBufs.Get().(*[]byte)
 		defer scanBufs.Put(bufp)
 		buf := *bufp
-		for {
-			n, err := body.Read(buf)
-			if n > 0 {
-				st.Write(buf[:n])
-			}
-			if err != nil {
-				if errors.Is(err, io.EOF) {
-					break
+		// Stage timing: readNs is time blocked on the client's body,
+		// matchNs is time inside the engine — the split that tells a slow
+		// uploader from a slow rule set. The pprof label makes on-CPU
+		// samples of this request attributable to the tenant in profiles.
+		start := time.Now()
+		var readNs, matchNs int64
+		var matches []string
+		var bad bool
+		rpprof.Do(r.Context(), rpprof.Labels("sfa_tenant", name), func(context.Context) {
+			for {
+				t0 := time.Now()
+				n, err := body.Read(buf)
+				readNs += time.Since(t0).Nanoseconds()
+				if n > 0 {
+					t1 := time.Now()
+					st.Write(buf[:n])
+					matchNs += time.Since(t1).Nanoseconds()
 				}
-				var mbe *http.MaxBytesError
-				if errors.As(err, &mbe) {
-					httpError(w, http.StatusRequestEntityTooLarge, err)
+				if err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					var mbe *http.MaxBytesError
+					if errors.As(err, &mbe) {
+						httpError(w, http.StatusRequestEntityTooLarge, err)
+					} else {
+						httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+					}
+					bad = true
 					return
 				}
-				httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-				return
 			}
+			t1 := time.Now()
+			matches = st.Names()
+			matchNs += time.Since(t1).Nanoseconds()
+		})
+		if bad {
+			return
 		}
-		matches := st.Names()
 		if matches == nil {
 			matches = []string{}
 		}
 		tm := h.Metrics().Tenant(name)
 		tm.Scans.Add(1)
 		tm.ScanBytes.Add(st.Bytes())
+		tm.ReadNs.Observe(readNs)
+		tm.MatchNs.Observe(matchNs)
+		if total := time.Since(start); cfg.slowLog != nil && total >= cfg.slowScan {
+			tm.SlowScans.Add(1)
+			ss := st.Stats()
+			cfg.slowLog.LogAttrs(r.Context(), slog.LevelWarn, "slow scan",
+				slog.String("tenant", name),
+				slog.Uint64("generation", st.Generation()),
+				slog.Int64("bytes", st.Bytes()),
+				slog.Int64("total_ns", total.Nanoseconds()),
+				slog.Int64("read_ns", readNs),
+				slog.Int64("match_ns", matchNs),
+				slog.Int64("chunks", ss.Chunks),
+				slog.Int64("compose_ns", ss.ComposeNs),
+				slog.Int64("shard_chunks_scanned", ss.ShardChunksScanned),
+				slog.Int64("shard_chunks_skipped", ss.ShardChunksSkipped),
+				slog.Int("matches", len(matches)),
+			)
+		}
 		writeJSON(w, http.StatusOK, ScanReply{
 			Tenant:     name,
 			Generation: st.Generation(),
@@ -418,6 +504,28 @@ func status(name string, b *Ruleboard) TenantStatus {
 		Rules:      rs.Len(),
 		Shards:     shards,
 	}
+}
+
+// wantsProm decides the /metrics representation. JSON stays the default
+// (the endpoint predates the exposition format and scripts parse it);
+// Prometheus is opt-in via ?format=prometheus or an Accept header that
+// asks for text/plain or OpenMetrics — which is what a Prometheus
+// scraper sends — without naming application/json first.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	jsonAt := strings.Index(accept, "application/json")
+	for _, marker := range []string{"text/plain", "openmetrics"} {
+		if at := strings.Index(accept, marker); at >= 0 && (jsonAt < 0 || at < jsonAt) {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Metrics is the hub's observability state, served as JSON by the
@@ -30,6 +32,21 @@ type TenantMetrics struct {
 	Reloads       atomic.Int64
 	ShardsReused  atomic.Int64
 	ShardsRebuilt atomic.Int64
+
+	// Scan is the tenant's streaming-scan hot-path stats. Every
+	// generation of the tenant's rule sets is compiled with
+	// WithScanStats pointing here (Hub.tenantOpts), so — like the
+	// counters above — the history accumulates across hot reloads and
+	// survives delete/re-add.
+	Scan obs.ScanStats
+
+	// Per-request scan-handler stage latencies: wall time spent reading
+	// the request body versus matching it (Write + mask resolution).
+	ReadNs  obs.Histogram
+	MatchNs obs.Histogram
+	// SlowScans counts requests over the slow-scan threshold
+	// (WithSlowScanLog); zero when no threshold is configured.
+	SlowScans atomic.Int64
 }
 
 func newMetrics() *Metrics {

@@ -47,6 +47,14 @@ type BudgetStats struct {
 	UsedBytes  int64 // bytes currently charged (this node and below)
 	Fills      int64 // lazy states materialized under this node
 	Evictions  int64 // whole-structure resets forced under this node
+
+	// FillNs and EvictNs are log₂ latency histograms of the fills and
+	// evictions charged under this node (a child's observations also
+	// land in every ancestor); StallNs is total wall time scans spent
+	// inside eviction, the budget-pressure signal.
+	FillNs  HistogramSnapshot
+	EvictNs HistogramSnapshot
+	StallNs int64
 }
 
 // Stats reports the budget's current usage and lifetime counters.
@@ -57,6 +65,9 @@ func (t *TableBudget) Stats() BudgetStats {
 		UsedBytes:  s.Used,
 		Fills:      s.Fills,
 		Evictions:  s.Evictions,
+		FillNs:     s.FillNs,
+		EvictNs:    s.EvictNs,
+		StallNs:    s.StallNs,
 	}
 }
 

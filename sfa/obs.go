@@ -1,0 +1,56 @@
+package sfa
+
+import (
+	"repro/internal/multi"
+	"repro/internal/obs"
+)
+
+// ScanStats accumulates streaming-scan observability for a rule set:
+// chunk counts, chunk bytes, and log₂ histograms of per-chunk compose
+// latency and chunk size. Recording is lock-free and allocation-free —
+// the instrumented hot path keeps its 0 allocs/op contract — so one
+// ScanStats can be shared by every goroutine scanning the set. Attach
+// with WithScanStats; read with Snapshot at any time.
+type ScanStats = obs.ScanStats
+
+// ScanSnapshot is a point-in-time copy of a ScanStats.
+type ScanSnapshot = obs.ScanSnapshot
+
+// HistogramSnapshot is a point-in-time copy of one log₂ histogram:
+// Buckets[i] counts observations in [2^(i-1), 2^i).
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// StateCount is one (boundary state, frequency) pair from a shard's
+// chunk-boundary frequency table — the empirical distribution Ko-style
+// speculative matching would warm-start from.
+type StateCount = obs.StateCount
+
+// NewScanStats returns a fresh ScanStats ready to attach with
+// WithScanStats.
+func NewScanStats() *ScanStats { return &obs.ScanStats{} }
+
+// WithScanStats attaches st to every combined shard the rule set
+// builds: each engine records per-chunk compose latency, chunk bytes,
+// and (on eager shards) the chunk-boundary state into it during Match,
+// MatchMask, and streaming scans. The same ScanStats may be shared
+// across sets to aggregate, or given per-set to separate. Recording is
+// wait-free; nil detaches. Compile and isolated-mode rule sets ignore
+// this option.
+func WithScanStats(st *ScanStats) Option {
+	return func(c *config) { c.scanStats = st }
+}
+
+// BuildReport is the structured account of the build that produced a
+// rule set: planner decisions (bins, splits, merges), cache traffic,
+// and wall-clock per phase. See RuleSet.BuildReport.
+type BuildReport = multi.BuildReport
+
+// BuildReport reports how this rule set was built. For a Rebuild the
+// report covers only the incremental work (reused shards carry no
+// build time); isolated-mode sets return the zero report.
+func (rs *RuleSet) BuildReport() BuildReport {
+	if rs.set == nil {
+		return BuildReport{}
+	}
+	return rs.set.BuildReport()
+}

@@ -203,6 +203,7 @@ func buildRuleSet(defs []RuleDef, opts []Option, prev *RuleSet) (*RuleSet, multi
 		VectorIntern:  cfg.vectorIntern,
 		Lazy:          cfg.lazyCompile,
 		Budget:        cfg.tableBudget.inner(),
+		Stats:         cfg.scanStats,
 	}
 	if !cfg.noPrefilter {
 		mo.Prefilter = infos
@@ -330,6 +331,13 @@ type ShardInfo struct {
 	ResidentBytes int64 // bytes currently charged to the table budget
 	Fills         int64 // states materialized since build
 	Evictions     int64 // whole-structure resets under budget pressure
+	// HotStates is the shard's chunk-boundary state frequency table
+	// (descending), populated only when the set scans with an attached
+	// ScanStats (WithScanStats); HotOther counts boundary crossings the
+	// fixed-size table could not attribute. The distribution is the
+	// warm-start set Ko-style speculative chunk matching would use.
+	HotStates []StateCount
+	HotOther  int64
 }
 
 // Shards reports per-shard statistics; in isolated mode every rule is
@@ -367,6 +375,8 @@ func (rs *RuleSet) Shards() []ShardInfo {
 			ResidentBytes: info.ResidentBytes,
 			Fills:         info.Fills,
 			Evictions:     info.Evictions,
+			HotStates:     info.HotStates,
+			HotOther:      info.HotOther,
 		}
 	}
 	return out
@@ -398,6 +408,10 @@ type PrefilterStats struct {
 	TotalBytes     int64 `json:"total_bytes"`     // bytes they would have walked unfiltered
 	ChunksSkipped  int64 `json:"chunks_skipped"`  // stream shard-chunks with no candidate work
 	ChunksScanned  int64 `json:"chunks_scanned"`  // stream shard-chunks with candidate windows
+
+	MatcherCalls int64 `json:"matcher_calls"` // global literal matcher invocations
+	MatcherBytes int64 `json:"matcher_bytes"` // input bytes swept by the matcher
+	MatcherHits  int64 `json:"matcher_hits"`  // literal occurrences it surfaced
 }
 
 // PrefilterStats reports the literal cascade armed on this set. The zero
@@ -423,6 +437,9 @@ func (rs *RuleSet) PrefilterStats() PrefilterStats {
 		TotalBytes:     s.TotalBytes,
 		ChunksSkipped:  s.ChunksSkipped,
 		ChunksScanned:  s.ChunksScanned,
+		MatcherCalls:   s.MatcherCalls,
+		MatcherBytes:   s.MatcherBytes,
+		MatcherHits:    s.MatcherHits,
 	}
 }
 

@@ -23,10 +23,11 @@ import (
 // A RuleStream is not safe for concurrent use; RuleSet.NewStream is cheap
 // enough to give each goroutine (or each network request) its own.
 type RuleStream struct {
-	rs    *RuleSet
-	st    *multi.SetStream // combined mode
-	iso   []*Stream        // isolated mode
-	bytes int64
+	rs     *RuleSet
+	st     *multi.SetStream // combined mode
+	iso    []*Stream        // isolated mode
+	bytes  int64
+	chunks int64
 }
 
 // NewStream starts incremental matching from the empty input. In isolated
@@ -63,7 +64,24 @@ func (s *RuleStream) Write(chunk []byte) (int, error) {
 		}
 	}
 	s.bytes += int64(len(chunk))
+	s.chunks++
 	return len(chunk), nil
+}
+
+// StreamStats is per-stream scan accounting: chunks and bytes consumed,
+// wall time spent composing them, and how many shard-chunk scans the
+// literal prefilter skipped versus ran. Unlike the set-wide ScanStats
+// and PrefilterStats counters these are scoped to one stream, so a
+// server can attribute scan cost to a single connection.
+type StreamStats = multi.StreamStats
+
+// Stats reports this stream's scan accounting since construction (or
+// the last Reset). In isolated mode only Chunks and Bytes are tracked.
+func (s *RuleStream) Stats() StreamStats {
+	if s.st != nil {
+		return s.st.Stats()
+	}
+	return StreamStats{Chunks: s.chunks, Bytes: s.bytes}
 }
 
 // Mask writes the rule bitmask of the input consumed so far — bit i set
@@ -116,6 +134,7 @@ func (s *RuleStream) Reset() {
 		}
 	}
 	s.bytes = 0
+	s.chunks = 0
 }
 
 // Compose merges another stream's consumed input *after* this one's, as
@@ -140,5 +159,6 @@ func (s *RuleStream) Compose(t *RuleStream) error {
 		}
 	}
 	s.bytes += t.bytes
+	s.chunks += t.chunks
 	return nil
 }

@@ -99,6 +99,7 @@ type config struct {
 	noPrefilter   bool
 	lazyCompile   bool
 	tableBudget   *TableBudget
+	scanStats     *ScanStats
 }
 
 // buildConfig folds the options and resolves defaults.
