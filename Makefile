@@ -7,15 +7,16 @@
 # warm-restart sfaserve over a state dir, shard-cache reuse) + a short
 # benchmark smoke run proving the hot paths still report 0 allocs/op.
 # `make bench-json` captures the benchmark trajectory snapshot
-# (BENCH_8.json) that CI uploads as an artifact and gates on;
+# (BENCH_9.json) that CI uploads as an artifact and gates on;
 # RuleSet_ColdBuild_{Tuple,Vector} tracks the tuple-interned
 # construction speedup, RuleSet_LazyColdStart the lazy compile+scan
 # cost over a corpus the eager builder rejects, and the
-# StreamHotpath_Instrumented twin proves the observability layer adds
-# no allocations to the streaming hot path.
+# StreamHotpath_{Instrumented,FlightRecorded} twins prove the
+# observability layer — scan stats plus the flight-recorder ring —
+# adds no allocations to the streaming hot path.
 
 GO ?= go
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 
 .PHONY: build vet test race docs-check fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 
@@ -47,10 +48,12 @@ fuzz-smoke:
 
 # Serving subsystem smoke: boot the real sfaserve loop, load rules over
 # HTTP, hot-reload under concurrent streamed scans, assert shard reuse,
-# and scrape /metrics in Prometheus text format (exposition validity,
-# core series, counter monotonicity under reloads) — all under -race.
+# scrape /metrics in Prometheus text format (exposition validity, core
+# series, counter monotonicity under reloads), and round-trip the
+# flight recorder + attribution endpoints under concurrent load — all
+# under -race.
 serve-smoke:
-	$(GO) test -race -run 'TestServeSmoke|TestServePromScrapeSmoke|TestServeEndToEnd|TestRuleboardConcurrentScansAndReloads|TestMetricsContentNegotiation|TestMetricsPromExposition|TestPromMonotonicUnderConcurrentScansAndReloads|TestPromTenantRowsSurviveDeleteAndReadd|TestSlowScanLogging' ./cmd/sfaserve ./internal/serve
+	$(GO) test -race -run 'TestServeSmoke|TestServePromScrapeSmoke|TestServeFlightSmoke|TestServeEndToEnd|TestServeFlightAndAttribution|TestServeFlightConcurrent|TestRuleboardConcurrentScansAndReloads|TestMetricsContentNegotiation|TestMetricsPromExposition|TestPromAttributionSeries|TestPromMonotonicUnderConcurrentScansAndReloads|TestPromTenantRowsSurviveDeleteAndReadd|TestSlowScanLogging' ./cmd/sfaserve ./internal/serve
 
 # Snapshot subsystem smoke: rule-set save → reload → byte-identical
 # verdicts (vs the isolated oracle), warm-restart the real sfaserve over
@@ -75,6 +78,6 @@ bench-json:
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCH_JSON) \
 		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath' \
-		-zero-alloc 'Instrumented'
+		-zero-alloc 'Instrumented' -zero-alloc 'FlightRecorded'
 
 ci: vet build docs-check race fuzz-smoke serve-smoke snapshot-smoke bench-smoke

@@ -686,6 +686,48 @@ func BenchmarkStreamHotpath_InstrumentedWrite64KB_p1(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamHotpath_FlightRecordedWrite64KB_p1 layers the flight
+// recorder on top of the instrumented hot path: every iteration does the
+// streamed Write + Mask and then records one ScanRecord into the ring,
+// exactly what the serve scan handler does per request. The ring's
+// record path is all-atomic stores into a preallocated slot, so this
+// must report the same 0 allocs/op as its twins — benchjson gates on
+// "FlightRecorded".
+func BenchmarkStreamHotpath_FlightRecordedWrite64KB_p1(b *testing.B) {
+	f := rulesetFixture(b, "combined-instrumented", sfa.WithScanStats(instrumentedScanStats))
+	st, err := f.rs.NewStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring := sfa.NewFlightRecorder(256)
+	chunk := f.text[:64<<10]
+	dst := make([]uint64, f.rs.MaskWords())
+	st.Write(chunk) // warm the engine contexts
+	st.Mask(dst)
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Write(chunk)
+		st.Mask(dst)
+		ss := st.Stats()
+		ring.Record(sfa.ScanRecord{
+			UnixNano:    int64(i),
+			Tenant:      "bench",
+			Generation:  1,
+			Bytes:       int64(len(chunk)),
+			Chunks:      ss.Chunks,
+			PrefilterNs: ss.PrefilterNs,
+			ComposeNs:   ss.ComposeNs - ss.PrefilterNs,
+			Matches:     int64(len(dst)),
+		})
+	}
+	b.StopTimer()
+	if got := len(ring.Snapshot(8)); got == 0 {
+		b.Fatal("flight recorder recorded nothing")
+	}
+}
+
 func BenchmarkStreamHotpath_SingleWrite64KB_p4(b *testing.B) {
 	re, err := sfa.Compile("(([02468][13579]){5})*", sfa.WithThreads(4))
 	if err != nil {

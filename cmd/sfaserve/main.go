@@ -8,7 +8,7 @@
 //	sfaserve [-addr :8261] [-p N] [-whole] [-shard-budget N]
 //	         [-lazy] [-table-budget BYTES] [-tenant-table-budget BYTES]
 //	         [-state-dir DIR] [-pprof] [-max-rule-bytes N] [-max-scan-bytes N]
-//	         [-log-format text|json] [-slow-scan-ms N]
+//	         [-log-format text|json] [-slow-scan-ms N] [-flight-records N]
 //	         [tenant=rulesfile ...]
 //
 // Logging is structured (log/slog); -log-format json emits one JSON
@@ -17,6 +17,13 @@
 // time, prefilter skips) for every scan taking at least N ms — the
 // first place to look when a tenant reports latency. N < 0 traces
 // every scan.
+//
+// Independent of the slow-scan log, every completed scan leaves one
+// fixed-size record in the in-memory flight recorder — tenant, size,
+// and the per-stage wall-time split — readable at /debug/scans.
+// -flight-records N sizes the ring (default 256, rounded up to a power
+// of two; 0 disables). Recording is wait-free and allocation-free, so
+// there is no reason to disable it other than the few KiB it holds.
 //
 // With -lazy, rules whose combined automaton the eager builder cannot
 // afford are compiled into lazy shards: product states materialize on
@@ -47,6 +54,8 @@
 //	GET    /healthz                   liveness
 //	GET    /metrics                   JSON counters; Prometheus text with
 //	                                  ?format=prometheus or Accept: text/plain
+//	GET    /debug/scans               flight recorder: last N scan records (?n=)
+//	GET    /debug/attribution         per-shard cost, rule heat, speculation report
 //	GET    /debug/pprof/*             Go profiling (opt-in via -pprof)
 //	GET    /v1/tenants                list tenants with shard stats
 //	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
@@ -99,6 +108,9 @@ type serverConfig struct {
 	logger     *slog.Logger
 	slowScanMs int64
 
+	// flightRecords sizes the /debug/scans ring (0 disables recording).
+	flightRecords int
+
 	// lazy compilation: tableBudget bounds all tenants' lazy shards
 	// process-wide, tenantBudget each tenant (both 0 = unlimited); only
 	// consulted when lazy is set.
@@ -122,6 +134,7 @@ func main() {
 	tenantBudget := flag.Int64("tenant-table-budget", 0, "per-tenant byte budget for lazy shards (0 = only the process-wide budget binds)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json (one object per line)")
 	slowScanMs := flag.Int64("slow-scan-ms", 0, "log a per-stage trace for scans taking at least N ms (0 = off, negative = every scan)")
+	flightRecords := flag.Int("flight-records", serve.DefaultFlightRecords, "scan flight-recorder capacity for /debug/scans (rounded up to a power of two, 0 = off)")
 	flag.Parse()
 
 	var lh slog.Handler
@@ -156,7 +169,7 @@ func main() {
 		addr: *addr, stateDir: *stateDir, pprof: *pprofFlag,
 		maxRuleBytes: *maxRuleBytes, maxScanBytes: *maxScanBytes,
 		preloads: flag.Args(), opts: opts,
-		logger: logger, slowScanMs: *slowScanMs,
+		logger: logger, slowScanMs: *slowScanMs, flightRecords: *flightRecords,
 		lazy: *lazy, tableBudget: *tableBudget, tenantBudget: *tenantBudget,
 	}
 	if err := run(cfg, nil, ctx.Done()); err != nil {
@@ -176,6 +189,9 @@ func run(cfg serverConfig, ready chan<- string, shutdown <-chan struct{}) error 
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	hub := serve.NewHub(cfg.opts...)
+	if cfg.flightRecords != serve.DefaultFlightRecords {
+		hub.SetFlightRecords(cfg.flightRecords)
+	}
 	if cfg.lazy {
 		hub.SetTableBudget(sfa.NewTableBudget(cfg.tableBudget), cfg.tenantBudget)
 	}

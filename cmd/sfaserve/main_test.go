@@ -207,6 +207,135 @@ func TestServePromScrapeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeFlightSmoke is the `make serve-smoke` flight-recorder half:
+// boot the real serve loop with a non-default -flight-records size,
+// scan, and round-trip /debug/scans and /debug/attribution.
+func TestServeFlightSmoke(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte("passwd /etc/passwd\ncmd (cmd|command)\\.exe\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	shutdown := make(chan struct{})
+	go func() {
+		cfg := serverConfig{
+			addr:          "127.0.0.1:0",
+			preloads:      []string{"ids=" + rules},
+			opts:          []sfa.Option{sfa.WithSearch(), sfa.WithThreads(2)},
+			flightRecords: 100, // rounds up to 128
+		}
+		errc <- run(cfg, ready, shutdown)
+	}()
+	defer close(shutdown)
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	payload := "GET /etc/passwd HTTP/1.1"
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/v1/tenants/ids/scan", "application/octet-stream",
+			strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan status %d", resp.StatusCode)
+		}
+	}
+
+	// Flight recorder: capacity reflects the flag, records carry the
+	// scans just made, newest first.
+	resp, err := http.Get(base + "/debug/scans?n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Capacity int `json:"capacity"`
+		Records  []struct {
+			Seq     uint64 `json:"seq"`
+			Tenant  string `json:"tenant"`
+			Bytes   int64  `json:"bytes"`
+			Matches int64  `json:"matches"`
+		} `json:"records"`
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/scans status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &flight); err != nil {
+		t.Fatalf("bad /debug/scans JSON %q: %v", raw, err)
+	}
+	if flight.Capacity != 128 {
+		t.Errorf("flight capacity %d, want 128 (100 rounded up)", flight.Capacity)
+	}
+	if len(flight.Records) != 3 {
+		t.Fatalf("flight has %d records, want 3: %s", len(flight.Records), raw)
+	}
+	for i, rec := range flight.Records {
+		if rec.Tenant != "ids" || rec.Bytes != int64(len(payload)) || rec.Matches != 1 {
+			t.Errorf("record %d: %+v", i, rec)
+		}
+		if i > 0 && flight.Records[i-1].Seq <= rec.Seq {
+			t.Errorf("records not newest-first: %+v", flight.Records)
+		}
+	}
+
+	// Attribution: the tenant's shard account and rule heat reflect the
+	// same traffic.
+	resp, err = http.Get(base + "/debug/attribution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attr struct {
+		Tenants map[string]struct {
+			Shards []struct {
+				ScanBytes int64 `json:"scan_bytes"`
+			} `json:"shards"`
+			RuleHeat []struct {
+				Name    string `json:"name"`
+				Matches int64  `json:"matches"`
+			} `json:"rule_heat"`
+		} `json:"tenants"`
+	}
+	raw = readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/attribution status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &attr); err != nil {
+		t.Fatalf("bad /debug/attribution JSON %q: %v", raw, err)
+	}
+	ta, ok := attr.Tenants["ids"]
+	if !ok || len(ta.Shards) == 0 {
+		t.Fatalf("attribution reply lacks the ids tenant: %s", raw)
+	}
+	var bytes int64
+	for _, sh := range ta.Shards {
+		bytes += sh.ScanBytes
+	}
+	if bytes == 0 {
+		t.Errorf("no bytes attributed to any shard: %s", raw)
+	}
+	heat := map[string]int64{}
+	for _, rh := range ta.RuleHeat {
+		heat[rh.Name] = rh.Matches
+	}
+	if heat["passwd"] != 3 {
+		t.Errorf("rule heat %v, want passwd=3", heat)
+	}
+}
+
 func readAll(t *testing.T, resp *http.Response) string {
 	t.Helper()
 	b, err := io.ReadAll(resp.Body)

@@ -179,8 +179,41 @@ func main() {
 		log.Fatal("the 4 MiB scan did not produce a slow-scan trace")
 	}
 
+	// The flight recorder caught every one of those scans in a fixed-size
+	// ring — zero allocations on the record path, so it is always on.
+	// Show the newest records: the big slow scan leads, with its
+	// read/prefilter/compose/match wall-time split.
+	var flight serve.FlightReply
+	req, _ := http.NewRequest(http.MethodGet, base+"/debug/scans?n=3", nil)
+	doJSON(req, &flight)
+	fmt.Printf("\nflight recorder (/debug/scans?n=3, ring of %d):\n", flight.Capacity)
+	fmt.Printf("%8s  %-8s  %9s  %7s  %10s  %10s  %10s  %8s\n",
+		"seq", "tenant", "bytes", "chunks", "read µs", "pref µs", "compose µs", "matches")
+	for _, rec := range flight.Records {
+		fmt.Printf("%8d  %-8s  %9d  %7d  %10.1f  %10.1f  %10.1f  %8d\n",
+			rec.Seq, rec.Tenant, rec.Bytes, rec.Chunks,
+			float64(rec.ReadNs)/1e3, float64(rec.PrefilterNs)/1e3, float64(rec.ComposeNs)/1e3, rec.Matches)
+	}
+
+	// Attribution: which shards cost what, and which rules actually fire.
+	var attr serve.AttributionReply
+	req, _ = http.NewRequest(http.MethodGet, base+"/debug/attribution?top=5", nil)
+	doJSON(req, &attr)
+	webAttr := attr.Tenants["web"]
+	fmt.Println("\nper-shard cost (/debug/attribution, tenant web):")
+	fmt.Printf("%5s  %5s  %-9s  %10s  %8s  %10s\n", "shard", "rules", "prefilter", "compose µs", "chunks", "MB scanned")
+	for _, sh := range webAttr.Shards {
+		fmt.Printf("%5d  %5d  %-9s  %10.1f  %8d  %10.2f\n",
+			sh.Shard, sh.Rules, sh.Prefilter, float64(sh.ComposeNs)/1e3, sh.ScanChunks, float64(sh.ScanBytes)/1e6)
+	}
+	fmt.Println("\nrule heat, hottest first (same endpoint):")
+	for _, rh := range webAttr.RuleHeat {
+		fmt.Printf("%-14s %6d matches\n", rh.Name, rh.Matches)
+	}
+
 	// The same observations, scrape-shaped: /metrics negotiates to
-	// Prometheus text exposition. Print the web tenant's scan series.
+	// Prometheus text exposition. Print the web tenant's scan series plus
+	// the new attribution rows.
 	resp, err := http.Get(base + "/metrics?format=prometheus")
 	if err != nil {
 		log.Fatal(err)
@@ -196,7 +229,10 @@ func main() {
 			strings.HasPrefix(line, "sfa_tenant_scan_bytes_total") ||
 			strings.HasPrefix(line, "sfa_scan_chunks_total") ||
 			strings.HasPrefix(line, "sfa_tenant_slow_scans_total") ||
-			strings.HasPrefix(line, "sfa_tenant_reloads_total") {
+			strings.HasPrefix(line, "sfa_tenant_reloads_total") ||
+			strings.HasPrefix(line, "sfa_build_info") ||
+			strings.HasPrefix(line, `sfa_rule_matches_total{tenant="web"`) ||
+			strings.HasPrefix(line, `sfa_shard_boundary_topk_coverage{tenant="web",shard="0"`) {
 			fmt.Println(line)
 		}
 	}

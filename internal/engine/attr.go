@@ -1,0 +1,29 @@
+package engine
+
+import "repro/internal/obs"
+
+// attribution is one engine's always-on scan-cost account: where the
+// shard's compose time went, how many chunks and bytes it actually
+// walked, and how many prefilter candidate windows it verified. Unlike
+// the opt-in ScanStats aggregate (shared across a tenant's shards and
+// reset per generation), attribution lives on the engine itself — hot
+// reloads reuse engines by pointer, so the account survives reloads and
+// answers "which shard costs" across the set's whole lifetime. All
+// fields are obs striped counters: recording is wait-free and
+// allocation-free, safe on the pooled hot paths.
+type attribution struct {
+	composeNs obs.Counter // ns spent scanning + ⊙-folding (one-shot runs and stream chunks)
+	chunks    obs.Counter // one-shot runs + stream chunks that reached the automaton
+	bytes     obs.Counter // input bytes this engine walked (chunks + candidate windows)
+	windows   obs.Counter // prefilter candidate windows verified via OrMask
+}
+
+// fill copies the account into an Info. (Candidate windows are counted
+// but not timed: a window is a short slice, and two clock reads per
+// window would cost more than the walk it measures.)
+func (a *attribution) fill(inf *Info) {
+	inf.ComposeNs = a.composeNs.Load()
+	inf.ScanChunks = a.chunks.Load()
+	inf.ScanBytes = a.bytes.Load()
+	inf.CandWindows = a.windows.Load()
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -39,6 +40,10 @@ type MultiSFA struct {
 	// — while stats may be shared by every engine of a tenant.
 	stats    *obs.ScanStats
 	boundary *obs.StateFreq
+
+	// attr is the always-on per-shard cost account (compose ns, chunks,
+	// bytes, candidate windows); see attribution.
+	attr attribution
 }
 
 // NewMultiSFA compiles the matcher. masks holds one accept bitmask of
@@ -126,19 +131,25 @@ func (m *MultiSFA) finalState(locals []int32) int32 {
 
 // run walks text with p chunks and returns the final combined-DFA state.
 func (m *MultiSFA) run(text []byte) int32 {
+	start := time.Now()
+	var q int32
 	p := m.threads
 	if p == 1 {
 		// Degenerate case: the chunk result is an SFA state; apply its
 		// mapping to the DFA start to land on the final DFA state.
 		f := m.runChunk(text)
-		return core.ApplyVec(m.s.Map(f), m.s.D.Start)
+		q = core.ApplyVec(m.s.Map(f), m.s.D.Start)
+	} else {
+		c := m.ctxs.Get().(*multiCtx)
+		c.text = text
+		dispatchChunks(c, &c.job, m.pool, m.spawn, p)
+		q = m.finalState(c.locals)
+		c.text = nil
+		m.ctxs.Put(c)
 	}
-	c := m.ctxs.Get().(*multiCtx)
-	c.text = text
-	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
-	q := m.finalState(c.locals)
-	c.text = nil
-	m.ctxs.Put(c)
+	m.attr.composeNs.Add(time.Since(start).Nanoseconds())
+	m.attr.chunks.Inc()
+	m.attr.bytes.Add(int64(len(text)))
 	return q
 }
 
@@ -157,6 +168,8 @@ func (m *MultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
 // would cost more than the walk, and OR-accumulation lets overlapping
 // windows of one input share a result buffer.
 func (m *MultiSFA) OrMask(text []byte, dst []uint64) {
+	m.attr.windows.Inc()
+	m.attr.bytes.Add(int64(len(text)))
 	f := m.runChunk(text)
 	q := core.ApplyVec(m.s.Map(f), m.s.D.Start)
 	row := m.masks[int(q)*m.words : (int(q)+1)*m.words]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -36,6 +37,10 @@ type LazyMultiSFA struct {
 	pool    *Pool
 	id      uint64
 	ctxs    sync.Pool // of *lazyMultiCtx
+
+	// attr is the always-on per-shard cost account (compose ns, chunks,
+	// bytes, candidate windows); see attribution.
+	attr attribution
 }
 
 // NewLazyMultiSFA wraps a lazy combined automaton as a shard engine.
@@ -117,6 +122,7 @@ func (m *LazyMultiSFA) runToVec(c *lazyMultiCtx, text []byte) []int16 {
 // iff rule r matches the whole input — into dst, which must have
 // Words() capacity. It returns dst[:Words()].
 func (m *LazyMultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
+	start := time.Now()
 	dst = dst[:m.words]
 	for i := range dst {
 		dst[i] = 0
@@ -124,6 +130,9 @@ func (m *LazyMultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
 	c := m.ctxs.Get().(*lazyMultiCtx)
 	m.t.OrAccept(m.runToVec(c, text), dst)
 	m.ctxs.Put(c)
+	m.attr.composeNs.Add(time.Since(start).Nanoseconds())
+	m.attr.chunks.Inc()
+	m.attr.bytes.Add(int64(len(text)))
 	return dst
 }
 
@@ -131,6 +140,8 @@ func (m *LazyMultiSFA) MatchMask(text []byte, dst []uint64) []uint64 {
 // accept bitmask into dst — the candidate-window primitive of the
 // literal prefilter, same contract as MultiSFA.OrMask.
 func (m *LazyMultiSFA) OrMask(text []byte, dst []uint64) {
+	m.attr.windows.Inc()
+	m.attr.bytes.Add(int64(len(text)))
 	c := m.ctxs.Get().(*lazyMultiCtx)
 	m.t.RunToVec(text, c.vecs[0])
 	m.t.OrAccept(c.vecs[0], dst)
@@ -177,9 +188,13 @@ func (m *LazyMultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []
 	if len(chunk) == 0 {
 		return cur, tmp
 	}
+	start := time.Now()
 	c := m.ctxs.Get().(*lazyMultiCtx)
 	m.t.Compose(tmp, cur, m.runToVec(c, chunk))
 	m.ctxs.Put(c)
+	m.attr.composeNs.Add(time.Since(start).Nanoseconds())
+	m.attr.chunks.Inc()
+	m.attr.bytes.Add(int64(len(chunk)))
 	return tmp, cur
 }
 
@@ -217,7 +232,7 @@ func (m *LazyMultiSFA) Name() string {
 // Info implements the shard-engine stats surface.
 func (m *LazyMultiSFA) Info() Info {
 	st := m.t.Stats()
-	return Info{
+	inf := Info{
 		DFAStates:     m.t.VecLen(), // Σ|Di|: no product DFA exists
 		SFAStates:     st.States,
 		Layout:        "lazy",
@@ -227,6 +242,8 @@ func (m *LazyMultiSFA) Info() Info {
 		Fills:         st.Fills,
 		Evictions:     st.Resets,
 	}
+	m.attr.fill(&inf)
+	return inf
 }
 
 // Info describes one shard engine for stats reporting, covering both
@@ -249,6 +266,15 @@ type Info struct {
 	// table. Nil/0 when stats are off or the engine is lazy.
 	HotStates []obs.StateCount
 	HotOther  int64
+
+	// Always-on cost attribution, accumulated over the engine's whole
+	// lifetime (hot reloads reuse engines, so these survive reloads):
+	// compose time, chunks and bytes the engine actually walked, and
+	// prefilter candidate windows it verified.
+	ComposeNs   int64
+	ScanChunks  int64
+	ScanBytes   int64
+	CandWindows int64
 }
 
 // Info implements the shard-engine stats surface for the eager engine.
@@ -262,5 +288,6 @@ func (m *MultiSFA) Info() Info {
 	if m.boundary != nil {
 		inf.HotStates, inf.HotOther = m.boundary.Snapshot()
 	}
+	m.attr.fill(&inf)
 	return inf
 }

@@ -146,6 +146,7 @@ func (m *MultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int1
 	if len(chunk) == 0 {
 		return cur, tmp
 	}
+	start := time.Now()
 	p := m.threads
 	if p < 2 || len(chunk) < streamSequentialMax {
 		f := m.runChunk(chunk)
@@ -160,8 +161,12 @@ func (m *MultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int1
 		m.ctxs.Put(c)
 	}
 	// Chunk latency/size aggregates are the caller's job (multi's
-	// SetStream records once per Write); the engine contributes only
-	// what it alone can see — the boundary-state frequency table.
+	// SetStream records once per Write); the engine contributes what it
+	// alone can see — the boundary-state frequency table (opt-in) and
+	// its own always-on per-shard cost account.
+	m.attr.composeNs.Add(time.Since(start).Nanoseconds())
+	m.attr.chunks.Inc()
+	m.attr.bytes.Add(int64(len(chunk)))
 	if m.stats != nil {
 		m.boundary.Record(int32(cur[m.s.D.Start]))
 	}

@@ -79,6 +79,7 @@ func (c Config) Ruleset() error {
 	fmt.Fprintf(w, "mode\tshards\tΣ|D|\tΣ|Sd|\ttables MiB\tbuild s\tMB/s\tcand%%\thits\t\n")
 	var oracle []string
 	haveOracle := false
+	var combined *sfa.RuleSet
 	reports := make([]sfa.BuildReport, 0, len(modes))
 	for _, m := range modes {
 		start := time.Now()
@@ -88,6 +89,9 @@ func (c Config) Ruleset() error {
 		}
 		build := time.Since(start)
 		reports = append(reports, rs.BuildReport())
+		if combined == nil {
+			combined = rs
+		}
 
 		var dStates, sStates int
 		var tableBytes int64
@@ -130,6 +134,31 @@ func (c Config) Ruleset() error {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\t%.1f\t\n",
 			m.name, r.PlanBins, r.Splits, r.Merges, r.CacheHits, r.Built,
 			float64(r.PrepNs)/1e6, float64(r.BuildNs)/1e6, float64(r.TotalNs)/1e6)
+	}
+	w.Flush()
+
+	// Cost attribution for the combined mode's runs — the same always-on
+	// account sfaserve exposes at /debug/attribution. The shard table says
+	// where scan time went; the heat table says which rules actually fire
+	// on this corpus (most never do — planted suspicion is rare).
+	c.header("Ruleset attribution — combined mode: per-shard cost and rule heat")
+	w = c.table()
+	fmt.Fprintf(w, "shard\trules\tprefilter\tcompose ms\tchunks\tMB scanned\tcand windows\t\n")
+	for i, sh := range combined.Shards() {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%.1f\t%d\t%.1f\t%d\t\n",
+			i, len(sh.Rules), sh.Prefilter,
+			float64(sh.ComposeNs)/1e6, sh.ScanChunks,
+			float64(sh.ScanBytes)/1e6, sh.CandWindows)
+	}
+	w.Flush()
+	heat := combined.RuleHeat()
+	if len(heat) > 10 {
+		heat = heat[:10]
+	}
+	w = c.table()
+	fmt.Fprintf(w, "rule (top %d by heat)\tmatches\t\n", len(heat))
+	for _, rh := range heat {
+		fmt.Fprintf(w, "%s\t%d\t\n", rh.Name, rh.Matches)
 	}
 	w.Flush()
 

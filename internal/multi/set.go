@@ -1,6 +1,7 @@
 package multi
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -41,10 +42,16 @@ type Set struct {
 	// SetStream.Write, regardless of how many shards the prefilter let
 	// skip the chunk. Written once before publication.
 	stats *obs.ScanStats
+	// heat counts, per global rule index, how many verdicts reported the
+	// rule as matched — accumulated allocation-free on the verdict path
+	// (Scan and SetStream.Mask) by popping the result mask's bits. Like
+	// the rest of the set's state it lives for one generation; reloads
+	// start a fresh table.
+	heat []atomic.Int64
 }
 
 func newSet(shards []*shard, rules int) *Set {
-	s := &Set{shards: shards, rules: rules, words: maskWords(rules)}
+	s := &Set{shards: shards, rules: rules, words: maskWords(rules), heat: make([]atomic.Int64, rules)}
 	s.ctxs.New = func() any {
 		c := &scanCtx{
 			bufs:  make([][]uint64, len(shards)),
@@ -102,6 +109,7 @@ func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 			sh.merge(dst, s.scanShard(i, data, c))
 		}
 		s.ctxs.Put(c)
+		s.recordHeat(dst)
 		return dst
 	}
 	c.next.Store(0)
@@ -126,7 +134,35 @@ func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 		sh.merge(dst, c.bufs[i])
 	}
 	s.ctxs.Put(c)
+	s.recordHeat(dst)
 	return dst
+}
+
+// recordHeat pops the set bits of a just-computed global verdict mask
+// into the per-rule heat table: one atomic add per matched rule, no
+// allocation, nothing at all on the (typical) all-zero mask.
+func (s *Set) recordHeat(mask []uint64) {
+	for w, v := range mask {
+		for v != 0 {
+			r := w<<6 + bits.TrailingZeros64(v)
+			if r < len(s.heat) {
+				s.heat[r].Add(1)
+			}
+			v &= v - 1
+		}
+	}
+}
+
+// RuleHeat returns a copy of the per-rule match counts, indexed by
+// global rule index: how many verdict computations (one-shot Scans and
+// stream Mask reads) reported each rule matched since the set was
+// built. The table resets with the set — a hot reload starts fresh.
+func (s *Set) RuleHeat() []int64 {
+	out := make([]int64, len(s.heat))
+	for i := range s.heat {
+		out[i] = s.heat[i].Load()
+	}
+	return out
 }
 
 // merge translates a shard-local result mask into global rule bits.
@@ -173,6 +209,13 @@ type ShardInfo struct {
 	// could not attribute.
 	HotStates []obs.StateCount
 	HotOther  int64
+	// Always-on cost attribution: time and traffic this shard's engine
+	// consumed. Engines are reused across hot reloads, so the account
+	// spans the engine's lifetime, not just the current generation.
+	ComposeNs   int64 // ns composing chunks / one-shot scans
+	ScanChunks  int64 // chunks + one-shot scans that reached the automaton
+	ScanBytes   int64 // bytes the engine actually walked
+	CandWindows int64 // prefilter candidate windows verified
 }
 
 // Shards reports per-shard statistics.
@@ -196,6 +239,10 @@ func (s *Set) Shards() []ShardInfo {
 			Evictions:     inf.Evictions,
 			HotStates:     inf.HotStates,
 			HotOther:      inf.HotOther,
+			ComposeNs:     inf.ComposeNs,
+			ScanChunks:    inf.ScanChunks,
+			ScanBytes:     inf.ScanBytes,
+			CandWindows:   inf.CandWindows,
 		}
 	}
 	return out

@@ -66,9 +66,14 @@ type SetStream struct {
 // cascade skipped vs scanned (the same semantics as the set-wide
 // PrefilterStats, scoped to this stream).
 type StreamStats struct {
-	Chunks             int64 `json:"chunks"`
-	Bytes              int64 `json:"bytes"`
+	Chunks int64 `json:"chunks"`
+	Bytes  int64 `json:"bytes"`
+	// ComposeNs is the total wall time spent advancing the stream
+	// (everything a Write does); PrefilterNs is the subset spent in the
+	// literal pass and candidate-window scans, so ComposeNs−PrefilterNs
+	// is pure carried-mapping composition.
 	ComposeNs          int64 `json:"compose_ns"`
+	PrefilterNs        int64 `json:"prefilter_ns"`
 	ShardChunksSkipped int64 `json:"shard_chunks_skipped"`
 	ShardChunksScanned int64 `json:"shard_chunks_scanned"`
 }
@@ -131,6 +136,7 @@ func (st *SetStream) Write(chunk []byte) {
 	start := time.Now()
 	if st.acc != nil {
 		st.writeWindows(chunk)
+		st.stat.PrefilterNs += time.Since(start).Nanoseconds()
 	}
 	for i, sh := range st.set.shards {
 		if st.bypass(i) {
@@ -343,6 +349,7 @@ func (st *SetStream) Mask(dst []uint64) []uint64 {
 		}
 		sh.merge(dst, sh.m.MatchMaskFrom(st.cur[i], st.local))
 	}
+	st.set.recordHeat(dst)
 	return dst
 }
 
@@ -395,6 +402,7 @@ func (st *SetStream) Compose(t *SetStream) error {
 	st.stat.Chunks += t.stat.Chunks
 	st.stat.Bytes += t.stat.Bytes
 	st.stat.ComposeNs += t.stat.ComposeNs
+	st.stat.PrefilterNs += t.stat.PrefilterNs
 	st.stat.ShardChunksSkipped += t.stat.ShardChunksSkipped
 	st.stat.ShardChunksScanned += t.stat.ShardChunksScanned
 	return nil

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingNil(t *testing.T) {
+	var g *Ring
+	if seq := g.Record(ScanRecord{Tenant: "x"}); seq != 0 {
+		t.Fatalf("nil ring Record = %d, want 0", seq)
+	}
+	if snap := g.Snapshot(10); snap != nil {
+		t.Fatalf("nil ring Snapshot = %v, want nil", snap)
+	}
+	if g.Cap() != 0 {
+		t.Fatalf("nil ring Cap = %d, want 0", g.Cap())
+	}
+	if NewRing(0) != nil || NewRing(-5) != nil {
+		t.Fatal("NewRing(n<=0) must return nil")
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	g := NewRing(4)
+	want := ScanRecord{
+		UnixNano: 123, Tenant: "web", Generation: 7, Bytes: 4096,
+		Chunks: 3, ReadNs: 10, PrefilterNs: 20, ComposeNs: 30,
+		MatchNs: 40, ShardChunksScanned: 5, ShardChunksSkipped: 2,
+		Matches: 1,
+	}
+	seq := g.Record(want)
+	if seq != 1 {
+		t.Fatalf("first seq = %d, want 1", seq)
+	}
+	snap := g.Snapshot(10)
+	if len(snap) != 1 {
+		t.Fatalf("len(snap) = %d, want 1", len(snap))
+	}
+	want.Seq = 1
+	if snap[0] != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", snap[0], want)
+	}
+}
+
+func TestRingWraparoundNewestFirst(t *testing.T) {
+	g := NewRing(4)
+	if g.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", g.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		g.Record(ScanRecord{Bytes: int64(i), Tenant: fmt.Sprintf("t%d", i)})
+	}
+	snap := g.Snapshot(100)
+	if len(snap) != 4 {
+		t.Fatalf("len(snap) = %d, want 4 after wraparound", len(snap))
+	}
+	for i, r := range snap {
+		wantSeq := uint64(10 - i)
+		if r.Seq != wantSeq || r.Bytes != int64(wantSeq) || r.Tenant != fmt.Sprintf("t%d", wantSeq) {
+			t.Fatalf("snap[%d] = %+v, want seq %d", i, r, wantSeq)
+		}
+	}
+	if snap = g.Snapshot(2); len(snap) != 2 || snap[0].Seq != 10 || snap[1].Seq != 9 {
+		t.Fatalf("Snapshot(2) = %+v", snap)
+	}
+}
+
+func TestRingTenantTruncation(t *testing.T) {
+	g := NewRing(1)
+	long := "tenant-name-well-past-the-32-byte-inline-limit"
+	g.Record(ScanRecord{Tenant: long})
+	snap := g.Snapshot(1)
+	if len(snap) != 1 || snap[0].Tenant != long[:ringTenantMax] {
+		t.Fatalf("truncated tenant = %q, want %q", snap[0].Tenant, long[:ringTenantMax])
+	}
+}
+
+func TestRingSizeRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{1, 1}, {3, 4}, {4, 4}, {100, 128}} {
+		if got := NewRing(tc.n).Cap(); got != tc.want {
+			t.Fatalf("NewRing(%d).Cap() = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// Concurrent writers + readers: every snapshotted record must be
+// internally consistent (all fields stamped from the same write), and
+// seqs strictly decreasing. Run under -race this also proves the slot
+// protocol is data-race free.
+func TestRingConcurrent(t *testing.T) {
+	g := NewRing(8)
+	const writers, per = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := int64(w*per + i)
+				g.Record(ScanRecord{
+					Tenant: "t", Bytes: v, Chunks: v, ComposeNs: v,
+					MatchNs: v, Matches: v,
+				})
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := g.Snapshot(8)
+			last := ^uint64(0)
+			for _, r := range snap {
+				if r.Seq >= last {
+					t.Errorf("seqs not strictly decreasing: %d then %d", last, r.Seq)
+					return
+				}
+				last = r.Seq
+				// All payload fields were stamped with the same value;
+				// a torn read that slipped the seq check would differ.
+				if r.Chunks != r.Bytes || r.ComposeNs != r.Bytes ||
+					r.MatchNs != r.Bytes || r.Matches != r.Bytes || r.Tenant != "t" {
+					t.Errorf("torn record: %+v", r)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	snap := g.Snapshot(8)
+	if len(snap) != 8 || snap[0].Seq != writers*per {
+		t.Fatalf("final snapshot: len %d, head seq %d, want 8 / %d", len(snap), snap[0].Seq, writers*per)
+	}
+}
+
+// The flight recorder's contract: recording a scan allocates nothing.
+func TestRingRecordZeroAlloc(t *testing.T) {
+	g := NewRing(256)
+	r := ScanRecord{
+		Tenant: "tenant-zero-alloc", Generation: 3, Bytes: 65536,
+		Chunks: 16, ReadNs: 1000, PrefilterNs: 200, ComposeNs: 5000,
+		MatchNs: 6000, ShardChunksScanned: 40, ShardChunksSkipped: 24,
+		Matches: 2,
+	}
+	if n := testing.AllocsPerRun(200, func() { g.Record(r) }); n != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestTopKCoverage(t *testing.T) {
+	uniform := []StateCount{{0, 25}, {1, 25}, {2, 25}, {3, 25}}
+	for _, tc := range []struct {
+		name  string
+		top   []StateCount
+		other int64
+		k     int
+		want  float64
+	}{
+		{"empty", nil, 0, 8, 0},
+		{"k-zero", uniform, 0, 0, 0},
+		{"uniform-top1", uniform, 0, 1, 0.25},
+		{"uniform-top2", uniform, 0, 2, 0.5},
+		{"uniform-all", uniform, 0, 4, 1},
+		{"uniform-k-past-end", uniform, 0, 100, 1},
+		{"single-hot", []StateCount{{7, 1000}}, 0, 1, 1},
+		{"hot-with-tail", []StateCount{{0, 90}, {1, 5}, {2, 5}}, 0, 1, 0.9},
+		{"overflow-dilutes", []StateCount{{0, 50}}, 50, 1, 0.5},
+		{"only-overflow", nil, 10, 4, 0},
+	} {
+		if got := TopKCoverage(tc.top, tc.other, tc.k); got != tc.want {
+			t.Fatalf("%s: TopKCoverage = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// End-to-end over a real StateFreq: 65+ distinct states force overflow
+// and the coverage fractions must stay exact against hand-computed
+// totals (table counts + overflow in the denominator).
+func TestTopKCoverageWithOverflow(t *testing.T) {
+	var f StateFreq
+	// One dominant state recorded 1000 times, then 200 distinct cold
+	// states once each — more than the 64-slot table can hold.
+	for i := 0; i < 1000; i++ {
+		f.Record(42)
+	}
+	const cold = 200
+	for s := int32(1000); s < 1000+cold; s++ {
+		f.Record(s)
+	}
+	top, other := f.Snapshot()
+	if other == 0 {
+		t.Fatalf("expected overflow with %d distinct states", cold+1)
+	}
+	if top[0].State != 42 || top[0].Count != 1000 {
+		t.Fatalf("hottest row = %+v, want state 42 ×1000", top[0])
+	}
+	var total int64
+	for _, r := range top {
+		total += r.Count
+	}
+	total += other
+	if total != 1000+cold {
+		t.Fatalf("mass lost: %d recorded, %d accounted", 1000+cold, total)
+	}
+	if got, want := TopKCoverage(top, other, 1), 1000.0/float64(1000+cold); got != want {
+		t.Fatalf("top-1 coverage = %v, want %v", got, want)
+	}
+	if got := TopKCoverage(top, other, freqSlots); got >= 1 {
+		t.Fatalf("coverage with overflow must stay < 1, got %v", got)
+	}
+}

@@ -63,6 +63,32 @@ type StateCount struct {
 	Count int64 `json:"count"`
 }
 
+// TopKCoverage returns the fraction of all recorded boundaries that
+// landed in the k hottest states of a StateFreq snapshot: Σ(top k
+// counts) / (Σ all counts + other). The overflow counter is part of the
+// denominator on purpose — states that did not fit the table are by
+// definition not "hot", so overflow dilutes coverage exactly as it
+// should. Returns 0 when nothing has been recorded. This single number
+// is the ROADMAP's speculation-viability answer: Ko-style boundary
+// prediction pays off when a small k already covers ~all boundaries.
+func TopKCoverage(top []StateCount, other int64, k int) float64 {
+	total := other
+	for _, sc := range top {
+		total += sc.Count
+	}
+	if total <= 0 || k <= 0 {
+		return 0
+	}
+	if k > len(top) {
+		k = len(top)
+	}
+	var hot int64
+	for _, sc := range top[:k] {
+		hot += sc.Count
+	}
+	return float64(hot) / float64(total)
+}
+
 // Snapshot returns the occupied rows sorted by descending count, plus
 // the overflow count (records that did not fit the table).
 func (f *StateFreq) Snapshot() (top []StateCount, other int64) {

@@ -241,12 +241,41 @@ type Hub struct {
 	tenantLimit int64
 	bmu         sync.Mutex
 	budgets     map[string]*sfa.TableBudget
+
+	// flight is the always-on scan flight recorder: the scan handler
+	// records one ScanRecord per request, /debug/scans reads the last N.
+	// Recording is wait-free and allocation-free, so it stays on at any
+	// scan rate; SetFlightRecords resizes or disables it.
+	flight *sfa.FlightRecorder
 }
+
+// DefaultFlightRecords is the number of scan records the hub's flight
+// recorder retains unless SetFlightRecords overrides it. 256 records ×
+// ~150 bytes is a fixed ~40 KiB — cheap enough to keep always on.
+const DefaultFlightRecords = 256
 
 // NewHub creates an empty hub; opts apply to every tenant's rule sets.
 func NewHub(opts ...sfa.Option) *Hub {
-	return &Hub{opts: opts, metrics: newMetrics(), tenants: make(map[string]*Ruleboard)}
+	return &Hub{
+		opts:    opts,
+		metrics: newMetrics(),
+		tenants: make(map[string]*Ruleboard),
+		flight:  sfa.NewFlightRecorder(DefaultFlightRecords),
+	}
 }
+
+// SetFlightRecords resizes the scan flight recorder to retain the last
+// n records (rounded up to a power of two); n <= 0 disables recording.
+// Call before serving, like SetState — the ring is swapped whole, not
+// migrated, so earlier records are dropped.
+func (h *Hub) SetFlightRecords(n int) {
+	h.flight = sfa.NewFlightRecorder(n)
+}
+
+// Flight returns the hub's scan flight recorder. It is nil when
+// recording is disabled — which the recorder's own methods tolerate, so
+// callers may use the result unconditionally.
+func (h *Hub) Flight() *sfa.FlightRecorder { return h.flight }
 
 // SetTableBudget routes every tenant's lazy shards (WithLazyCompile)
 // through per-tenant children of b: a tenant may charge at most

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	rpprof "runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -23,6 +24,8 @@ import (
 //
 //	GET    /healthz                   liveness
 //	GET    /metrics                   JSON counters (scans, reloads, snapshots)
+//	GET    /debug/scans               flight recorder: the last N scan records (?n=)
+//	GET    /debug/attribution         per-shard cost + rule heat + speculation report
 //	GET    /debug/pprof/*             Go profiling (only with WithProfiling)
 //	GET    /v1/tenants                list tenants with stats
 //	PUT    /v1/tenants/{name}         create or hot-reload (body: rules file)
@@ -89,6 +92,59 @@ type ShardStat struct {
 	// tenant scan stats attached); empty until the shard has streamed.
 	HotStates []sfa.StateCount `json:"hot_states,omitempty"`
 	HotOther  int64            `json:"hot_other,omitempty"`
+	// Always-on cost attribution over the engine's lifetime (reused
+	// shards keep their account across reloads).
+	ComposeNs   int64 `json:"compose_ns"`
+	ScanChunks  int64 `json:"scan_chunks"`
+	ScanBytes   int64 `json:"scan_bytes"`
+	CandWindows int64 `json:"cand_windows,omitempty"`
+}
+
+// FlightReply answers GET /debug/scans: the most recent scan records,
+// newest first, straight from the hub's flight recorder.
+type FlightReply struct {
+	// Capacity is how many records the ring retains (0 = recording off).
+	Capacity int `json:"capacity"`
+	// Records holds up to ?n= records (default 64), newest first. Gaps
+	// in the seq column mean records were overwritten between the write
+	// and this read — never reordered or torn.
+	Records []sfa.ScanRecord `json:"records"`
+}
+
+// AttributionReply answers GET /debug/attribution: per tenant, which
+// shards cost and which rules fire, plus the speculation-viability
+// report — the drill-down the aggregate /metrics series cannot give.
+type AttributionReply struct {
+	Tenants map[string]TenantAttribution `json:"tenants"`
+}
+
+// TenantAttribution is one tenant's attribution document.
+type TenantAttribution struct {
+	Generation uint64 `json:"generation"`
+	// Shards carries the per-shard cost account. Engine counters
+	// survive hot reloads (reused shards keep accumulating), so the
+	// numbers span the engine's lifetime, not just this generation.
+	Shards []ShardAttribution `json:"shards"`
+	// RuleHeat is the hottest ?top= rules (default 20), descending by
+	// match count; rules that never matched are included only while
+	// they fit. RuleHeatOmitted counts the rows cut by the cap.
+	RuleHeat        []sfa.RuleHeat `json:"rule_heat"`
+	RuleHeatOmitted int            `json:"rule_heat_omitted,omitempty"`
+	// Speculation is the boundary-state concentration report (see
+	// sfa.SpeculationReport); empty when the tenant has not streamed.
+	Speculation sfa.SpeculationReport `json:"speculation"`
+}
+
+// ShardAttribution is one shard's cost row.
+type ShardAttribution struct {
+	Shard       int    `json:"shard"`
+	Rules       int    `json:"rules"`
+	Prefilter   string `json:"prefilter"`
+	Lazy        bool   `json:"lazy,omitempty"`
+	ComposeNs   int64  `json:"compose_ns"`
+	ScanChunks  int64  `json:"scan_chunks"`
+	ScanBytes   int64  `json:"scan_bytes"`
+	CandWindows int64  `json:"cand_windows,omitempty"`
 }
 
 // LoadReply answers PUT /v1/tenants/{name}.
@@ -328,6 +384,66 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, metricsReply(h))
 	})
+	mux.HandleFunc("GET /debug/scans", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+				return
+			}
+			n = v
+		}
+		fl := h.Flight()
+		recs := fl.Snapshot(n)
+		if recs == nil {
+			recs = []sfa.ScanRecord{}
+		}
+		writeJSON(w, http.StatusOK, FlightReply{Capacity: fl.Cap(), Records: recs})
+	})
+	mux.HandleFunc("GET /debug/attribution", func(w http.ResponseWriter, r *http.Request) {
+		top := 20
+		if q := r.URL.Query().Get("top"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", q))
+				return
+			}
+			top = v
+		}
+		reply := AttributionReply{Tenants: map[string]TenantAttribution{}}
+		for _, name := range h.Names() {
+			b, ok := h.Tenant(name)
+			if !ok {
+				continue
+			}
+			rs, gen := b.Snapshot()
+			ta := TenantAttribution{Generation: gen, Speculation: rs.SpeculationReport()}
+			for i, sh := range rs.Shards() {
+				ta.Shards = append(ta.Shards, ShardAttribution{
+					Shard:       i,
+					Rules:       len(sh.Rules),
+					Prefilter:   sh.Prefilter,
+					Lazy:        sh.Lazy,
+					ComposeNs:   sh.ComposeNs,
+					ScanChunks:  sh.ScanChunks,
+					ScanBytes:   sh.ScanBytes,
+					CandWindows: sh.CandWindows,
+				})
+			}
+			heat := rs.RuleHeat()
+			if len(heat) > top {
+				ta.RuleHeatOmitted = len(heat) - top
+				heat = heat[:top]
+			}
+			if heat == nil {
+				heat = []sfa.RuleHeat{}
+			}
+			ta.RuleHeat = heat
+			reply.Tenants[name] = ta
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
 	if cfg.profiling {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -464,9 +580,29 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 		tm.ScanBytes.Add(st.Bytes())
 		tm.ReadNs.Observe(readNs)
 		tm.MatchNs.Observe(matchNs)
+		ss := st.Stats()
+		// Flight recorder: one record per scan, unconditionally — unlike
+		// the threshold-gated slow-scan log below, the last N scans are
+		// always reconstructible from /debug/scans. Record is wait-free
+		// and allocation-free. The stream's ComposeNs measures the whole
+		// Write advance; the prefilter share is split out so the record's
+		// prefilter/compose columns partition the streaming work.
+		h.Flight().Record(sfa.ScanRecord{
+			UnixNano:           start.UnixNano(),
+			Tenant:             name,
+			Generation:         int64(st.Generation()),
+			Bytes:              st.Bytes(),
+			Chunks:             ss.Chunks,
+			ReadNs:             readNs,
+			PrefilterNs:        ss.PrefilterNs,
+			ComposeNs:          ss.ComposeNs - ss.PrefilterNs,
+			MatchNs:            matchNs,
+			ShardChunksScanned: ss.ShardChunksScanned,
+			ShardChunksSkipped: ss.ShardChunksSkipped,
+			Matches:            int64(len(matches)),
+		})
 		if total := time.Since(start); cfg.slowLog != nil && total >= cfg.slowScan {
 			tm.SlowScans.Add(1)
-			ss := st.Stats()
 			cfg.slowLog.LogAttrs(r.Context(), slog.LevelWarn, "slow scan",
 				slog.String("tenant", name),
 				slog.Uint64("generation", st.Generation()),
@@ -476,6 +612,7 @@ func NewHandler(h *Hub, opts ...HandlerOption) http.Handler {
 				slog.Int64("match_ns", matchNs),
 				slog.Int64("chunks", ss.Chunks),
 				slog.Int64("compose_ns", ss.ComposeNs),
+				slog.Int64("prefilter_ns", ss.PrefilterNs),
 				slog.Int64("shard_chunks_scanned", ss.ShardChunksScanned),
 				slog.Int64("shard_chunks_skipped", ss.ShardChunksSkipped),
 				slog.Int("matches", len(matches)),

@@ -2,7 +2,11 @@ package serve
 
 import (
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -36,6 +40,10 @@ type promRow struct {
 	pf       sfa.PrefilterStats
 	build    sfa.BuildReport
 	lazy     lazyTotals
+	// infos/heat feed the per-shard attribution and per-rule heat rows
+	// (heat arrives hottest-first from RuleSet.RuleHeat).
+	infos []sfa.ShardInfo
+	heat  []sfa.RuleHeat
 
 	budget *sfa.TableBudget
 }
@@ -69,7 +77,9 @@ func promRows(h *Hub) []promRow {
 			row.shards = rs.NumShards()
 			row.pf = rs.PrefilterStats()
 			row.build = rs.BuildReport()
-			for _, sh := range rs.Shards() {
+			row.infos = rs.Shards()
+			row.heat = rs.RuleHeat()
+			for _, sh := range row.infos {
 				row.tableB += sh.TableBytes
 				if sh.Lazy {
 					row.lazy.shards++
@@ -94,6 +104,11 @@ func writeProm(w io.Writer, h *Hub) error {
 
 	p.Gauge("sfa_uptime_seconds", "Seconds since the hub started.",
 		time.Since(m.start).Seconds())
+	p.Gauge("sfa_process_start_time_seconds", "Unix time the hub started, for uptime math and deploy correlation.",
+		float64(m.start.Unix()))
+	commit, gover := buildInfo()
+	p.Gauge("sfa_build_info", "Constant 1; the labels identify the running build.",
+		1, "commit", commit, "go_version", gover)
 
 	// Restore / persistence.
 	p.Counter("sfa_restore_warm_total", "Tenants restored whole from snapshot.", m.warmLoads.Load())
@@ -178,6 +193,11 @@ func writeProm(w io.Writer, h *Hub) error {
 		}
 	}
 
+	// Per-shard cost attribution, per-rule match heat, and the
+	// speculation-viability coverage gauges — all under cardinality caps
+	// (see writePromAttribution).
+	writePromAttribution(p, rows)
+
 	// Prefilter cascade. The dynamic counters reset on reload (they
 	// belong to the generation), which Prometheus counters tolerate.
 	writePromPrefilter(p, rows)
@@ -195,6 +215,105 @@ func writeProm(w io.Writer, h *Hub) error {
 
 	obs.WriteRuntimeMetrics(p)
 	return p.Flush()
+}
+
+// Label-cardinality caps for the attribution series. Shard indices are
+// already bounded in practice (the planner produces a handful), but a
+// pathological set could shard per rule; everything past the cap is
+// summed into shard="other" so totals stay exact. Rule series exist
+// only for rules that actually matched, the hottest promRuleCap of
+// them; the rest aggregate into rule="_other" ("_" cannot start a rule
+// name, so the sentinel cannot collide). Both caps are documented in
+// docs/observability.md — change them there too.
+const (
+	promShardCap = 64
+	promRuleCap  = 32
+)
+
+// writePromAttribution emits the per-shard cost account, the boundary
+// top-k coverage gauges, and the per-rule match heat, metric-major.
+func writePromAttribution(p *obs.PromWriter, rows []promRow) {
+	shardCounter := func(name, help string, v func(sfa.ShardInfo) int64) {
+		for _, r := range rows {
+			if !r.resident {
+				continue
+			}
+			var other int64
+			for i, sh := range r.infos {
+				if i < promShardCap {
+					p.Counter(name, help, v(sh), "tenant", r.name, "shard", strconv.Itoa(i))
+				} else {
+					other += v(sh)
+				}
+			}
+			if len(r.infos) > promShardCap {
+				p.Counter(name, help, other, "tenant", r.name, "shard", "other")
+			}
+		}
+	}
+	shardCounter("sfa_shard_compose_ns_total", "Wall time this shard's engine spent composing chunks and one-shot scans.",
+		func(s sfa.ShardInfo) int64 { return s.ComposeNs })
+	shardCounter("sfa_shard_scan_chunks_total", "Chunks and one-shot scans that reached this shard's automaton.",
+		func(s sfa.ShardInfo) int64 { return s.ScanChunks })
+	shardCounter("sfa_shard_scan_bytes_total", "Bytes this shard's automaton actually walked.",
+		func(s sfa.ShardInfo) int64 { return s.ScanBytes })
+	shardCounter("sfa_shard_candidate_windows_total", "Prefilter candidate windows this shard verified.",
+		func(s sfa.ShardInfo) int64 { return s.CandWindows })
+
+	// Boundary-state concentration per eager shard: the fraction of
+	// chunk boundaries covered by the k hottest states, k ∈ {1,4,8} —
+	// the ROADMAP's speculation-viability readout. Only shards that
+	// recorded samples emit (the table fills via WithScanStats, which
+	// the hub attaches per tenant).
+	for _, r := range rows {
+		if !r.resident {
+			continue
+		}
+		for i, sh := range r.infos {
+			if i >= promShardCap || sh.Lazy {
+				continue
+			}
+			samples := sh.HotOther
+			for _, sc := range sh.HotStates {
+				samples += sc.Count
+			}
+			if samples == 0 {
+				continue
+			}
+			for _, k := range []int{1, 4, 8} {
+				p.Gauge("sfa_shard_boundary_topk_coverage",
+					"Fraction of chunk boundaries landing in the shard's k hottest states.",
+					obs.TopKCoverage(sh.HotStates, sh.HotOther, k),
+					"tenant", r.name, "shard", strconv.Itoa(i), "k", strconv.Itoa(k))
+			}
+		}
+	}
+
+	// Per-rule match heat: hottest first, capped; the tail sums into
+	// rule="_other". Rules with zero matches emit nothing.
+	for _, r := range rows {
+		if !r.resident {
+			continue
+		}
+		var other int64
+		emitted := 0
+		for _, rh := range r.heat {
+			if rh.Matches == 0 {
+				break // heat is sorted descending: the rest are zero too
+			}
+			if emitted < promRuleCap {
+				p.Counter("sfa_rule_matches_total", "Verdicts that reported this rule matched.",
+					rh.Matches, "tenant", r.name, "rule", rh.Name)
+				emitted++
+			} else {
+				other += rh.Matches
+			}
+		}
+		if other > 0 {
+			p.Counter("sfa_rule_matches_total", "Verdicts that reported this rule matched.",
+				other, "tenant", r.name, "rule", "_other")
+		}
+	}
 }
 
 func writePromPrefilter(p *obs.PromWriter, rows []promRow) {
@@ -373,6 +492,26 @@ func writePromPools(p *obs.PromWriter, pools ...poolRow) {
 		}
 	}
 }
+
+// buildInfo resolves the vcs commit and Go version baked into the
+// running binary, once; "unknown" when built without vcs stamping
+// (e.g. `go test` or a non-repo build).
+var buildInfoOnce = sync.OnceValues(func() (string, string) {
+	commit, gover := "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			gover = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+			}
+		}
+	}
+	return commit, gover
+})
+
+func buildInfo() (commit, goVersion string) { return buildInfoOnce() }
 
 func b2f(b bool) float64 {
 	if b {

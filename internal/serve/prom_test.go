@@ -293,6 +293,111 @@ func TestMetricsPromExposition(t *testing.T) {
 	}
 }
 
+// TestPromAttributionSeries drives traffic through one tenant and
+// asserts the attribution surface: build identity, per-shard cost
+// counters, per-rule match heat, and the boundary top-k coverage gauges
+// (with their k-monotonicity invariant).
+func TestPromAttributionSeries(t *testing.T) {
+	hub := NewHub(sfa.WithSearch())
+	srv := httptest.NewServer(NewHandler(hub))
+	defer srv.Close()
+
+	if _, _, _, err := hub.SetRules("web", promTestDefs()); err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("innocent traffic ", 4096) + "evil42payload"
+	for i := 0; i < 3; i++ {
+		doJSON[ScanReply](t, srv.Client(), "POST", srv.URL+"/v1/tenants/web/scan",
+			strings.NewReader(payload), http.StatusOK)
+	}
+
+	doc := scrapeProm(t, srv.Client(), srv.URL)
+
+	// Build identity: one constant-1 info series with both labels, and a
+	// plausible start time.
+	infos := 0
+	for series, v := range doc.samples {
+		if strings.HasPrefix(series, "sfa_build_info{") {
+			infos++
+			if v != 1 {
+				t.Errorf("%s = %v, want 1", series, v)
+			}
+			if !strings.Contains(series, `commit="`) || !strings.Contains(series, `go_version="go`) {
+				t.Errorf("build info labels incomplete: %s", series)
+			}
+		}
+	}
+	if infos != 1 {
+		t.Errorf("want exactly one sfa_build_info series, got %d", infos)
+	}
+	if doc.get(t, "sfa_process_start_time_seconds") <= 0 {
+		t.Error("process start time missing or zero")
+	}
+
+	// Per-shard cost: the scanned bytes must be attributed somewhere.
+	var shardBytes, shardChunks float64
+	for series, v := range doc.samples {
+		if strings.HasPrefix(series, `sfa_shard_scan_bytes_total{tenant="web"`) {
+			shardBytes += v
+		}
+		if strings.HasPrefix(series, `sfa_shard_scan_chunks_total{tenant="web"`) {
+			shardChunks += v
+		}
+	}
+	if shardBytes <= 0 || shardChunks <= 0 {
+		t.Errorf("shard attribution empty: bytes=%v chunks=%v", shardBytes, shardChunks)
+	}
+
+	// Rule heat: three scans hit "evil" three times; "beacon" never
+	// matched, so it must not emit a series at all.
+	if got := doc.get(t, `sfa_rule_matches_total{tenant="web",rule="evil"}`); got != 3 {
+		t.Errorf("rule heat for evil = %v, want 3", got)
+	}
+	if _, ok := doc.samples[`sfa_rule_matches_total{tenant="web",rule="beacon"}`]; ok {
+		t.Error("zero-match rule emitted a heat series")
+	}
+
+	// Boundary top-k coverage: present for at least one eager shard, in
+	// (0, 1], and monotone in k per shard.
+	cov := map[string]map[int]float64{} // shard -> k -> coverage
+	for series, v := range doc.samples {
+		if !strings.HasPrefix(series, `sfa_shard_boundary_topk_coverage{tenant="web"`) {
+			continue
+		}
+		var shard, k string
+		for _, part := range strings.Split(series[strings.IndexByte(series, '{')+1:len(series)-1], ",") {
+			if s, ok := strings.CutPrefix(part, `shard="`); ok {
+				shard = strings.TrimSuffix(s, `"`)
+			}
+			if s, ok := strings.CutPrefix(part, `k="`); ok {
+				k = strings.TrimSuffix(s, `"`)
+			}
+		}
+		ki, err := strconv.Atoi(k)
+		if err != nil || shard == "" {
+			t.Fatalf("bad coverage labels: %s", series)
+		}
+		if v <= 0 || v > 1 {
+			t.Errorf("%s = %v, want in (0, 1]", series, v)
+		}
+		if cov[shard] == nil {
+			cov[shard] = map[int]float64{}
+		}
+		cov[shard][ki] = v
+	}
+	if len(cov) == 0 {
+		t.Fatal("no boundary coverage gauges for the streamed tenant")
+	}
+	for shard, ks := range cov {
+		if len(ks) != 3 {
+			t.Errorf("shard %s has %d coverage points, want k in {1,4,8}", shard, len(ks))
+		}
+		if ks[1] > ks[4] || ks[4] > ks[8] {
+			t.Errorf("shard %s coverage not monotone in k: %v", shard, ks)
+		}
+	}
+}
+
 // TestPromMonotonicUnderConcurrentScansAndReloads scrapes the endpoint
 // while scans and hot reloads hammer the hub, asserting the persistent
 // counters never go backwards between scrapes. Run under -race this is

@@ -1,6 +1,8 @@
 package sfa
 
 import (
+	"sort"
+
 	"repro/internal/multi"
 	"repro/internal/obs"
 )
@@ -53,4 +55,136 @@ func (rs *RuleSet) BuildReport() BuildReport {
 		return BuildReport{}
 	}
 	return rs.set.BuildReport()
+}
+
+// ScanRecord is one scan's flight-recorder entry: tenant, size, and the
+// per-stage wall-time split (read / prefilter / compose / match). See
+// FlightRecorder.
+type ScanRecord = obs.ScanRecord
+
+// FlightRecorder is the always-on scan flight recorder: a fixed-size
+// lock-free ring holding the last N ScanRecords. Record is wait-free
+// and allocation-free; Snapshot returns the most recent records newest
+// first. A nil recorder is inert, so callers need no enable branch.
+// The serving stack keeps one per hub and exposes it at /debug/scans;
+// library users can embed their own around any scan loop.
+type FlightRecorder = obs.Ring
+
+// NewFlightRecorder returns a recorder retaining the last n scans
+// (rounded up to a power of two); n <= 0 returns nil (recording off).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewRing(n) }
+
+// RuleHeat is one rule's row of the match-heat table.
+type RuleHeat struct {
+	Name    string `json:"name"`
+	Matches int64  `json:"matches"`
+}
+
+// RuleHeat returns the per-rule match counts, hottest first (ties in
+// definition order): how many verdict computations — one-shot
+// MatchMask/Scan calls and RuleStream.Mask reads — reported each rule
+// matched since this set was built. Accumulation rides the verdict
+// path allocation-free (one popcount loop over the result mask), so
+// the table is always on. Rebuild starts a fresh table, like
+// PrefilterStats. Isolated-mode sets return nil.
+func (rs *RuleSet) RuleHeat() []RuleHeat {
+	if rs.set == nil {
+		return nil
+	}
+	counts := rs.set.RuleHeat()
+	out := make([]RuleHeat, len(counts))
+	for i, n := range counts {
+		out[i] = RuleHeat{Name: rs.defs[i].Name, Matches: n}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Matches > out[b].Matches })
+	return out
+}
+
+// Speculation-viability thresholds: the default reading of a
+// SpeculationReport. Ko-style speculative chunk matching predicts each
+// chunk's boundary state and verifies; it pays off only when a small
+// prediction set covers almost every boundary. "Top-8 states cover at
+// least 90% of boundaries, measured over at least 1024 chunks" is the
+// bar this package applies — see docs/observability.md for how to
+// reason about other operating points.
+const (
+	// SpeculationMinSamples is the minimum boundary-sample count before
+	// a shard's coverage number is considered meaningful.
+	SpeculationMinSamples = 1024
+	// SpeculationTopK is the prediction-set size the viability verdict
+	// evaluates.
+	SpeculationTopK = 8
+	// SpeculationMinCoverage is the top-k coverage fraction a shard must
+	// reach for speculation to be worth building.
+	SpeculationMinCoverage = 0.9
+)
+
+// ShardSpeculation is one eager shard's boundary-state concentration
+// measurement.
+type ShardSpeculation struct {
+	Shard    int   `json:"shard"`
+	Samples  int64 `json:"samples"`  // chunk boundaries recorded
+	Distinct int   `json:"distinct"` // distinct states the table attributed
+	Other    int64 `json:"other"`    // boundaries outside the fixed table
+	// TopK[k] is the fraction of boundaries landing in the k hottest
+	// states, for k ∈ {1, 4, 8}.
+	Top1 float64 `json:"top1_coverage"`
+	Top4 float64 `json:"top4_coverage"`
+	Top8 float64 `json:"top8_coverage"`
+	// Viable applies the package thresholds to this shard alone.
+	Viable bool `json:"viable"`
+}
+
+// SpeculationReport summarizes boundary-state concentration across the
+// set's eager shards — the measurement that decides whether building
+// the Ko-style speculative chunk fast path would pay off.
+type SpeculationReport struct {
+	// Shards holds one row per eager shard that recorded boundary
+	// samples. Lazy shards and shards that never streamed are absent.
+	Shards []ShardSpeculation `json:"shards"`
+	// Measured is true when at least one shard reached
+	// SpeculationMinSamples — below that the coverage numbers are noise.
+	Measured bool `json:"measured"`
+	// Viable is true when Measured and every measured shard clears
+	// SpeculationMinCoverage at SpeculationTopK. One cold shard spoils
+	// it by design: speculation mispredictions cost a full re-scan, so
+	// the fast path must hold across the whole set.
+	Viable bool `json:"viable"`
+}
+
+// SpeculationReport computes the boundary-state concentration report
+// from the shards' StateFreq tables. The tables fill only when the set
+// scans with an attached ScanStats (WithScanStats) through the
+// streaming path; without that the report is empty and not Measured.
+func (rs *RuleSet) SpeculationReport() SpeculationReport {
+	var rep SpeculationReport
+	allViable := true
+	for i, sh := range rs.Shards() {
+		samples := sh.HotOther
+		for _, sc := range sh.HotStates {
+			samples += sc.Count
+		}
+		if samples == 0 {
+			continue
+		}
+		row := ShardSpeculation{
+			Shard:    i,
+			Samples:  samples,
+			Distinct: len(sh.HotStates),
+			Other:    sh.HotOther,
+			Top1:     obs.TopKCoverage(sh.HotStates, sh.HotOther, 1),
+			Top4:     obs.TopKCoverage(sh.HotStates, sh.HotOther, 4),
+			Top8:     obs.TopKCoverage(sh.HotStates, sh.HotOther, SpeculationTopK),
+		}
+		row.Viable = samples >= SpeculationMinSamples && row.Top8 >= SpeculationMinCoverage
+		if samples >= SpeculationMinSamples {
+			rep.Measured = true
+			if !row.Viable {
+				allViable = false
+			}
+		}
+		rep.Shards = append(rep.Shards, row)
+	}
+	rep.Viable = rep.Measured && allViable
+	return rep
 }

@@ -338,6 +338,14 @@ type ShardInfo struct {
 	// warm-start set Ko-style speculative chunk matching would use.
 	HotStates []StateCount
 	HotOther  int64
+	// Always-on cost attribution: wall time and traffic this shard's
+	// engine consumed, accumulated over the engine's lifetime. Rebuild
+	// reuses unchanged engines, so a reused shard's account spans
+	// generations — exactly what "which shard costs" needs.
+	ComposeNs   int64 // ns composing chunks / one-shot scans
+	ScanChunks  int64 // chunks + one-shot scans that reached the automaton
+	ScanBytes   int64 // bytes the engine actually walked
+	CandWindows int64 // prefilter candidate windows verified
 }
 
 // Shards reports per-shard statistics; in isolated mode every rule is
@@ -377,6 +385,10 @@ func (rs *RuleSet) Shards() []ShardInfo {
 			Evictions:     info.Evictions,
 			HotStates:     info.HotStates,
 			HotOther:      info.HotOther,
+			ComposeNs:     info.ComposeNs,
+			ScanChunks:    info.ScanChunks,
+			ScanBytes:     info.ScanBytes,
+			CandWindows:   info.CandWindows,
 		}
 	}
 	return out
