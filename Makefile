@@ -1,4 +1,5 @@
-# CI entry points. `make ci` is the gate: vet + build + docs checks
+# CI entry points. `make ci` is the gate: vet + sfavet (the first-party
+# static-analysis suite of docs/static-analysis.md) + build + docs checks
 # (markdown links + stale documented options) + race tests + fuzz smoke
 # runs (the multi-pattern match oracle and the snapshot decoder) + the
 # sfaserve serving smoke (server boot, rule load, hot reload under
@@ -18,13 +19,22 @@
 GO ?= go
 BENCH_JSON ?= BENCH_9.json
 
-.PHONY: build vet test race docs-check fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
+.PHONY: build vet lint test race docs-check fuzz-smoke serve-smoke snapshot-smoke bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
 
+# Standard vet. copylocks (catches by-value copies of the obs wrapper
+# atomics and sync types) and lostcancel are in vet's default check set,
+# so they need no flags here.
 vet:
 	$(GO) vet ./...
+
+# First-party analyzers (internal/lint): atomicfield, hotpathalloc,
+# pooldispatch, borrowedtable. Annotation grammar and escape hatches are
+# documented in docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/sfavet ./...
 
 test:
 	$(GO) test ./...
@@ -80,4 +90,4 @@ bench-json:
 		-zero-alloc 'Hotpath.*Pooled' -zero-alloc 'StreamHotpath' \
 		-zero-alloc 'Instrumented' -zero-alloc 'FlightRecorded'
 
-ci: vet build docs-check race fuzz-smoke serve-smoke snapshot-smoke bench-smoke
+ci: vet lint build docs-check race fuzz-smoke serve-smoke snapshot-smoke bench-smoke

@@ -7,7 +7,11 @@
 //  2. stale-option check — every `With...` option name the docs mention
 //     must be declared as a function somewhere in the Go source, so a
 //     renamed or removed sfa.With* / engine.With* option fails CI
-//     instead of rotting in the README.
+//     instead of rotting in the README;
+//  3. stale-annotation check — every `//sfa:<name>` analyzer annotation
+//     the docs mention (see docs/static-analysis.md) must occur in some
+//     .go file (analyzer fixtures count), so the documented grammar
+//     cannot drift from what sfavet actually recognizes.
 //
 // Run from the repo root (make docs-check does): docscheck [-root dir].
 // Exits 1 listing every violation.
@@ -40,13 +44,15 @@ var (
 	optionRe = regexp.MustCompile(`\bWith(?:out)?[A-Z]\w*`)
 	// declRe matches option constructors in Go source.
 	declRe = regexp.MustCompile(`(?m)^func (With(?:out)?[A-Z]\w*)\(`)
+	// directiveRe matches sfavet annotations in docs and Go source.
+	directiveRe = regexp.MustCompile(`//sfa:[a-z]+`)
 )
 
 func main() {
 	root := flag.String("root", ".", "repository root")
 	flag.Parse()
 
-	declared, err := declaredOptions(*root)
+	declared, annotations, err := declaredInSource(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		os.Exit(1)
@@ -81,6 +87,12 @@ func main() {
 		for _, opt := range optionRe.FindAllString(text, -1) {
 			if !declared[opt] {
 				problems = append(problems, fmt.Sprintf("%s: documents option %s, which no Go source declares", rel, opt))
+			}
+		}
+
+		for _, ann := range directiveRe.FindAllString(text, -1) {
+			if !annotations[ann] {
+				problems = append(problems, fmt.Sprintf("%s: documents annotation %s, which no Go source uses", rel, ann))
 			}
 		}
 	}
@@ -119,33 +131,42 @@ func collectDocs(root string) []string {
 	return out
 }
 
-// declaredOptions scans every non-test .go file for top-level With*
-// constructors, in any package — docs legitimately reference both
-// sfa.With* and engine.With* options.
-func declaredOptions(root string) (map[string]bool, error) {
-	decls := map[string]bool{}
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+// declaredInSource scans the Go tree for (a) top-level With*
+// constructors in non-test files, in any package — docs legitimately
+// reference both sfa.With* and engine.With* options — and (b) //sfa:
+// analyzer annotations anywhere, analyzer fixtures included (the
+// fixtures are the specification of each annotation's behaviour, so an
+// annotation that exists only there is still real).
+func declaredInSource(root string) (decls, annotations map[string]bool, err error) {
+	decls, annotations = map[string]bool{}, map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if d.IsDir() {
-			name := d.Name()
-			if name == ".git" || name == "testdata" {
+			if d.Name() == ".git" {
 				return filepath.SkipDir
 			}
 			return nil
 		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+		if !strings.HasSuffix(path, ".go") {
 			return nil
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		for _, m := range declRe.FindAllStringSubmatch(string(data), -1) {
+		text := string(data)
+		for _, ann := range directiveRe.FindAllString(text, -1) {
+			annotations[ann] = true
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		for _, m := range declRe.FindAllStringSubmatch(text, -1) {
 			decls[m[1]] = true
 		}
 		return nil
 	})
-	return decls, err
+	return decls, annotations, err
 }

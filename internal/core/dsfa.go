@@ -178,6 +178,8 @@ func (s *DSFA) finalize() {
 // are unaffected, and StateOf resolves to the first id holding the
 // vector. The accept vector and dead-mapping id are derived here; the
 // StateOf index is built lazily on first use.
+//sfa:borrowed nextC maps
+//sfa:adopts
 func NewDSFAFromParts(d *dfa.DFA, start int32, nextC []int32, maps []int16) (*DSFA, error) {
 	if d.NumStates > MaxDFAStates {
 		return nil, fmt.Errorf("core: DFA has %d states, D-SFA construction limit is %d",
@@ -300,6 +302,7 @@ func (s *DSFA) Table256() []int32 {
 // (reverse composition f ⊙ g = g ∘ f) restricted to D-SFA mappings; the
 // parallel reduction of Algorithm 5 folds chunk results with it.
 // h must not alias f or g.
+//sfa:borrowed f g
 func ComposeVec(h, f, g []int16) {
 	for q := range h {
 		h[q] = g[f[q]]
@@ -308,6 +311,7 @@ func ComposeVec(h, f, g []int16) {
 
 // ApplyVec returns f(q): the single-state application used by the O(p)
 // sequential reduction of Algorithm 5.
+//sfa:borrowed f
 func ApplyVec(f []int16, q int32) int32 { return int32(f[q]) }
 
 // MemoryBytes estimates the resident size of the SFA's match-time tables:

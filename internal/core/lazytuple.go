@@ -245,6 +245,7 @@ func (t *LazyTuple) Identity(dst []int16) {
 // Compose merges two carried vectors blockwise: h ← "f then g" per
 // component (Lemma 1's ⊙ applied block-diagonally). h must not alias f
 // or g.
+//sfa:borrowed f g
 func (t *LazyTuple) Compose(h, f, g []int16) {
 	for i := 0; i < t.k; i++ {
 		base := int(t.offs[i])
@@ -258,6 +259,7 @@ func (t *LazyTuple) Compose(h, f, g []int16) {
 
 // OrAccept ORs the verdicts of a carried vector into dst: bit i is set
 // when component i accepts the input the vector summarizes.
+//sfa:borrowed cur
 func (t *LazyTuple) OrAccept(cur []int16, dst []uint64) {
 	for i := 0; i < t.k; i++ {
 		d := t.dfas[i]

@@ -72,7 +72,10 @@ func (c *batchCtx) runChunk(int) {
 	}
 }
 
-// dispatch runs w batch workers to completion.
+// dispatch runs w batch workers to completion. Like dispatchChunks, the
+// raw go statements serve only the spawn-mode measurement path.
+//
+//sfa:spawner
 func (b *Batch) dispatch(c *batchCtx, w int) {
 	if b.spawn {
 		var wg sync.WaitGroup

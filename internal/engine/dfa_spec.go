@@ -97,19 +97,7 @@ func (m *DFASpeculative) Match(text []byte) bool {
 	p := m.threads
 	c := m.ctxs.Get().(*specCtx)
 	c.text = text
-	if m.spawn {
-		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c.runChunk(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		m.pool.Run(c, &c.job, p)
-	}
+	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
 	ok := m.reduce(c)
 	c.text = nil
 	m.ctxs.Put(c)

@@ -184,6 +184,7 @@ func (m *LazyMultiSFA) InitMapping(cur []int16) { m.t.Identity(cur) }
 // tmp are the caller's ping-pong pair; the updated pair is returned in
 // (current, scratch) order. The carried value survives evictions of the
 // underlying lazy automaton — it is a denotation, not a state id.
+//sfa:noalloc
 func (m *LazyMultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int16) {
 	if len(chunk) == 0 {
 		return cur, tmp
@@ -200,6 +201,8 @@ func (m *LazyMultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []
 
 // MatchMaskFrom writes the accept bitmask of a carried mapping into
 // dst, which must have Words() capacity. It returns dst[:Words()].
+//sfa:noalloc
+//sfa:borrowed cur
 func (m *LazyMultiSFA) MatchMaskFrom(cur []int16, dst []uint64) []uint64 {
 	dst = dst[:m.words]
 	for i := range dst {
@@ -211,6 +214,7 @@ func (m *LazyMultiSFA) MatchMaskFrom(cur []int16, dst []uint64) []uint64 {
 
 // ComposeMask merges two carried mappings: h ← "f then g", blockwise.
 // h must not alias f or g.
+//sfa:borrowed f g
 func (m *LazyMultiSFA) ComposeMask(h, f, g []int16) { m.t.Compose(h, f, g) }
 
 // TableBytes returns the bytes currently charged to the table budget —

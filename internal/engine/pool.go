@@ -117,6 +117,11 @@ func (j *jobState) finish() {
 // NewPool starts a pool of `workers` goroutines (GOMAXPROCS when ≤ 0).
 // Workers live for the life of the process; the pool has no Close — it is
 // meant to be created once and shared, like the DefaultPool.
+//
+// This is the one place scan-path worker goroutines are born; everything
+// else dispatches onto them.
+//
+//sfa:spawner
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -187,6 +192,7 @@ func (p *Pool) Map(n int, f func(int)) {
 // caller would otherwise just block); chunks the queue cannot absorb run
 // inline as well. While waiting for stragglers the caller helps drain the
 // queue, which keeps nested Run calls live (see the type comment).
+//sfa:noalloc
 func (p *Pool) Run(t chunkTask, j *jobState, n int) {
 	if n <= 1 {
 		if n == 1 {

@@ -71,19 +71,7 @@ func (m *SFALazy) Match(text []byte) bool {
 	p := m.threads
 	c := m.ctxs.Get().(*lazyCtx)
 	c.text = text
-	if m.spawn {
-		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c.runChunk(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		m.pool.Run(c, &c.job, p)
-	}
+	dispatchChunks(c, &c.job, m.pool, m.spawn, p)
 	ok := false
 	if m.Err() == nil {
 		// Sequential reduction (the O(p) strategy).

@@ -37,6 +37,8 @@ var buildSeq atomic.Uint64
 // composeLocals folds p chunk-final SFA states into the carried mapping:
 // cur ← cur ⊙ f₁ ⊙ … ⊙ fp, ping-ponging between cur and tmp. Returns the
 // slices in (current, scratch) order.
+//sfa:noalloc
+//sfa:borrowed locals
 func composeLocals(s *core.DSFA, cur, tmp []int16, locals []int32) ([]int16, []int16) {
 	for _, f := range locals {
 		core.ComposeVec(tmp, cur, s.Map(f))
@@ -50,6 +52,11 @@ func composeLocals(s *core.DSFA, cur, tmp []int16, locals []int32) ([]int16, []i
 // spawn mode (thread creation as part of the call, the paper's Fig. 10
 // measurement). Shared by Match and ComposeChunk on every parallel
 // engine so the dispatch protocol cannot drift between them.
+//
+// The raw go statements below exist only for the deliberate spawn-mode
+// experiment; pooled dispatch is the default.
+//
+//sfa:spawner
 func dispatchChunks(t chunkTask, j *jobState, pool *Pool, spawn bool, p int) {
 	if spawn {
 		var wg sync.WaitGroup
@@ -85,6 +92,7 @@ func (m *SFAParallel) InitMapping(cur []int16) {
 // tmp are the caller's ping-pong pair (both MappingLen() long); the
 // updated pair is returned in (current, scratch) order. Zero heap
 // allocations in steady state.
+//sfa:noalloc
 func (m *SFAParallel) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int16) {
 	if len(chunk) == 0 {
 		return cur, tmp
@@ -115,6 +123,7 @@ func (m *SFAParallel) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []i
 
 // AcceptedFrom reports whether the input a carried mapping summarizes is
 // accepted: cur[D.Start] is the DFA state the whole prefix reaches.
+//sfa:borrowed cur
 func (m *SFAParallel) AcceptedFrom(cur []int16) bool {
 	return m.s.D.Accept[cur[m.s.D.Start]]
 }
@@ -142,6 +151,7 @@ func (m *MultiSFA) InitMapping(cur []int16) {
 // parallel scan from the identity, ⊙-fold into the caller's ping-pong
 // pair, zero steady-state allocations. The returned pair is in
 // (current, scratch) order.
+//sfa:noalloc
 func (m *MultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int16) {
 	if len(chunk) == 0 {
 		return cur, tmp
@@ -177,6 +187,8 @@ func (m *MultiSFA) ComposeChunk(cur, tmp []int16, chunk []byte) ([]int16, []int1
 // set iff rule r accepts the input the mapping summarizes — into dst,
 // which must have Words() capacity. It returns dst[:Words()]. Like
 // MatchMask, it allocates nothing with a caller-provided buffer.
+//sfa:noalloc
+//sfa:borrowed cur
 func (m *MultiSFA) MatchMaskFrom(cur []int16, dst []uint64) []uint64 {
 	q := int(cur[m.s.D.Start])
 	return append(dst[:0], m.masks[q*m.words:(q+1)*m.words]...)
@@ -186,6 +198,7 @@ func (m *MultiSFA) MatchMaskFrom(cur []int16, dst []uint64) []uint64 {
 // inputs had been concatenated: h ← "f then g" (the ⊙ of Lemma 1). h must
 // not alias f or g. This is what lets out-of-order stream segments be
 // scanned independently and folded afterwards (RuleStream.Compose).
+//sfa:borrowed f g
 func (m *MultiSFA) ComposeMask(h, f, g []int16) {
 	core.ComposeVec(h, f, g)
 }

@@ -1,0 +1,305 @@
+// Package analysis is the repo-local analyzer framework sfavet runs on.
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run function over a Pass — so the four sfavet
+// analyzers could migrate to the upstream framework mechanically, but
+// it is built entirely on the standard library: this module has no
+// dependencies, and the linter keeps it that way.
+//
+// Two differences from upstream, both driven by what sfavet checks:
+//
+//   - Analyzers get an optional Collect phase that runs over every unit
+//     of the module before any Run. The invariants sfavet enforces are
+//     module-global ("this field is atomic *everywhere*", "this
+//     function's parameter is borrowed *for all callers*"), so facts
+//     must be gathered across packages first. Units are independent
+//     type universes (see internal/lint/load), so collected facts are
+//     keyed by strings, never go/types object identity.
+//
+//   - The annotation grammar (//sfa:... directives) is parsed here,
+//     once, because every analyzer shares it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/load"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph description `sfavet -help` prints.
+	Doc string
+	// Collect, if non-nil, runs over every unit before any Run call,
+	// accumulating module-global facts. It must not report.
+	Collect func(*Pass)
+	// Run reports diagnostics for one unit.
+	Run func(*Pass)
+}
+
+// A Pass hands one analysis unit to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the unit's import path, unbracketed ("repro/internal/obs"
+	// even for the test variant).
+	PkgPath string
+	report  func(Diagnostic)
+}
+
+// A Diagnostic is one finding, resolved to a position.
+type Diagnostic struct {
+	Pos      token.Position `json:"position"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run drives analyzers over units: every analyzer's Collect over every
+// unit first, then every Run. Diagnostics come back sorted by position.
+func Run(units []*load.Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	passes := func(a *Analyzer, fn func(*Pass), reporting bool) {
+		for _, u := range units {
+			p := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				PkgPath:  u.Pkg.Path(),
+			}
+			if reporting {
+				p.report = func(d Diagnostic) { diags = append(diags, d) }
+			} else {
+				p.report = func(Diagnostic) {
+					panic("analysis: Collect phase must not report")
+				}
+			}
+			fn(p)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Collect != nil {
+			passes(a, a.Collect, false)
+		}
+	}
+	for _, a := range analyzers {
+		passes(a, a.Run, true)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// WithStack walks every file, calling fn with each node and the stack
+// of its ancestors (outermost first, not including n itself). If fn
+// returns false the node's children are skipped.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+				return true
+			}
+			return false
+		})
+	}
+}
+
+// --- the //sfa: directive grammar ------------------------------------------
+
+// DirectivePrefix is the comment prefix all sfavet annotations share.
+// A directive is a //-comment with no space after the slashes, in the
+// Go directive convention: //sfa:name [args...].
+const DirectivePrefix = "//sfa:"
+
+// A Directive is one parsed //sfa: annotation.
+type Directive struct {
+	Name string // "noalloc", "spawner", "borrowed", "adopts", ...
+	Args []string
+	Pos  token.Pos
+}
+
+// parseDirectives extracts //sfa: directives from a comment group.
+func parseDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, Directive{Name: fields[0], Args: fields[1:], Pos: c.Pos()})
+	}
+	return out
+}
+
+// FuncDirectives returns the //sfa: directives in fn's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	return parseDirectives(fn.Doc)
+}
+
+// FuncDirective returns fn's directive named name, if present.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range FuncDirectives(fn) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirective returns the directive named name attached to a struct
+// field (doc comment above it or line comment after it), if present.
+func FieldDirective(f *ast.Field, name string) (Directive, bool) {
+	for _, g := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		for _, d := range parseDirectives(g) {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// LineDirectives indexes every //sfa: directive in a file by the source
+// line it is on. An annotation that should waive a diagnostic on line N
+// may sit at the end of line N or alone on line N-1; WaivedAt encodes
+// that convention.
+type LineDirectives struct {
+	fset  *token.FileSet
+	lines map[int][]Directive
+}
+
+// FileLineDirectives scans all comments of a file.
+func FileLineDirectives(fset *token.FileSet, f *ast.File) *LineDirectives {
+	ld := &LineDirectives{fset: fset, lines: map[int][]Directive{}}
+	for _, g := range f.Comments {
+		for _, d := range parseDirectives(g) {
+			line := fset.Position(d.Pos).Line
+			ld.lines[line] = append(ld.lines[line], d)
+		}
+	}
+	return ld
+}
+
+// WaivedAt reports whether a directive named name is on pos's line or
+// the line immediately above it.
+func (ld *LineDirectives) WaivedAt(pos token.Pos, name string) bool {
+	line := ld.fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range ld.lines[l] {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost *ast.FuncDecl in stack.
+func EnclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// RootIdent unwraps an expression to the identifier at its base:
+// p, p[i], p[i:j], (*p), p.f, p.f[i].g all root at p. Returns nil if
+// the base is not a plain identifier (a call result, a literal, ...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// CalleeFunc resolves a call to the *types.Func it invokes (methods
+// included), or nil for builtins, conversions, and indirect calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes pkgpath.name (a package-level
+// function, matched by its package's path).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgpath, name string) bool {
+	f := CalleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgpath && f.Name() == name
+}

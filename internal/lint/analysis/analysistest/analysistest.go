@@ -1,0 +1,194 @@
+// Package analysistest runs an analyzer over a directory of fixture
+// files and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which this
+// module deliberately does not depend on).
+//
+// A fixture directory holds one Go package (ordinary .go files; the
+// directory lives under testdata, so the surrounding module never
+// compiles it). Expectations are trailing comments:
+//
+//	p := make([]int, n) // want `allocates`
+//
+// Each `-quoted or "-quoted string is a regular expression that must
+// match the message of a diagnostic reported on that line; every
+// diagnostic must be claimed by exactly one expectation and every
+// expectation must claim at least one diagnostic. Fixtures may import
+// the standard library (resolved from compiler export data); they
+// cannot import each other.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// wantRE pulls the quoted expectation strings out of a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// T is the slice of testing.T the harness needs; tests that want to
+// assert on the harness itself (e.g. "this configuration reports
+// nothing") can substitute a recorder.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+	Fatal(args ...any)
+}
+
+var _ T = (*testing.T)(nil)
+
+// Run analyzes the fixture package in dir with a and reports any
+// mismatch between diagnostics and // want expectations on t.
+func Run(t T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	unit := loadFixture(t, dir)
+	diags := analysis.Run([]*load.Unit{unit}, []*analysis.Analyzer{a})
+	checkWants(t, unit, diags)
+}
+
+// loadFixture parses and type-checks one fixture directory.
+func loadFixture(t T, dir string) *load.Unit {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	var importPaths []string
+	for p := range imports {
+		if p != "unsafe" {
+			importPaths = append(importPaths, p)
+		}
+	}
+	sort.Strings(importPaths)
+	var imp types.ImporterFrom
+	if len(importPaths) > 0 {
+		imp, err = load.ExportImporter(fset, dir, importPaths...)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+	}
+	u := &load.Unit{
+		PkgPath: files[0].Name.Name,
+		Files:   files,
+		Fset:    fset,
+		Info:    load.NewInfo(),
+	}
+	conf := types.Config{
+		Importer: unsafeAware{imp},
+		Error:    func(err error) { u.TypeErrors = append(u.TypeErrors, err) },
+	}
+	pkg, _ := conf.Check(u.PkgPath, fset, files, u.Info)
+	if pkg == nil {
+		t.Fatalf("analysistest: fixture %s failed to type-check entirely", dir)
+	}
+	for _, err := range u.TypeErrors {
+		t.Errorf("analysistest: fixture type error: %v", err)
+	}
+	u.Pkg = pkg
+	return u
+}
+
+// unsafeAware resolves "unsafe" itself and delegates the rest.
+type unsafeAware struct{ next types.ImporterFrom }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	return u.ImportFrom(path, "", 0)
+}
+
+func (u unsafeAware) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.ImportFrom(path, dir, mode)
+}
+
+// expectation is one quoted pattern of a // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants cross-matches diagnostics against expectations.
+func checkWants(t T, u *load.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range u.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "// "), "want ")
+				if !ok {
+					text, ok = strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

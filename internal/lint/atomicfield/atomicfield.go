@@ -1,0 +1,248 @@
+// Package atomicfield is the static twin of the race detector for the
+// repo's atomic-access discipline: a struct field that is accessed
+// through sync/atomic anywhere in the module must be accessed through
+// sync/atomic everywhere in the module.
+//
+// The discipline matters because -race only catches the interleavings
+// the tests happen to execute; a plain read of a counter the hot path
+// updates atomically is a data race on every production scan whether or
+// not a test provokes it, and a torn read of a generation pointer or a
+// ring sequence word silently breaks verdict determinism.
+//
+// The analyzer works in two phases. Collect walks every unit of the
+// module and records the "atomic fields": struct fields whose address
+// is passed to a sync/atomic function (atomic.AddInt64(&s.n, 1), ...)
+// plus fields explicitly marked with an //sfa:atomic comment (for
+// fields the collector cannot see being atomic, e.g. ones only
+// accessed through aliased slices). Run then flags every other plain
+// selector access to those fields — reads, writes, compound
+// assignments, address escapes — module-wide, tests included.
+//
+// Two accesses are always allowed: the address-of argument of a
+// sync/atomic call itself, and method calls on fields of the sync/
+// atomic wrapper types (atomic.Int64 and friends — their whole API is
+// atomic). Functions that legitimately touch an atomic field plainly —
+// constructors before the value is published, teardown after all
+// goroutines are joined, snapshots under a write lock — carry the
+// function-level waiver:
+//
+//	//sfa:atomicok — plain access to atomic fields is safe here; the
+//	comment above the annotation must say why (not published yet,
+//	post-join, lock held, ...).
+//
+// Fields of the sync/atomic wrapper types themselves need no tracking:
+// their zero-method access discipline is enforced by the type system,
+// and copying them is caught by go vet's copylocks (they embed
+// noCopy).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// New returns a fresh analyzer instance (Collect state is per
+// instance, so concurrent test runs do not share fact tables).
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "atomicfield",
+		Doc: "a field accessed through sync/atomic anywhere must be accessed " +
+			"through sync/atomic everywhere (waiver: //sfa:atomicok on the function)",
+	}
+	// atomic holds the field keys collected in phase one, mapped to a
+	// human-readable description of why the field is atomic.
+	atomic := map[string]string{}
+
+	a.Collect = func(pass *analysis.Pass) {
+		// Fields whose address feeds a sync/atomic call.
+		analysis.WithStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if sel := addrOfField(pass.Info, call.Args[0]); sel != nil {
+				if key := fieldKey(pass, sel); key != "" {
+					if _, dup := atomic[key]; !dup {
+						atomic[key] = "passed to " + callName(call)
+					}
+				}
+			}
+			return true
+		})
+		// Fields marked //sfa:atomic by hand.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if _, ok := analysis.FieldDirective(field, "atomic"); !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						key := pass.Pkg.Path() + "." + ts.Name.Name + "." + name.Name
+						atomic[key] = "marked //sfa:atomic"
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	a.Run = func(pass *analysis.Pass) {
+		analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := fieldKey(pass, sel)
+			if key == "" {
+				return true
+			}
+			why, tracked := atomic[key]
+			if !tracked {
+				return true
+			}
+			if allowedContext(pass.Info, stack) {
+				return true
+			}
+			if fn := analysis.EnclosingFunc(stack); fn != nil {
+				if _, ok := analysis.FuncDirective(fn, "atomicok"); ok {
+					return true
+				}
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to atomic field %s (%s elsewhere); use sync/atomic or annotate the function //sfa:atomicok with a reason",
+				key, why)
+			return true
+		})
+	}
+	return a
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" && f.Type().(*types.Signature).Recv() == nil
+}
+
+// callName renders "atomic.AddInt64" for diagnostics.
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "atomic." + sel.Sel.Name
+	}
+	return "a sync/atomic call"
+}
+
+// addrOfField returns the selector when arg has the shape &x.f with f a
+// struct field.
+func addrOfField(info *types.Info, arg ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return sel
+}
+
+// fieldKey names a field selection stably across units:
+// "pkgpath.StructName.field". Embedded promotions resolve to the
+// declaring struct. Anonymous structs key by declaration position.
+func fieldKey(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	t := s.Recv()
+	idx := s.Index()
+	for i, k := range idx {
+		t = deref(t)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		f := st.Field(k)
+		if i == len(idx)-1 {
+			if named, ok := t.(*types.Named); ok {
+				return obj.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+			}
+			// Anonymous struct: fall back to the declaration site.
+			p := pass.Fset.Position(f.Pos())
+			return obj.Pkg().Path() + "." + f.Name() + "@" + p.Filename
+		}
+		t = f.Type()
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// allowedContext reports whether the selector at the top of stack's
+// walk is one of the two blessed shapes: the &x.f argument of a
+// sync/atomic call, or the receiver of a method call (the sync/atomic
+// wrapper types' API).
+func allowedContext(info *types.Info, stack []ast.Node) bool {
+	// Walk outward over parens.
+	i := len(stack) - 1
+	at := func(j int) ast.Node {
+		if j < 0 {
+			return nil
+		}
+		return stack[j]
+	}
+	for i >= 0 {
+		if _, ok := at(i).(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	switch p := at(i).(type) {
+	case *ast.UnaryExpr:
+		if p.Op.String() != "&" {
+			return false
+		}
+		// &x.f … inside a sync/atomic call?
+		for j := i - 1; j >= 0; j-- {
+			switch q := at(j).(type) {
+			case *ast.ParenExpr:
+				continue
+			case *ast.CallExpr:
+				return isAtomicCall(info, q)
+			default:
+				return false
+			}
+		}
+	case *ast.SelectorExpr:
+		// x.f.Method(...): allowed when f.Method resolves to a method
+		// (the wrapper types); a field-of-field selection keeps its own
+		// checking via its own fieldKey.
+		if s, ok := info.Selections[p]; ok && s.Kind() == types.MethodVal {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package borrowedtable_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/borrowedtable"
+)
+
+func TestBorrowedTable(t *testing.T) {
+	analysistest.Run(t, "testdata/borrowed", borrowedtable.New())
+}

@@ -1,0 +1,76 @@
+package load
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadModule type-checks the whole module through the export-data
+// importer: every unit must check cleanly, and test variants must
+// shadow their plain packages.
+func TestLoadModule(t *testing.T) {
+	units, err := Load("../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units loaded")
+	}
+	byPath := map[string]*Unit{}
+	for _, u := range units {
+		if len(u.TypeErrors) > 0 {
+			t.Errorf("%s: %d type errors, first: %v", u.PkgPath, len(u.TypeErrors), u.TypeErrors[0])
+		}
+		if u.Pkg == nil {
+			t.Fatalf("%s: nil package", u.PkgPath)
+		}
+		plain := trimVariant(u.PkgPath)
+		if prev, ok := byPath[plain+boolKey(strings.HasSuffix(plain, "_test"))]; ok {
+			t.Errorf("package %s analyzed twice: %s and %s", plain, prev.PkgPath, u.PkgPath)
+		}
+		byPath[plain+boolKey(strings.HasSuffix(plain, "_test"))] = u
+	}
+	// Spot-check: obs has in-package tests, so its unit must be the
+	// augmented variant and must include the test files.
+	u := byPath["repro/internal/obs"]
+	if u == nil {
+		t.Fatal("repro/internal/obs not loaded")
+	}
+	if !u.Test || !strings.Contains(u.PkgPath, "[") {
+		t.Errorf("obs unit is not the augmented test variant: %q (test=%v)", u.PkgPath, u.Test)
+	}
+	foundTestFile := false
+	for _, f := range u.Files {
+		if strings.HasSuffix(u.Fset.Position(f.Package).Filename, "_test.go") {
+			foundTestFile = true
+		}
+	}
+	if !foundTestFile {
+		t.Error("augmented obs unit has no _test.go files")
+	}
+}
+
+func boolKey(b bool) string {
+	if b {
+		return "#xtest"
+	}
+	return ""
+}
+
+// TestExportImporter loads a standard-library package for fixture
+// type-checking.
+func TestExportImporter(t *testing.T) {
+	fset := token.NewFileSet()
+	imp, err := ExportImporter(fset, ".", "sync/atomic", "fmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := imp.ImportFrom("sync/atomic", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Scope().Lookup("AddInt64") == nil {
+		t.Error("sync/atomic export data missing AddInt64")
+	}
+}

@@ -1,0 +1,34 @@
+package pooldispatch_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/pooldispatch"
+)
+
+func TestPoolDispatch(t *testing.T) {
+	analysistest.Run(t, "testdata/pool", pooldispatch.New())
+}
+
+// TestPrefixRestriction: with a prefix list that does not match the
+// fixture package, nothing is reported (the repo gate only enforces
+// the scan-path packages).
+func TestPrefixRestriction(t *testing.T) {
+	// The fixture has `want` comments; running the restricted analyzer
+	// must produce zero diagnostics, so every want must fail. Run in a
+	// throwaway sub-test recorder to invert the assertion.
+	rec := &recordingT{T: t}
+	analysistest.Run(rec, "testdata/pool", pooldispatch.New("repro/internal/engine"))
+	if rec.errors == 0 {
+		t.Fatal("expected unmatched want expectations when the analyzer is prefix-restricted")
+	}
+}
+
+// recordingT swallows Errorf calls, counting them.
+type recordingT struct {
+	*testing.T
+	errors int
+}
+
+func (r *recordingT) Errorf(string, ...any) { r.errors++ }

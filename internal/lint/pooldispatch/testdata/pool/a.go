@@ -1,0 +1,39 @@
+package a
+
+import "sync"
+
+// plain is the bug the analyzer exists for: ad-hoc goroutine creation
+// on a scan path that should ride the shared worker pool.
+func plain() {
+	go work() // want `raw go statement in plain`
+}
+
+// spawner is pool-internals shaped: the annotation is the allowlist.
+//
+//sfa:spawner
+func spawner() {
+	go work()
+}
+
+// spawnerLit: goroutines started from a literal inside an annotated
+// spawner are covered by the enclosing function's annotation.
+//
+//sfa:spawner
+func spawnerLit() {
+	f := func() {
+		go work()
+	}
+	f()
+}
+
+func nested() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `raw go statement in nested`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func work() {}

@@ -382,7 +382,7 @@ func DecodeSet(r io.Reader, keys []string, o Options) (*Set, error) {
 		return nil, fmt.Errorf("multi: shards cover %d of %d rules", assigned, nrules)
 	}
 	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
-	s := newSet(shards, nrules)
+	s := newSet(shards, nrules, o.Pool)
 	s.stats = o.Stats
 	// planShards is Recompile's consolidation baseline; it may
 	// legitimately differ from the current shard count in either

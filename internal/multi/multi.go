@@ -214,7 +214,7 @@ func Compile(nodes []*syntax.Node, o Options) (*Set, error) {
 	for i, b := range builds {
 		shards[i] = b.sh
 	}
-	s := newSet(shards, len(nodes))
+	s := newSet(shards, len(nodes), o.Pool)
 	s.planShards = len(shards)
 	s.stats = o.Stats
 	s.armPrefilter(o.Prefilter)

@@ -149,7 +149,7 @@ func Recompile(nodes []*syntax.Node, keys []string, prev *Set, prevKeys []string
 		return set, ReuseStats{Rebuilt: set.NumShards()}, nil
 	}
 	sort.Slice(shards, func(i, j int) bool { return shards[i].rules[0] < shards[j].rules[0] })
-	s := newSet(shards, len(nodes))
+	s := newSet(shards, len(nodes), o.Pool)
 	s.planShards = prev.planShards
 	s.stats = o.Stats
 	// Reused engines are membership-keyed, so they are valid regardless

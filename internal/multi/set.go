@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/prefilter"
 )
@@ -48,10 +49,17 @@ type Set struct {
 	// the rest of the set's state it lives for one generation; reloads
 	// start a fresh table.
 	heat []atomic.Int64
+	// pool carries Scan's shard-level fan-out (Options.Pool, default
+	// engine.DefaultPool). Shard-internal chunk parallelism uses the
+	// same pool via each shard engine's own wiring.
+	pool *engine.Pool
 }
 
-func newSet(shards []*shard, rules int) *Set {
-	s := &Set{shards: shards, rules: rules, words: maskWords(rules), heat: make([]atomic.Int64, rules)}
+func newSet(shards []*shard, rules int, pool *engine.Pool) *Set {
+	if pool == nil {
+		pool = engine.DefaultPool()
+	}
+	s := &Set{shards: shards, rules: rules, words: maskWords(rules), heat: make([]atomic.Int64, rules), pool: pool}
 	s.ctxs.New = func() any {
 		c := &scanCtx{
 			bufs:  make([][]uint64, len(shards)),
@@ -75,7 +83,6 @@ type scanCtx struct {
 	gate  []bool
 	hits  []prefilter.Hit
 	next  atomic.Int64
-	wg    sync.WaitGroup
 }
 
 // NumRules returns the number of rules the set was compiled from.
@@ -90,11 +97,12 @@ func (s *Set) Words() int { return s.words }
 // Scan matches every rule against data in one pass per shard and writes
 // the global bitmask — bit r set iff rule r matches — into dst, which
 // must have Words() capacity; dst[:Words()] is returned. Shards run
-// concurrently, up to `workers` at a time (0 = all); each shard's pass
-// is itself chunk-parallel on the engine pool. workers = 1 scans the
-// shards sequentially on the calling goroutine — the zero-allocation
-// form, since the concurrent fan-out spawns one goroutine per worker
-// per call.
+// concurrently, up to `workers` at a time (0 = all), dispatched on the
+// engine worker pool (never fresh goroutines); each shard's pass is
+// itself chunk-parallel on the same pool, which is safe because Pool.Run
+// waiters help drain the queue. workers = 1 scans the shards
+// sequentially on the calling goroutine — the zero-allocation form,
+// since the concurrent fan-out costs one task closure per call.
 func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 	dst = dst[:s.words]
 	for i := range dst {
@@ -116,20 +124,15 @@ func (s *Set) Scan(data []byte, workers int, dst []uint64) []uint64 {
 	if workers <= 0 || workers > len(s.shards) {
 		workers = len(s.shards)
 	}
-	c.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer c.wg.Done()
-			for {
-				i := int(c.next.Add(1)) - 1
-				if i >= len(s.shards) {
-					return
-				}
-				s.scanShard(i, data, c)
+	s.pool.Map(workers, func(int) {
+		for {
+			i := int(c.next.Add(1)) - 1
+			if i >= len(s.shards) {
+				return
 			}
-		}()
-	}
-	c.wg.Wait()
+			s.scanShard(i, data, c)
+		}
+	})
 	for i, sh := range s.shards {
 		sh.merge(dst, c.bufs[i])
 	}

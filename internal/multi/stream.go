@@ -129,6 +129,7 @@ func (st *SetStream) Set() *Set { return st.set }
 
 // Write consumes the next chunk of input, advancing every shard's carried
 // mapping (each shard's scan is chunk-parallel on the engine pool).
+//sfa:noalloc
 func (st *SetStream) Write(chunk []byte) {
 	if len(chunk) == 0 {
 		return
@@ -179,6 +180,7 @@ func (st *SetStream) bypass(i int) bool {
 // windows, carrying windows that outlive the chunk as pending spans.
 // Span coordinates are chunk-relative: negative positions reach into
 // the tail buffer, positions past len(chunk) await future input.
+//sfa:noalloc
 func (st *SetStream) writeWindows(chunk []byte) {
 	p := st.set.pre
 	for i := range st.set.shards {
@@ -269,6 +271,7 @@ func (st *SetStream) writeWindows(chunk []byte) {
 // buffer; since a single occurrence near the boundary spans at most
 // [−maxLen, +maxLen], the crossing part is materialized bounded and the
 // in-chunk remainder is scanned as a direct slice.
+//sfa:noalloc
 func (st *SetStream) scanWindow(sh *shard, i int, chunk []byte, lo, hi int) {
 	p := st.set.pre
 	if lo >= 0 {
@@ -303,6 +306,7 @@ func (st *SetStream) scanWindow(sh *shard, i int, chunk []byte, lo, hi int) {
 }
 
 // carry updates the head and tail buffers after a Write.
+//sfa:noalloc
 func (st *SetStream) carry(chunk []byte) {
 	if len(st.head) < st.tailCap {
 		n := st.tailCap - len(st.head)

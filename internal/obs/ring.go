@@ -102,6 +102,7 @@ func (g *Ring) Cap() int {
 // the sequence number it was assigned (0 if the ring is nil). The
 // record's own Seq field is ignored. Zero allocations; safe from any
 // number of concurrent goroutines.
+//sfa:noalloc
 func (g *Ring) Record(r ScanRecord) uint64 {
 	if g == nil {
 		return 0

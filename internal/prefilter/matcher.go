@@ -116,6 +116,7 @@ func (m *Matcher) Stage() string { return m.stage }
 // AppendHits appends every occurrence of every literal in data to dst
 // and returns it. Hit order is unspecified across literals; positions
 // for one literal are ascending.
+//sfa:noalloc
 func (m *Matcher) AppendHits(dst []Hit, data []byte) []Hit {
 	n0 := len(dst)
 	dst = m.appendHits(dst, data)
@@ -125,6 +126,7 @@ func (m *Matcher) AppendHits(dst []Hit, data []byte) []Hit {
 	return dst
 }
 
+//sfa:noalloc
 func (m *Matcher) appendHits(dst []Hit, data []byte) []Hit {
 	switch m.stage {
 	case "memchr":
@@ -186,6 +188,7 @@ func newBMH(pat string) *bmhMatcher {
 	return b
 }
 
+//sfa:noalloc
 func (b *bmhMatcher) appendHits(dst []Hit, data []byte) []Hit {
 	n, p := len(data), len(b.pat)
 	last := b.pat[p-1]
@@ -240,6 +243,7 @@ func newWM(lits []string, minLen int) *wmMatcher {
 	return w
 }
 
+//sfa:noalloc
 func (w *wmMatcher) appendHits(dst []Hit, data []byte, lits []string) []Hit {
 	n := len(data)
 	i := w.m0 - 1
@@ -330,6 +334,7 @@ func newAC(lits []string) *acMatcher {
 	return a
 }
 
+//sfa:noalloc
 func (a *acMatcher) appendHits(dst []Hit, data []byte, lits []string) []Hit {
 	s := int32(0)
 	for i, b := range data {
